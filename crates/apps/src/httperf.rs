@@ -1,0 +1,367 @@
+//! `httperf` — the load generator (§6.1–§6.2).
+//!
+//! Each instance is one process on the client machine (the paper runs "12
+//! httperf processes — one per client machine's core"), embedding its own
+//! library TCP stack (mTCP-style OS bypass — the client box is harness,
+//! not the system under test). It keeps `num_conns` persistent
+//! connections open, issues `requests_per_conn` GETs on each, replaces
+//! finished connections with fresh ones, and reports rates/latency with
+//! httperf's semantics: "dismisses from the request rate and throughput
+//! any connection which has an error".
+
+use crate::http;
+use neat::msg::Msg;
+use neat::netcode::{FrameIo, RxClass};
+use neat_net::ethernet::MacAddr;
+use neat_net::ipv4::IpProtocol;
+use neat_sim::{calibration, Ctx, Event, Histogram, ProcId, Process, Time};
+use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct HttperfConfig {
+    pub target: (Ipv4Addr, u16),
+    /// Concurrent persistent connections held open.
+    pub num_conns: usize,
+    /// Requests per connection before it is closed and replaced.
+    pub requests_per_conn: u32,
+    /// Request path (selects the file size on the server).
+    pub path: String,
+    /// Per-request timeout; expiry makes the connection an error.
+    pub timeout_ns: u64,
+    /// Ephemeral port partition for this instance.
+    pub port_range: (u16, u16),
+    /// Stagger between the initial connection opens.
+    pub open_spacing_ns: u64,
+    /// Think time between receiving a response and issuing the next
+    /// request (0 = closed loop at full speed).
+    pub think_ns: u64,
+}
+
+impl Default for HttperfConfig {
+    fn default() -> Self {
+        HttperfConfig {
+            target: (Ipv4Addr::new(192, 168, 69, 1), 8000),
+            num_conns: 16,
+            requests_per_conn: 100,
+            path: "/file".into(),
+            timeout_ns: 5_000_000_000,
+            port_range: (49_152, 50_151),
+            open_spacing_ns: 20_000,
+            think_ns: 0,
+        }
+    }
+}
+
+/// Cumulative measurements, shared with the harness. Snapshot/subtract
+/// across a window to get rates.
+#[derive(Debug, Default)]
+pub struct ClientMetrics {
+    /// Successfully completed requests (on non-error connections so far).
+    pub completed: u64,
+    pub response_bytes: u64,
+    pub latency: Histogram,
+    /// Connections that errored (timeout / reset / replica crash).
+    pub conn_errors: u64,
+    /// Requests completed on connections that later errored — httperf
+    /// subtracts these from its report.
+    pub requests_on_error_conns: u64,
+    pub conns_finished: u64,
+    pub conns_opened: u64,
+}
+
+impl ClientMetrics {
+    /// Error-adjusted completed count (httperf's reported number).
+    pub fn reported_requests(&self) -> u64 {
+        self.completed.saturating_sub(self.requests_on_error_conns)
+    }
+}
+
+#[derive(Debug)]
+struct ConnRun {
+    parser: http::StreamParser,
+    requests_done: u32,
+    /// Completed requests counted into `completed` for this connection.
+    counted: u64,
+    sent_at: Option<u64>,
+    connected: bool,
+}
+
+const TOK_STACK: u64 = 0;
+const TOK_SCAN: u64 = 1;
+const TOK_OPEN: u64 = 2;
+/// Tokens >= TOK_THINK encode a think-time wakeup for socket id
+/// `token - TOK_THINK`.
+const TOK_THINK: u64 = 1_000;
+
+/// The load-generator process.
+pub struct HttperfProc {
+    pub name: String,
+    cfg: HttperfConfig,
+    nic: ProcId,
+    stack: TcpStack,
+    io: FrameIo,
+    conns: HashMap<SocketId, ConnRun>,
+    armed: Option<u64>,
+    pub metrics: Rc<RefCell<ClientMetrics>>,
+}
+
+impl HttperfProc {
+    pub fn new(
+        name: impl Into<String>,
+        cfg: HttperfConfig,
+        nic: ProcId,
+        client_ip: Ipv4Addr,
+        client_mac: MacAddr,
+        arp_seed: Vec<(Ipv4Addr, MacAddr)>,
+        metrics: Rc<RefCell<ClientMetrics>>,
+    ) -> HttperfProc {
+        let tcp_cfg = TcpConfig {
+            initial_rto_ns: 20_000_000,
+            // Load generators recycle ports aggressively (the standard
+            // tcp_tw_reuse benchmarking setting): a full 10 s TIME_WAIT
+            // would exhaust the port range under 1-request/connection
+            // churn and throttle the offered load.
+            time_wait_ns: 250_000_000,
+            ..TcpConfig::default()
+        };
+        let mut stack = TcpStack::new(client_ip, tcp_cfg);
+        stack.set_port_range(cfg.port_range.0, cfg.port_range.1);
+        let mut io = FrameIo::new(client_ip, client_mac);
+        for (a, m) in arp_seed {
+            io.seed_arp(a, m);
+        }
+        HttperfProc {
+            name: name.into(),
+            cfg,
+            nic,
+            stack,
+            io,
+            conns: HashMap::new(),
+            armed: None,
+            metrics,
+        }
+    }
+
+    fn open_conn(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.charge(calibration::CLIENT_CONN);
+        let now = ctx.now().as_nanos();
+        if let Ok(sock) = self.stack.connect(self.cfg.target.0, self.cfg.target.1, now) {
+            self.metrics.borrow_mut().conns_opened += 1;
+            self.conns.insert(
+                sock,
+                ConnRun {
+                    parser: http::StreamParser::new(),
+                    requests_done: 0,
+                    counted: 0,
+                    sent_at: None,
+                    connected: false,
+                },
+            );
+        }
+    }
+
+    fn issue_request(&mut self, ctx: &mut Ctx<'_, Msg>, sock: SocketId) {
+        ctx.charge(calibration::CLIENT_REQUEST);
+        let now = ctx.now().as_nanos();
+        let req = http::format_request(&self.cfg.path, true);
+        let _ = self.stack.send(sock, &req);
+        if let Some(run) = self.conns.get_mut(&sock) {
+            run.sent_at = Some(now);
+        }
+    }
+
+    fn conn_failed(&mut self, ctx: &mut Ctx<'_, Msg>, sock: SocketId) {
+        if let Some(run) = self.conns.remove(&sock) {
+            let mut m = self.metrics.borrow_mut();
+            m.conn_errors += 1;
+            m.requests_on_error_conns += run.counted;
+            drop(m);
+            let _ = self.stack.abort(sock);
+            // Replace the connection to hold the offered load constant.
+            self.open_conn(ctx);
+        }
+    }
+
+    fn drain(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now().as_nanos();
+        // --- stack events ---
+        while let Some(ev) = self.stack.poll_event() {
+            match ev {
+                SockEvent::Connected(sock) => {
+                    if let Some(run) = self.conns.get_mut(&sock) {
+                        run.connected = true;
+                        self.issue_request(ctx, sock);
+                    }
+                }
+                SockEvent::Readable(sock) => {
+                    let mut buf = [0u8; 4096];
+                    let mut data = Vec::new();
+                    while let Ok(n) = self.stack.recv(sock, &mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        data.extend_from_slice(&buf[..n]);
+                    }
+                    ctx.charge(calibration::copy_cost(data.len()));
+                    let Some(run) = self.conns.get_mut(&sock) else {
+                        continue;
+                    };
+                    run.parser.push(&data);
+                    let mut finished = false;
+                    while let Some(resp) = run.parser.next_response() {
+                        let mut m = self.metrics.borrow_mut();
+                        if let Some(t0) = run.sent_at.take() {
+                            m.latency.record(Time::from_nanos(now.saturating_sub(t0)));
+                        }
+                        m.completed += 1;
+                        m.response_bytes += resp.body.len() as u64;
+                        drop(m);
+                        run.counted += 1;
+                        run.requests_done += 1;
+                        if run.requests_done >= self.cfg.requests_per_conn {
+                            finished = true;
+                            break;
+                        }
+                        // Next request on the persistent connection
+                        // (after any configured think time).
+                        if self.cfg.think_ns > 0 {
+                            ctx.set_timer(
+                                Time::from_nanos(self.cfg.think_ns),
+                                TOK_THINK + sock.0,
+                            );
+                        } else {
+                            ctx.charge(calibration::CLIENT_REQUEST);
+                            let req = http::format_request(&self.cfg.path, true);
+                            let _ = self.stack.send(sock, &req);
+                            run.sent_at = Some(now);
+                        }
+                    }
+                    if finished {
+                        self.metrics.borrow_mut().conns_finished += 1;
+                        self.conns.remove(&sock);
+                        let _ = self.stack.close(sock, now);
+                        self.open_conn(ctx);
+                    }
+                }
+                SockEvent::Aborted(sock) => {
+                    self.conn_failed(ctx, sock);
+                }
+                SockEvent::Closed(_)
+                | SockEvent::PeerClosed(_)
+                | SockEvent::Writable(_)
+                | SockEvent::Acceptable(_) => {}
+            }
+        }
+        // --- wire out ---
+        while let Some((dst, h, payload)) = self.stack.poll_transmit(now) {
+            ctx.charge(calibration::TCP_TX_SEG / 2); // fast client cores
+            let seg = h.emit(&payload, self.stack.local_ip, dst);
+            self.io.send_ip(dst, IpProtocol::Tcp, &seg, now);
+        }
+        for frame in self.io.drain() {
+            ctx.send(self.nic, Msg::NetTx(frame));
+        }
+        // --- timers ---
+        if let Some(d) = self.stack.next_timeout() {
+            if self.armed.map(|a| d < a).unwrap_or(true) {
+                self.armed = Some(d);
+                ctx.set_timer(Time::from_nanos(d.saturating_sub(now)), TOK_STACK);
+            }
+        }
+    }
+
+    fn scan_timeouts(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now().as_nanos();
+        let timed_out: Vec<SocketId> = self
+            .conns
+            .iter()
+            .filter(|(_, r)| {
+                r.sent_at
+                    .map(|t| now.saturating_sub(t) > self.cfg.timeout_ns)
+                    .unwrap_or(false)
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        for sock in timed_out {
+            self.conn_failed(ctx, sock);
+        }
+        // Also replace connections that failed to even open (SYN lost to a
+        // dead replica etc. — the stack reports those via Aborted, handled
+        // above).
+        ctx.set_timer(Time::from_millis(50), TOK_SCAN);
+    }
+}
+
+impl Process<Msg> for HttperfProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {
+                // Register with the client NIC hub (ARP/default traffic).
+                ctx.send(
+                    self.nic,
+                    Msg::Announce {
+                        queue: 0,
+                        head: ctx.self_id,
+                    },
+                );
+                // Stagger the initial opens.
+                for i in 0..self.cfg.num_conns {
+                    ctx.set_timer(
+                        Time::from_nanos(1 + i as u64 * self.cfg.open_spacing_ns),
+                        TOK_OPEN,
+                    );
+                }
+                ctx.set_timer(Time::from_millis(50), TOK_SCAN);
+            }
+            Event::Timer { token } => match token {
+                TOK_OPEN => {
+                    self.open_conn(ctx);
+                    self.drain(ctx);
+                }
+                TOK_SCAN => {
+                    self.scan_timeouts(ctx);
+                    self.drain(ctx);
+                }
+                t if t >= TOK_THINK => {
+                    let sock = SocketId(t - TOK_THINK);
+                    if self.conns.contains_key(&sock) {
+                        self.issue_request(ctx, sock);
+                        self.drain(ctx);
+                    }
+                }
+                _ => {
+                    self.armed = None;
+                    let now = ctx.now().as_nanos();
+                    self.stack.on_timer(now);
+                    self.drain(ctx);
+                }
+            },
+            Event::Message { msg, .. } => {
+                if let Msg::NetRx(frame) = msg {
+                    let now = ctx.now().as_nanos();
+                    match self.io.classify_rx(&frame, now) {
+                        RxClass::Tcp { src, seg } => {
+                            ctx.charge(calibration::TCP_RX_SEG / 2);
+                            if let Ok((h, range)) =
+                                neat_net::TcpHeader::parse(&seg, src, self.stack.local_ip)
+                            {
+                                self.stack.handle_segment(src, &h, &seg[range], now);
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.drain(ctx);
+                }
+            }
+        }
+    }
+}

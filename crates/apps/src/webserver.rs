@@ -1,0 +1,211 @@
+//! `weblite` — the lighttpd stand-in (§6.2).
+//!
+//! An event-driven static web server that "does as little as possible":
+//! serve in-memory files over persistent HTTP/1.1 connections. Each
+//! instance is one isolated process using the NEaT socket library — it
+//! never knows (or cares) which stack replica owns each connection.
+
+use crate::http;
+use neat::msg::Msg;
+use neat::sockets::{Fd, LibEvent, SocketLib};
+use neat_sim::{calibration, Ctx, Event, Process};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// In-memory document root.
+#[derive(Debug, Clone, Default)]
+pub struct FileStore {
+    files: HashMap<String, Vec<u8>>,
+}
+
+impl FileStore {
+    pub fn new() -> FileStore {
+        FileStore::default()
+    }
+
+    pub fn put(&mut self, path: impl Into<String>, body: Vec<u8>) {
+        self.files.insert(path.into(), body);
+    }
+
+    /// The paper's workload file: 20 bytes at `/file`.
+    pub fn paper_default() -> FileStore {
+        let mut f = FileStore::new();
+        f.put("/file", vec![b'x'; 20]);
+        f
+    }
+
+    /// A document root with one file of each size in `sizes` at
+    /// `/file<size>` (Figures 4–5's sweep).
+    pub fn size_sweep(sizes: &[usize]) -> FileStore {
+        let mut f = FileStore::new();
+        for &s in sizes {
+            f.put(format!("/file{s}"), vec![b'x'; s]);
+        }
+        f
+    }
+
+    pub fn get(&self, path: &str) -> Option<&Vec<u8>> {
+        self.files.get(path)
+    }
+}
+
+/// Shared observable server-side counters.
+#[derive(Debug, Default)]
+pub struct WebMetrics {
+    pub requests_served: u64,
+    pub bytes_sent: u64,
+    pub conns_accepted: u64,
+    pub conns_lost_to_crash: u64,
+    pub not_found: u64,
+    /// Raw pid of the stack replica that owned each accepted connection,
+    /// in accept order — the §3.8 layout-unpredictability measurement
+    /// stream (each replica (re)start has a fresh ASLR layout).
+    pub served_by: Vec<u64>,
+}
+
+/// Per-connection server state.
+#[derive(Debug)]
+struct ConnState {
+    parser: http::StreamParser,
+    requests_served: u32,
+    closing: bool,
+}
+
+/// The web server process.
+pub struct WebServerProc {
+    pub name: String,
+    lib: SocketLib,
+    files: FileStore,
+    port: u16,
+    /// Close connections after this many requests (lighttpd
+    /// `max-keep-alive-requests`; the paper sets 1000, tests use less).
+    max_requests_per_conn: u32,
+    conns: HashMap<Fd, ConnState>,
+    pub metrics: Rc<RefCell<WebMetrics>>,
+}
+
+impl WebServerProc {
+    pub fn new(
+        name: impl Into<String>,
+        lib: SocketLib,
+        files: FileStore,
+        port: u16,
+        max_requests_per_conn: u32,
+        metrics: Rc<RefCell<WebMetrics>>,
+    ) -> WebServerProc {
+        WebServerProc {
+            name: name.into(),
+            lib,
+            files,
+            port,
+            max_requests_per_conn,
+            conns: HashMap::new(),
+            metrics,
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd, req: http::Request) {
+        // The calibrated per-request application work (parse, file lookup,
+        // header build, logging, bookkeeping).
+        ctx.charge(calibration::WEB_REQUEST);
+        let mut m = self.metrics.borrow_mut();
+        let (status, body) = match self.files.get(&req.path) {
+            Some(b) => (200, b.clone()),
+            None => {
+                m.not_found += 1;
+                (404, b"not found".to_vec())
+            }
+        };
+        m.requests_served += 1;
+        m.bytes_sent += body.len() as u64;
+        drop(m);
+        let st = self.conns.get_mut(&fd).expect("request on live conn");
+        st.requests_served += 1;
+        let closing = !req.keep_alive || st.requests_served >= self.max_requests_per_conn;
+        st.closing = closing;
+        let resp = http::format_response(status, &body, !closing);
+        ctx.charge(calibration::copy_cost(resp.len()));
+        self.lib.send(ctx, fd, resp);
+        if closing {
+            self.lib.close(ctx, fd);
+        }
+    }
+}
+
+impl Process<Msg> for WebServerProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {
+                self.lib.init(ctx);
+                self.lib.listen(ctx, self.port);
+            }
+            Event::Timer { .. } => {}
+            Event::Message { msg, .. } => {
+                let before_lost = self.lib.lost_to_crash;
+                for le in self.lib.handle(ctx, &msg) {
+                    match le {
+                        LibEvent::ListenReady { .. } => {}
+                        LibEvent::Accepted { fd, .. } => {
+                            ctx.charge(calibration::WEB_ACCEPT);
+                            let mut m = self.metrics.borrow_mut();
+                            m.conns_accepted += 1;
+                            if let Some(pid) = self.lib.replica_of(fd) {
+                                m.served_by.push(pid.0);
+                            }
+                            drop(m);
+                            self.conns.insert(
+                                fd,
+                                ConnState {
+                                    parser: http::StreamParser::new(),
+                                    requests_served: 0,
+                                    closing: false,
+                                },
+                            );
+                        }
+                        LibEvent::Data { fd, data } => {
+                            ctx.charge(calibration::copy_cost(data.len()));
+                            let Some(st) = self.conns.get_mut(&fd) else {
+                                continue;
+                            };
+                            if st.closing {
+                                continue;
+                            }
+                            st.parser.push(&data);
+                            // Serve every complete pipelined request.
+                            loop {
+                                let Some(st) = self.conns.get_mut(&fd) else {
+                                    break;
+                                };
+                                if st.closing {
+                                    break;
+                                }
+                                match st.parser.next_request() {
+                                    Some(req) => self.handle_request(ctx, fd, req),
+                                    None => break,
+                                }
+                            }
+                        }
+                        LibEvent::Eof { fd } => {
+                            // Client is done with this connection.
+                            self.lib.close(ctx, fd);
+                        }
+                        LibEvent::Closed { fd, .. } => {
+                            self.conns.remove(&fd);
+                        }
+                        LibEvent::Connected { .. }
+                        | LibEvent::ConnectFailed { .. } => {}
+                    }
+                }
+                let lost = self.lib.lost_to_crash - before_lost;
+                if lost > 0 {
+                    self.metrics.borrow_mut().conns_lost_to_crash += lost;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! **Figure 12** — "12-core AMD - Comparing performance of different
+//! configurations stressed by the same workload": one request per
+//! connection (heavy connection churn), five stack configurations, six
+//! workload points: 1 server with 8/16/32/64 concurrent connections, 2
+//! servers with 32, and 4 servers with 64.
+//!
+//! Paper shape: at the 8-connection point a single multi-component replica
+//! beats two ("lightly loaded components often sleep, which introduces
+//! latency"); at higher loads more replicas win.
+
+use neat::config::NeatConfig;
+use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
+use neat_bench::{krps, windows, Table};
+
+struct Point {
+    servers: usize,
+    total_conns: usize,
+}
+
+fn measure(cfg: NeatConfig, p: &Point) -> f64 {
+    let mut spec = TestbedSpec::amd(cfg, p.servers);
+    // Spread the total connection count over enough client processes.
+    let clients = p.total_conns.min(8);
+    spec.clients = clients;
+    spec.workload = Workload {
+        conns_per_client: p.total_conns.div_ceil(clients),
+        requests_per_conn: 1, // the modified single-request test
+        ..Workload::default()
+    };
+    let (warm, win) = windows();
+    let mut tb = Testbed::build(spec);
+    tb.measure(warm, win).krps
+}
+
+fn main() {
+    let points = [
+        Point { servers: 1, total_conns: 8 },
+        Point { servers: 1, total_conns: 16 },
+        Point { servers: 1, total_conns: 32 },
+        Point { servers: 1, total_conns: 64 },
+        Point { servers: 2, total_conns: 32 },
+        Point { servers: 4, total_conns: 64 },
+    ];
+    let configs: &[(&str, NeatConfig)] = &[
+        ("NEaT 1x", NeatConfig::single(1)),
+        ("NEaT 2x", NeatConfig::single(2)),
+        ("NEaT 3x", NeatConfig::single(3)),
+        ("Multi 1x", NeatConfig::multi(1)),
+        ("Multi 2x", NeatConfig::multi(2)),
+    ];
+    let mut t = Table::new(
+        "Figure 12 — AMD: 1-request/connection workload, request rate (krps)",
+        &["config", "8", "16", "32", "64", "2srv,32", "4srv,64"],
+    );
+    for (name, cfg) in configs {
+        let mut cells = vec![name.to_string()];
+        for p in &points {
+            cells.push(krps(measure(cfg.clone(), p)));
+        }
+        t.row(&cells);
+    }
+    t.emit("fig12");
+    println!(
+        "Paper shape: at 8 connections Multi 1x beats Multi 2x (sleep/wake\n\
+         latency dominates lightly-loaded replicas); replicas win at high load."
+    );
+}

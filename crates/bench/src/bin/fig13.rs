@@ -1,0 +1,129 @@
+//! **Figure 13** — "Expected fraction of state preserved after a failure
+//! vs max throughput across network stack setups" (Xeon).
+//!
+//! For each configuration we (a) measure its peak request rate and (b)
+//! compute the expected fraction of TCP state preserved after one
+//! uniformly-placed code fault, using the real component code sizes of
+//! this repository (§6.6's methodology). Both axes improve with the number
+//! of replicas — the paper's "reliability and scalability coexist" point.
+
+use neat::config::{NeatConfig, StackMode};
+use neat::fault::CodeSizes;
+use neat::reliability::expected_state_preserved;
+use neat_apps::scenario::{PlacementPlan, Testbed, TestbedSpec, Workload};
+use neat_bench::{krps, windows, Table};
+
+struct Config {
+    label: &'static str,
+    cfg: NeatConfig,
+    plan: PlacementPlan,
+    webs: usize,
+    cores: u32,
+    threads: u32,
+}
+
+fn peak(cfg: &Config) -> Option<f64> {
+    let mut spec = TestbedSpec::xeon(cfg.cfg.clone(), cfg.webs);
+    spec.placement = cfg.plan;
+    spec.workload = Workload {
+        conns_per_client: 24,
+        requests_per_conn: 100,
+        ..Workload::default()
+    };
+    let (warm, win) = windows();
+    std::panic::catch_unwind(move || {
+        let mut tb = Testbed::build(spec);
+        tb.measure(warm, win).krps
+    })
+    .ok()
+}
+
+fn main() {
+    let sizes = CodeSizes::measured();
+    let configs = [
+        Config {
+            label: "NEaT 1x",
+            cfg: NeatConfig::single(1),
+            plan: PlacementPlan::Dedicated,
+            webs: 4,
+            cores: 1,
+            threads: 1,
+        },
+        Config {
+            label: "NEaT 2x",
+            cfg: NeatConfig::single(2),
+            plan: PlacementPlan::Dedicated,
+            webs: 5,
+            cores: 2,
+            threads: 2,
+        },
+        Config {
+            label: "NEaT 3x",
+            cfg: NeatConfig::single(3),
+            plan: PlacementPlan::HtColocated,
+            webs: 8,
+            cores: 3,
+            threads: 3,
+        },
+        Config {
+            label: "NEaT 4x HT",
+            cfg: NeatConfig::single(4),
+            plan: PlacementPlan::HtColocated,
+            webs: 9,
+            cores: 2,
+            threads: 4,
+        },
+        Config {
+            label: "Multi 1x",
+            cfg: NeatConfig::multi(1),
+            plan: PlacementPlan::Dedicated,
+            webs: 4,
+            cores: 2,
+            threads: 2,
+        },
+        Config {
+            label: "Multi 2x",
+            cfg: NeatConfig::multi(2),
+            plan: PlacementPlan::Dedicated,
+            webs: 4,
+            cores: 4,
+            threads: 4,
+        },
+        Config {
+            label: "Multi 2x HT",
+            cfg: NeatConfig::multi(2),
+            plan: PlacementPlan::HtColocated,
+            webs: 8,
+            cores: 2,
+            threads: 4,
+        },
+    ];
+    let mut t = Table::new(
+        "Figure 13 — expected % of state preserved after a failure vs max throughput (Xeon)",
+        &["config", "stack cores", "threads", "max krps", "state preserved"],
+    );
+    for c in &configs {
+        let preserved = expected_state_preserved(
+            &sizes,
+            match c.cfg.mode {
+                StackMode::Single => StackMode::Single,
+                StackMode::Multi => StackMode::Multi,
+            },
+            c.cfg.replicas,
+        );
+        let max = peak(c);
+        t.row(&[
+            c.label.into(),
+            c.cores.to_string(),
+            c.threads.to_string(),
+            max.map(krps).unwrap_or_else(|| "-".into()),
+            format!("{:.1}%", preserved * 100.0),
+        ]);
+    }
+    t.emit("fig13");
+    println!(
+        "Paper shape: performance and reliability both increase with the\n\
+         number of replicas; multi-component preserves more state than\n\
+         single-component at equal replica counts (finer fault isolation)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Run the complete evaluation: every table and figure of §6, writing
+//! paper-shaped output to stdout and `results/*.txt`.
+//!
+//! `NEAT_BENCH_QUICK=1` shortens measurement windows for a fast pass;
+//! `NEAT_TABLE3_RUNS=N` controls the fault-injection campaign size.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "fig4_5", "fig7", "fig9", "fig11", "fig12", "table2", "table3", "fig13",
+        "security", "ablations",
+    ];
+    let _ = std::fs::remove_dir_all("results");
+    let exe = std::env::current_exe().expect("self path");
+    let dir = exe.parent().expect("bin dir");
+    for b in bins {
+        println!("\n=== {b} ===");
+        let status = Command::new(dir.join(b))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
+        assert!(status.success(), "{b} failed");
+    }
+    println!("\nAll experiments complete; outputs collected under results/.");
+}

@@ -1,0 +1,78 @@
+//! **§3.8 security experiment** (not a numbered figure in the paper, which
+//! states the property qualitatively): measure the address-space
+//! re-randomization that replication provides for free.
+//!
+//! Every replica (re)starts with a fresh ASLR layout; every new connection
+//! is bound to a random replica (library side) or hashed to one (NIC
+//! side). An attacker probing the server over consecutive connections
+//! therefore faces an unpredictable memory layout. We measure, on live
+//! testbeds: the layout entropy of the assignment stream, the probability
+//! two consecutive connections share a layout, and the growth of distinct
+//! layouts when crashes re-randomize replicas.
+
+use neat::config::NeatConfig;
+use neat::msg::Msg;
+use neat::security::AslrObserver;
+use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
+use neat_bench::Table;
+use neat_sim::Time;
+
+fn observe(replicas: usize, crash_one: bool) -> (AslrObserver, usize) {
+    let mut spec = TestbedSpec::amd(NeatConfig::single(replicas), 3);
+    spec.clients = 6;
+    spec.workload = Workload {
+        conns_per_client: 4,
+        requests_per_conn: 5, // high connection churn = many assignments
+        ..Workload::default()
+    };
+    let mut tb = Testbed::build(spec);
+    tb.sim.run_until(Time::from_millis(300));
+    if crash_one {
+        let pid = tb.deployment.comp_pids[0][0].1;
+        tb.sim.send_external(pid, Msg::Poison);
+    }
+    tb.sim.run_until(tb.sim.now() + Time::from_millis(300));
+    let mut obs = AslrObserver::new();
+    for m in &tb.web_metrics {
+        for pid in &m.borrow().served_by {
+            obs.record(*pid);
+        }
+    }
+    let n = obs.len();
+    (obs, n)
+}
+
+fn main() {
+    let mut t = Table::new(
+        "§3.8 — layout unpredictability across consecutive connections",
+        &[
+            "config",
+            "connections",
+            "distinct layouts",
+            "entropy (bits)",
+            "P(same layout twice)",
+        ],
+    );
+    for (label, replicas, crash) in [
+        ("NEaT 1x", 1usize, false),
+        ("NEaT 2x", 2, false),
+        ("NEaT 3x", 3, false),
+        ("NEaT 3x + crash", 3, true),
+    ] {
+        let (obs, n) = observe(replicas, crash);
+        t.row(&[
+            label.into(),
+            n.to_string(),
+            obs.distinct_layouts().to_string(),
+            format!("{:.2}", obs.entropy_bits().max(0.0)),
+            format!("{:.2}", obs.consecutive_same_fraction()),
+        ]);
+    }
+    t.emit("security");
+    println!(
+        "A monolithic stack is one process: zero bits of layout entropy and\n\
+         P(same)=1. With N replicas the attacker faces ~log2(N) bits per\n\
+         connection, and each crash-recovery *adds* a fresh layout —\n\
+         re-randomization as a by-product of stateless recovery (§3.8)."
+    );
+}

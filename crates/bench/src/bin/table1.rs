@@ -1,0 +1,39 @@
+//! **Table 1** — "Request rate breakdown per option tuned, with 12
+//! concurrent httperf instances, each opening 1000 connections, with 1000
+//! requests for a 20 byte file per connection."
+//!
+//! Paper (AMD, 12 cores): defaults 184.118 | +sched+eth+irqAff+rxAff
+//! 186.667 | +serv 223.987 krps.
+
+use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Workload};
+use neat_bench::{krps, windows, Table};
+use neat_monolith::MonoTuning;
+
+fn run_row(tuning: MonoTuning) -> f64 {
+    let mut spec = MonoTestbedSpec::amd(tuning);
+    spec.workload = Workload {
+        conns_per_client: 48,
+        requests_per_conn: 1000,
+        ..Workload::default()
+    };
+    let (warm, win) = windows();
+    let mut tb = MonoTestbed::build(spec);
+    tb.measure(warm, win).krps
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Table 1 — Linux request rate per tuning option (AMD, 12 cores)",
+        &["Option Tuned", "paper krps", "measured krps"],
+    );
+    for (tuning, paper) in [
+        (MonoTuning::defaults(), 184.118),
+        (MonoTuning::affinities(), 186.667),
+        (MonoTuning::best(), 223.987),
+    ] {
+        let name = tuning.name.clone();
+        let measured = run_row(tuning);
+        t.row(&[name, format!("{paper:.3}"), krps(measured)]);
+    }
+    t.emit("table1");
+}

@@ -1,0 +1,269 @@
+//! Boot builder: assembles a NEaT deployment on a simulated machine.
+//!
+//! Spawns the NIC device engines, the driver, the stack replicas (single-
+//! or multi-component), the SYSCALL server, and the supervisor, and wires
+//! them together in dependency order. Application processes are added by
+//! the workload crates afterwards.
+
+use crate::config::{NeatConfig, StackMode};
+use crate::driver::DriverProc;
+use crate::ip_comp::IpProc;
+use crate::msg::{Msg, NeighborRole};
+use crate::nic_proc::{default_server_nic, NicMode, NicProc};
+use crate::pf_comp::PfProc;
+use crate::stack_single::SingleStackProc;
+use crate::supervisor::{Role, SupStats, Supervisor};
+use crate::syscall::SyscallProc;
+use crate::tcp_comp::TcpProc;
+use crate::udp_comp::UdpProc;
+use neat_net::MacAddr;
+use neat_nic::{FaultInjector, Nic, NicConfig};
+use neat_sim::{HwThreadId, MachineId, ProcId, Sim};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Hardware-thread assignments for one replica.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplicaSlots {
+    /// Single-component: the whole stack on one thread.
+    Single(HwThreadId),
+    /// Multi-component: TCP on its own thread; IP (plus the colocated PF
+    /// and UDP processes) on another — matching the paper's layouts where
+    /// only TCP and IP get dedicated cores (Figure 6a).
+    Multi { tcp: HwThreadId, ip: HwThreadId },
+}
+
+/// Thread assignments for the OS side of the machine.
+#[derive(Debug, Clone)]
+pub struct NeatSlots {
+    /// Supervisor + "all the remaining operating system processes" (§6.3).
+    pub os: HwThreadId,
+    pub syscall: HwThreadId,
+    pub driver: HwThreadId,
+    pub replicas: Vec<ReplicaSlots>,
+    /// Spare threads the supervisor may use for scale-up.
+    pub spare: Vec<HwThreadId>,
+}
+
+/// Everything the harness needs to talk to a booted deployment.
+pub struct NeatDeployment {
+    pub machine: MachineId,
+    pub nic: ProcId,
+    pub driver: ProcId,
+    pub syscall: ProcId,
+    pub supervisor: ProcId,
+    /// Socket-owning head per replica (TCP comp or single stack).
+    pub sockets_heads: Vec<ProcId>,
+    /// All component pids per replica (fault-injection targets).
+    pub comp_pids: Vec<Vec<(Role, ProcId)>>,
+    pub sup_stats: Rc<RefCell<SupStats>>,
+    pub config: NeatConfig,
+}
+
+/// Spawn a NIC device engine on `machine`. Returns its pid; wire the peer
+/// with [`wire_link`] once both ends exist.
+pub fn spawn_nic(
+    sim: &mut Sim<Msg>,
+    machine: MachineId,
+    name: &str,
+    queues: usize,
+    mode_server: bool,
+) -> ProcId {
+    let dev = sim.add_device_thread(machine);
+    let nic: Nic = if mode_server {
+        default_server_nic(queues)
+    } else {
+        Nic::new(
+            NicConfig {
+                queue_pairs: 1,
+                ..Default::default()
+            },
+            FaultInjector::disabled(0xC11E27),
+        )
+    };
+    let mode = if mode_server {
+        NicMode::Server {
+            driver: ProcId(0), // wired later
+        }
+    } else {
+        NicMode::ClientHub
+    };
+    sim.spawn(dev, Box::new(NicProc::new(name, nic, mode)))
+}
+
+/// Connect two NIC processes back-to-back (the 10GbE DAC cable).
+pub fn wire_link(sim: &mut Sim<Msg>, a: ProcId, b: ProcId) {
+    sim.send_external(
+        a,
+        Msg::SetNeighbor {
+            role: NeighborRole::PeerNic,
+            pid: b,
+        },
+    );
+    sim.send_external(
+        b,
+        Msg::SetNeighbor {
+            role: NeighborRole::PeerNic,
+            pid: a,
+        },
+    );
+}
+
+/// Boot a full NEaT deployment. The server NIC must already exist.
+pub fn boot_neat(
+    sim: &mut Sim<Msg>,
+    machine: MachineId,
+    cfg: NeatConfig,
+    slots: NeatSlots,
+    nic: ProcId,
+    arp_seed: Vec<(Ipv4Addr, MacAddr)>,
+) -> NeatDeployment {
+    assert_eq!(
+        slots.replicas.len(),
+        cfg.replicas,
+        "slot count must match replica count"
+    );
+    // --- driver ---
+    let driver = sim.spawn(
+        slots.driver,
+        Box::new(DriverProc::new("drv", nic, cfg.replicas)),
+    );
+    sim.send_external(
+        nic,
+        Msg::SetNeighbor {
+            role: NeighborRole::Driver,
+            pid: driver,
+        },
+    );
+
+    // --- replicas ---
+    let mut sockets_heads = Vec::new();
+    let mut comp_pids: Vec<Vec<(Role, ProcId)>> = Vec::new();
+    let mut registry: Vec<(usize, Vec<(Role, ProcId, HwThreadId)>)> = Vec::new();
+    for (q, rslot) in slots.replicas.iter().enumerate() {
+        match (*rslot, cfg.mode) {
+            (ReplicaSlots::Single(t), StackMode::Single) => {
+                let proc = SingleStackProc::new(
+                    format!("neat.{q}"),
+                    q,
+                    driver,
+                    ProcId(0), // learns the supervisor from Terminate
+                    cfg.ip,
+                    cfg.mac,
+                    cfg.tcp.clone(),
+                    arp_seed.clone(),
+                );
+                let pid = sim.spawn(t, Box::new(proc));
+                sockets_heads.push(pid);
+                comp_pids.push(vec![(Role::Single, pid)]);
+                registry.push((q, vec![(Role::Single, pid, t)]));
+            }
+            (ReplicaSlots::Multi { tcp: t_tcp, ip: t_ip }, StackMode::Multi) => {
+                let tcp = sim.spawn(
+                    t_tcp,
+                    Box::new(TcpProc::new(
+                        format!("tcp.{q}"),
+                        q,
+                        ProcId(0),
+                        None,
+                        cfg.ip,
+                        cfg.tcp.clone(),
+                    )),
+                );
+                let udp = sim.spawn(
+                    t_ip,
+                    Box::new(UdpProc::new(format!("udp.{q}"), q, None, cfg.ip)),
+                );
+                let ip = sim.spawn(
+                    t_ip,
+                    Box::new(IpProc::new(
+                        format!("ip.{q}"),
+                        q,
+                        driver,
+                        Some(tcp),
+                        Some(udp),
+                        cfg.ip,
+                        cfg.mac,
+                        arp_seed.clone(),
+                    )),
+                );
+                let pf = sim.spawn(
+                    t_ip,
+                    Box::new(PfProc::new(format!("pf.{q}"), q, driver, Some(ip), Vec::new())),
+                );
+                sim.send_external(
+                    tcp,
+                    Msg::SetNeighbor {
+                        role: NeighborRole::Ip,
+                        pid: ip,
+                    },
+                );
+                sim.send_external(
+                    udp,
+                    Msg::SetNeighbor {
+                        role: NeighborRole::Ip,
+                        pid: ip,
+                    },
+                );
+                sockets_heads.push(tcp);
+                comp_pids.push(vec![
+                    (Role::Tcp, tcp),
+                    (Role::Ip, ip),
+                    (Role::Pf, pf),
+                    (Role::Udp, udp),
+                ]);
+                registry.push((
+                    q,
+                    vec![
+                        (Role::Tcp, tcp, t_tcp),
+                        (Role::Udp, udp, t_ip),
+                        (Role::Ip, ip, t_ip),
+                        (Role::Pf, pf, t_ip),
+                    ],
+                ));
+            }
+            _ => panic!("replica slot kind does not match stack mode"),
+        }
+    }
+
+    // --- SYSCALL server ---
+    let syscall = sim.spawn(
+        slots.syscall,
+        Box::new(SyscallProc::new("syscall", sockets_heads.clone())),
+    );
+
+    // --- supervisor (crash monitor) ---
+    let sup_stats = Rc::new(RefCell::new(SupStats::default()));
+    let mut sup = Supervisor::new(
+        "os.supervisor",
+        cfg.clone(),
+        arp_seed,
+        nic,
+        driver,
+        slots.driver,
+        syscall,
+        slots.spare.clone(),
+        sup_stats.clone(),
+    );
+    for (q, comps) in registry {
+        sup.register_replica(q, comps);
+    }
+    let supervisor = sim.spawn(slots.os, Box::new(sup));
+    sim.set_crash_monitor(supervisor, |pid, name| Msg::Crashed {
+        pid,
+        name: name.to_string(),
+    });
+
+    NeatDeployment {
+        machine,
+        nic,
+        driver,
+        syscall,
+        supervisor,
+        sockets_heads,
+        comp_pids,
+        sup_stats,
+        config: cfg,
+    }
+}

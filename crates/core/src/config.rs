@@ -1,0 +1,84 @@
+//! NEaT deployment configuration.
+
+use neat_tcp::TcpConfig;
+use std::net::Ipv4Addr;
+
+/// Single- vs multi-component replicas (§3.7, compile-time in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackMode {
+    /// Whole stack (PF+IP+TCP+UDP logic) in one process per replica —
+    /// `NEaT Nx` in the figures.
+    Single,
+    /// Each replica vertically split into isolated PF, IP, TCP, and UDP
+    /// processes — `Multi Nx` in the figures. More cores, more isolation.
+    Multi,
+}
+
+/// Configuration of one NEaT deployment on a server machine.
+#[derive(Debug, Clone)]
+pub struct NeatConfig {
+    pub mode: StackMode,
+    /// Initial number of stack replicas.
+    pub replicas: usize,
+    /// The server's IP address (all replicas share it; the NIC partitions
+    /// flows between them).
+    pub ip: Ipv4Addr,
+    /// The server NIC's MAC address.
+    pub mac: neat_net::MacAddr,
+    /// TCP engine tunables (control-plane settings, §4).
+    pub tcp: TcpConfig,
+    /// Delay to create and boot a replica process (spawn latency, §3.4).
+    pub spawn_delay_ns: u64,
+    /// Crash-to-restart delay for the supervisor's recovery path (§3.6).
+    pub recovery_delay_ns: u64,
+}
+
+impl Default for NeatConfig {
+    fn default() -> Self {
+        NeatConfig {
+            mode: StackMode::Single,
+            replicas: 2,
+            ip: Ipv4Addr::new(192, 168, 69, 1),
+            mac: neat_net::MacAddr::local(1),
+            tcp: TcpConfig {
+                // LAN-scale RTO floor for the simulated testbed.
+                initial_rto_ns: 20_000_000,
+                // The i82599 offers TSO; hand it 61 KB super-segments.
+                gso_burst: 61_440,
+                ..TcpConfig::default()
+            },
+            spawn_delay_ns: 2_000_000,    // 2 ms to fork+exec a replica
+            recovery_delay_ns: 5_000_000, // 5 ms crash-detect + restart
+        }
+    }
+}
+
+impl NeatConfig {
+    pub fn single(replicas: usize) -> NeatConfig {
+        NeatConfig {
+            mode: StackMode::Single,
+            replicas,
+            ..Default::default()
+        }
+    }
+
+    pub fn multi(replicas: usize) -> NeatConfig {
+        NeatConfig {
+            mode: StackMode::Multi,
+            replicas,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(NeatConfig::single(3).mode, StackMode::Single);
+        assert_eq!(NeatConfig::single(3).replicas, 3);
+        assert_eq!(NeatConfig::multi(2).mode, StackMode::Multi);
+    }
+}

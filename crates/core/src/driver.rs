@@ -1,0 +1,133 @@
+//! The NIC driver process.
+//!
+//! One single-threaded process on its own core (§3.5: the paper never
+//! needed to scale the driver — 10G line rate fits on one core). It moves
+//! frames between the NIC's queues and the per-replica channels, and it is
+//! the enforcement point of the recovery protocol: while a replica is down
+//! the driver "does not pass any packets to the recovering replica until it
+//! announces itself again" (§3.6).
+
+use crate::msg::Msg;
+use neat_sim::{calibration, Ctx, Event, ProcId, Process, Time};
+
+/// The NIC driver.
+pub struct DriverProc {
+    pub name: String,
+    /// The NIC device this driver serves.
+    nic: ProcId,
+    /// Head process of each replica's ingress pipeline, indexed by queue.
+    /// `None` while the replica is down (recovery hold).
+    heads: Vec<Option<ProcId>>,
+    /// Frames dropped because the replica was down.
+    pub held_dropped: u64,
+    pub rx_forwarded: u64,
+    pub tx_forwarded: u64,
+    /// End of the last descriptor operation (batch amortization).
+    last_op_ns: u64,
+}
+
+impl DriverProc {
+    pub fn new(name: impl Into<String>, nic: ProcId, queues: usize) -> DriverProc {
+        DriverProc {
+            name: name.into(),
+            nic,
+            heads: vec![None; queues],
+            held_dropped: 0,
+            rx_forwarded: 0,
+            tx_forwarded: 0,
+            last_op_ns: 0,
+        }
+    }
+
+    /// NAPI-style batching: descriptor work within a batch window is much
+    /// cheaper than the first (cold) packet of a batch.
+    fn desc_cost(&mut self, now: u64, cold: u64, batched: u64) -> u64 {
+        let cost = if now.saturating_sub(self.last_op_ns) <= calibration::DRV_BATCH_WINDOW_NS {
+            batched
+        } else {
+            cold
+        };
+        self.last_op_ns = now;
+        cost
+    }
+}
+
+impl Process<Msg> for DriverProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        let Event::Message { msg, .. } = ev else {
+            return;
+        };
+        match msg {
+            // --- RX path: NIC queue -> replica pipeline head.
+            Msg::RxFrame { queue, frame } => {
+                let now = ctx.now().as_nanos();
+                let cost = self.desc_cost(
+                    now,
+                    calibration::DRV_RX_PKT,
+                    calibration::DRV_RX_PKT_BATCHED,
+                );
+                ctx.charge(cost);
+                match self.heads.get(queue).copied().flatten() {
+                    Some(head) if ctx.is_alive(head) => {
+                        self.rx_forwarded += 1;
+                        ctx.send(head, Msg::NetRx(frame));
+                    }
+                    _ => {
+                        // Replica down: hold (drop) until it re-announces.
+                        // TCP retransmission absorbs the gap (§3.6).
+                        self.held_dropped += 1;
+                    }
+                }
+            }
+            // --- TX path: any stack component -> NIC.
+            Msg::NetTx(frame) => {
+                let now = ctx.now().as_nanos();
+                let cost = self.desc_cost(
+                    now,
+                    calibration::DRV_TX_PKT,
+                    calibration::DRV_TX_PKT_BATCHED,
+                );
+                ctx.charge(cost);
+                self.tx_forwarded += 1;
+                ctx.send(self.nic, Msg::HostTx(frame));
+            }
+            // --- Replica lifecycle.
+            Msg::Announce { queue, head } => {
+                if queue >= self.heads.len() {
+                    self.heads.resize(queue + 1, None);
+                }
+                self.heads[queue] = Some(head);
+            }
+            Msg::ReplicaDown { queue } => {
+                if let Some(h) = self.heads.get_mut(queue) {
+                    *h = None;
+                }
+            }
+            // --- NIC control plane, forwarded to the device.
+            Msg::NicAddFilter { flow, queue } => {
+                ctx.charge(calibration::DRV_TX_PKT); // PCI write cost
+                ctx.send(self.nic, Msg::NicAddFilter { flow, queue });
+            }
+            Msg::NicSetAccepting { queue, accepting } => {
+                ctx.send(self.nic, Msg::NicSetAccepting { queue, accepting });
+            }
+            Msg::NicGrowQueues { n } => {
+                if n > self.heads.len() {
+                    self.heads.resize(n, None);
+                }
+                ctx.send(self.nic, Msg::NicGrowQueues { n });
+            }
+            // --- Fault injection.
+            Msg::Poison => ctx.crash_self(),
+            _ => {}
+        }
+    }
+}
+
+/// How long the driver waits before polling an empty queue again when
+/// sharing a core (unused on dedicated cores — the MWAIT model covers it).
+pub const DRIVER_IDLE_REPOLL: Time = Time(20_000);

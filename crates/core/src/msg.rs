@@ -1,0 +1,182 @@
+//! The message vocabulary of the simulated NewtOS system.
+//!
+//! Every interaction between processes — frames on the wire, driver/replica
+//! queues, the socket fast path between applications and stack replicas,
+//! SYSCALL traffic, and supervisor control — is one of these messages.
+//! There is deliberately no other channel: this enum *is* the attack
+//! surface, the failure surface, and the performance surface of the system.
+
+use neat_sim::ProcId;
+use std::net::Ipv4Addr;
+
+/// A connection as the application library sees it: which stack replica
+/// owns it and the socket id inside that replica. The POSIX library maps
+/// file descriptors to these handles behind the scenes (§3.3: "the library
+/// only translates between socket numbers and the internal communication
+/// channels").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnHandle {
+    /// The stack (TCP component) process owning the connection.
+    pub stack: ProcId,
+    /// Socket id within that stack instance.
+    pub sock: neat_tcp::SocketId,
+}
+
+/// All inter-process messages.
+#[derive(Debug)]
+pub enum Msg {
+    // ------------------------------------------------------------------
+    // Wire and device plane
+    // ------------------------------------------------------------------
+    /// An Ethernet frame travelling on the link between the two NICs.
+    WireFrame(Vec<u8>),
+    /// NIC → driver: a received frame, already steered to a queue.
+    RxFrame { queue: usize, frame: Vec<u8> },
+    /// Driver → NIC: transmit this frame (NIC applies TSO).
+    HostTx(Vec<u8>),
+    /// Driver → NIC control plane: add an exact-match steering filter.
+    NicAddFilter { flow: neat_net::FlowKey, queue: usize },
+    /// Driver → NIC control plane: queues accepting new flows (§3.4).
+    NicSetAccepting { queue: usize, accepting: bool },
+    /// Driver → NIC control plane: grow to `n` queue pairs (scale-up).
+    NicGrowQueues { n: usize },
+    /// Control plane: enable/disable the NIC's flow-tracking filters
+    /// (ablation hook; always on in the paper's envisioned hardware).
+    NicSetTracking { on: bool },
+
+    // ------------------------------------------------------------------
+    // Driver ↔ stack components
+    // ------------------------------------------------------------------
+    /// Driver → first stack component of a replica: an inbound frame.
+    NetRx(Vec<u8>),
+    /// Stack component → driver: an outbound frame.
+    NetTx(Vec<u8>),
+    /// A (re)started replica announces itself to the driver: frames for
+    /// `queue` may flow again (§3.6: the driver withholds packets until the
+    /// recovering replica "announces itself again").
+    Announce { queue: usize, head: ProcId },
+
+    // ------------------------------------------------------------------
+    // Multi-component pipeline (PF → IP → TCP/UDP)
+    // ------------------------------------------------------------------
+    /// Packet filter → IP: an accepted inbound frame.
+    PfPass(Vec<u8>),
+    /// IP → TCP: a validated TCP segment (payload bytes after the IP
+    /// header) with the source address.
+    IpRxTcp { src: Ipv4Addr, seg: Vec<u8> },
+    /// IP → UDP: a validated UDP datagram.
+    IpRxUdp { src: Ipv4Addr, dgram: Vec<u8> },
+    /// TCP/UDP → IP: emit this transport payload to `dst`.
+    IpTx { dst: Ipv4Addr, protocol: u8, payload: Vec<u8> },
+    /// Supervisor → component: (re)wire a pipeline neighbour.
+    SetNeighbor { role: NeighborRole, pid: ProcId },
+
+    // ------------------------------------------------------------------
+    // Socket fast path (application library ↔ stack replica), §3.2
+    // ------------------------------------------------------------------
+    /// App → replica: create a listening subsocket on `port`; deliver
+    /// incoming connections to `app`.
+    Listen { port: u16, app: ProcId },
+    /// Replica → app: subsocket created.
+    ListenOk { port: u16 },
+    /// App → replica: active open to `remote` for `app`.
+    Connect { remote: (Ipv4Addr, u16), app: ProcId, token: u64 },
+    /// Replica → app: active open completed.
+    ConnOpen { conn: ConnHandle, token: u64 },
+    /// Replica → app: active open failed.
+    ConnFailed { token: u64 },
+    /// Replica → app: a new accepted connection on a listening port.
+    Incoming { port: u16, conn: ConnHandle },
+    /// App → replica: send bytes on a connection (shared-memory socket
+    /// buffer write + notification).
+    ConnSend { sock: neat_tcp::SocketId, data: Vec<u8> },
+    /// Replica → app: received bytes.
+    ConnData { conn: ConnHandle, data: Vec<u8> },
+    /// App → replica: close (graceful).
+    ConnClose { sock: neat_tcp::SocketId },
+    /// Replica → app: the peer closed its direction (EOF after data).
+    ConnEof { conn: ConnHandle },
+    /// Replica → app: connection fully closed (or aborted).
+    ConnClosed { conn: ConnHandle, aborted: bool },
+
+    // ------------------------------------------------------------------
+    // UDP socket plane (stateless datagram service)
+    // ------------------------------------------------------------------
+    /// App → replica (UDP component): bind a datagram port.
+    UdpBind { port: u16, app: ProcId },
+    /// App → replica: send a datagram.
+    UdpTx { src_port: u16, dst: (Ipv4Addr, u16), data: Vec<u8> },
+    /// Replica → app: a datagram arrived on a bound port.
+    UdpData { port: u16, src: (Ipv4Addr, u16), data: Vec<u8> },
+
+    // ------------------------------------------------------------------
+    // SYSCALL server (slow path), §3.1
+    // ------------------------------------------------------------------
+    /// App → SYSCALL: replicate a listening socket across all replicas.
+    SysListen { port: u16, app: ProcId },
+    /// SYSCALL → app: all subsockets are in place.
+    SysListenDone { port: u16 },
+    /// App → SYSCALL: miscellaneous slow-path call (modelled load).
+    SysCall { token: u64 },
+    /// SYSCALL → app: slow-path reply.
+    SysReply { token: u64 },
+
+    // ------------------------------------------------------------------
+    // Supervisor / reincarnation server, §3.6 & §3.4
+    // ------------------------------------------------------------------
+    /// Engine-generated crash notification (registered hook).
+    Crashed { pid: ProcId, name: String },
+    /// Supervisor → driver: replica for `queue` died; hold its packets.
+    ReplicaDown { queue: usize },
+    /// Supervisor → apps: a stack replica was restarted; connection
+    /// handles on `old` are dead, `new` is the replacement.
+    ReplicaRestarted { old: ProcId, new: ProcId },
+    /// Supervisor → apps/syscall: a brand-new replica joined (scale-up).
+    ReplicaAdded { stack: ProcId },
+    /// Supervisor → apps/syscall: a replica was garbage-collected after
+    /// draining (scale-down completed).
+    ReplicaRemoved { stack: ProcId },
+    /// App → supervisor: register for replica lifecycle notifications.
+    RegisterApp { app: ProcId },
+    /// Harness → supervisor: scale the stack up by one replica.
+    ScaleUp,
+    /// Harness → supervisor: scale down by one replica (lazy termination).
+    ScaleDown,
+    /// Replica → supervisor: my connection count dropped to zero while in
+    /// termination state — garbage-collect me.
+    Drained { queue: usize },
+    /// Supervisor → replica: enter termination state (no new connections;
+    /// exit when drained).
+    Terminate,
+
+    // ------------------------------------------------------------------
+    // Fault injection (Table 3)
+    // ------------------------------------------------------------------
+    /// Harness → any component: an injected fault activates — crash.
+    Poison,
+
+    // ------------------------------------------------------------------
+    // Application-level control (used by the workload crates)
+    // ------------------------------------------------------------------
+    /// Generic app kick/timer payload for workload processes.
+    AppTick { token: u64 },
+}
+
+/// Pipeline neighbour roles for multi-component rewiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborRole {
+    /// The driver this component transmits through.
+    Driver,
+    /// The packet filter ahead of IP.
+    PacketFilter,
+    /// The IP component.
+    Ip,
+    /// The TCP component.
+    Tcp,
+    /// The UDP component.
+    Udp,
+    /// The NIC at the other end of the link (device wiring).
+    PeerNic,
+    /// The supervisor / reincarnation server.
+    Supervisor,
+}

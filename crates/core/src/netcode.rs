@@ -1,0 +1,316 @@
+//! Shared link/network-layer logic: frame classification, ARP resolution,
+//! ICMP echo, and IP/Ethernet encapsulation.
+//!
+//! Both the single-component replica and the multi-component IP process
+//! embed a [`FrameIo`]; the httperf-side library stacks reuse it too. This
+//! is pure protocol code — the owning process charges the CPU costs.
+
+use neat_net::arp::{ArpCache, ArpOp, ArpPacket};
+use neat_net::ethernet::{EtherType, EthernetFrame, MacAddr};
+use neat_net::icmp::IcmpMessage;
+use neat_net::ipv4::{IpProtocol, Ipv4Header};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// What an inbound frame turned out to be.
+#[derive(Debug)]
+pub enum RxClass {
+    /// A TCP segment for us: (source ip, raw TCP bytes).
+    Tcp { src: Ipv4Addr, seg: Vec<u8> },
+    /// A UDP datagram for us: (source ip, raw UDP bytes).
+    Udp { src: Ipv4Addr, dgram: Vec<u8> },
+    /// An ICMP message for us (echo handled internally; surfaced for
+    /// accounting).
+    Icmp { src: Ipv4Addr },
+    /// ARP handled internally (cache update / reply queued).
+    Arp,
+    /// Not for us / unparseable / checksum failure — dropped.
+    Dropped,
+}
+
+/// Per-instance link/network state.
+#[derive(Debug)]
+pub struct FrameIo {
+    pub ip: Ipv4Addr,
+    pub mac: MacAddr,
+    arp: ArpCache,
+    /// Packets awaiting ARP resolution, keyed by next-hop IP.
+    pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
+    /// Frames ready to go out on the wire.
+    out: Vec<Vec<u8>>,
+    /// Last time an ARP request was sent per destination (rate limit).
+    last_arp_req: HashMap<Ipv4Addr, u64>,
+    pub rx_bad_checksum: u64,
+    pub rx_not_for_us: u64,
+}
+
+impl FrameIo {
+    pub fn new(ip: Ipv4Addr, mac: MacAddr) -> FrameIo {
+        FrameIo {
+            ip,
+            mac,
+            arp: ArpCache::new(),
+            pending: HashMap::new(),
+            out: Vec::new(),
+            last_arp_req: HashMap::new(),
+            rx_bad_checksum: 0,
+            rx_not_for_us: 0,
+        }
+    }
+
+    /// Pre-seed the neighbour cache (static ARP, as on the paper's
+    /// two-machine DAC testbed).
+    pub fn seed_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp.insert(ip, mac, 0);
+        // Keep the entry permanently fresh for static seeding.
+        self.arp.insert(ip, mac, u64::MAX / 2);
+    }
+
+    /// Classify one inbound Ethernet frame, handling ARP and ICMP echo
+    /// internally. Any generated replies are queued for [`Self::drain`].
+    pub fn classify_rx(&mut self, frame: &[u8], now_ns: u64) -> RxClass {
+        let Ok((eth, off)) = EthernetFrame::parse(frame) else {
+            self.rx_not_for_us += 1;
+            return RxClass::Dropped;
+        };
+        if eth.dst != self.mac && !eth.dst.is_broadcast() {
+            self.rx_not_for_us += 1;
+            return RxClass::Dropped;
+        }
+        match eth.ethertype {
+            EtherType::Arp => {
+                let Ok(arp) = ArpPacket::parse(&frame[off..]) else {
+                    return RxClass::Dropped;
+                };
+                self.arp.insert(arp.sender_ip, arp.sender_mac, now_ns);
+                self.flush_pending(arp.sender_ip, now_ns);
+                if arp.op == ArpOp::Request && arp.target_ip == self.ip {
+                    let reply = ArpPacket::reply_to(&arp, self.mac);
+                    let f = EthernetFrame {
+                        dst: arp.sender_mac,
+                        src: self.mac,
+                        ethertype: EtherType::Arp,
+                    }
+                    .emit(&reply.emit());
+                    self.out.push(f);
+                }
+                RxClass::Arp
+            }
+            EtherType::Ipv4 => {
+                let Ok((ip, payload)) = Ipv4Header::parse(&frame[off..]) else {
+                    self.rx_bad_checksum += 1;
+                    return RxClass::Dropped;
+                };
+                if ip.dst != self.ip {
+                    self.rx_not_for_us += 1;
+                    return RxClass::Dropped;
+                }
+                let l4 = frame[off..][payload].to_vec();
+                match ip.protocol {
+                    IpProtocol::Tcp => RxClass::Tcp { src: ip.src, seg: l4 },
+                    IpProtocol::Udp => RxClass::Udp {
+                        src: ip.src,
+                        dgram: l4,
+                    },
+                    IpProtocol::Icmp => {
+                        if let Ok(m) = IcmpMessage::parse(&l4) {
+                            if let Some(reply) = IcmpMessage::reply_to(&m) {
+                                self.send_ip(ip.src, IpProtocol::Icmp, &reply.emit(), now_ns);
+                            }
+                        }
+                        RxClass::Icmp { src: ip.src }
+                    }
+                    IpProtocol::Unknown(_) => RxClass::Dropped,
+                }
+            }
+            EtherType::Unknown(_) => RxClass::Dropped,
+        }
+    }
+
+    /// Encapsulate and queue an IP packet to `dst`, resolving the MAC via
+    /// ARP (packets queue while a request is outstanding).
+    pub fn send_ip(&mut self, dst: Ipv4Addr, protocol: IpProtocol, payload: &[u8], now_ns: u64) {
+        let pkt = Ipv4Header::new(self.ip, dst, protocol, payload.len()).emit(payload);
+        match self.arp.lookup(dst, now_ns) {
+            Some(mac) => {
+                let f = EthernetFrame {
+                    dst: mac,
+                    src: self.mac,
+                    ethertype: EtherType::Ipv4,
+                }
+                .emit(&pkt);
+                self.out.push(f);
+            }
+            None => {
+                self.pending.entry(dst).or_default().push(pkt);
+                // Rate-limit ARP requests to one per second per target
+                // (smoltcp behaviour).
+                let due = self
+                    .last_arp_req
+                    .get(&dst)
+                    .map(|t| now_ns.saturating_sub(*t) >= 1_000_000_000)
+                    .unwrap_or(true);
+                if due {
+                    self.last_arp_req.insert(dst, now_ns);
+                    let req = ArpPacket::request(self.mac, self.ip, dst);
+                    let f = EthernetFrame {
+                        dst: MacAddr::BROADCAST,
+                        src: self.mac,
+                        ethertype: EtherType::Arp,
+                    }
+                    .emit(&req.emit());
+                    self.out.push(f);
+                }
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, dst: Ipv4Addr, now_ns: u64) {
+        if let Some(pkts) = self.pending.remove(&dst) {
+            if let Some(mac) = self.arp.lookup(dst, now_ns) {
+                for pkt in pkts {
+                    let f = EthernetFrame {
+                        dst: mac,
+                        src: self.mac,
+                        ethertype: EtherType::Ipv4,
+                    }
+                    .emit(&pkt);
+                    self.out.push(f);
+                }
+            }
+        }
+    }
+
+    /// Take all frames queued for transmission.
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.out)
+    }
+
+    pub fn pending_arp(&self) -> usize {
+        self.pending.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 1);
+    const B_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 100);
+
+    fn a() -> FrameIo {
+        FrameIo::new(A_IP, MacAddr::local(1))
+    }
+    fn b() -> FrameIo {
+        FrameIo::new(B_IP, MacAddr::local(2))
+    }
+
+    #[test]
+    fn arp_resolution_round_trip() {
+        let mut a = a();
+        let mut b = b();
+        // A wants to send TCP to B without knowing B's MAC.
+        a.send_ip(B_IP, IpProtocol::Tcp, b"segment", 0);
+        let frames = a.drain();
+        assert_eq!(frames.len(), 1, "only the ARP request goes out");
+        assert_eq!(a.pending_arp(), 1);
+        // B receives the broadcast request and replies.
+        assert!(matches!(b.classify_rx(&frames[0], 0), RxClass::Arp));
+        let replies = b.drain();
+        assert_eq!(replies.len(), 1);
+        // A consumes the reply; the pending packet flushes.
+        assert!(matches!(a.classify_rx(&replies[0], 10), RxClass::Arp));
+        let flushed = a.drain();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(a.pending_arp(), 0);
+        // And B can classify the TCP frame.
+        match b.classify_rx(&flushed[0], 20) {
+            RxClass::Tcp { src, seg } => {
+                assert_eq!(src, A_IP);
+                assert_eq!(seg, b"segment");
+            }
+            other => panic!("expected TCP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_arp_skips_resolution() {
+        let mut a = a();
+        a.seed_arp(B_IP, MacAddr::local(2));
+        a.send_ip(B_IP, IpProtocol::Tcp, b"hi", 0);
+        let frames = a.drain();
+        assert_eq!(frames.len(), 1);
+        let (eth, _) = EthernetFrame::parse(&frames[0]).unwrap();
+        assert_eq!(eth.dst, MacAddr::local(2));
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+    }
+
+    #[test]
+    fn frames_for_other_hosts_dropped() {
+        let mut a = a();
+        let mut b = b();
+        b.seed_arp(A_IP, MacAddr::local(9)); // wrong MAC for A
+        b.send_ip(A_IP, IpProtocol::Tcp, b"x", 0);
+        let f = b.drain().remove(0);
+        assert!(matches!(a.classify_rx(&f, 0), RxClass::Dropped));
+        assert_eq!(a.rx_not_for_us, 1);
+    }
+
+    #[test]
+    fn icmp_echo_answered() {
+        let mut a = a();
+        let mut b = b();
+        a.seed_arp(B_IP, MacAddr::local(2));
+        b.seed_arp(A_IP, MacAddr::local(1));
+        let ping = IcmpMessage::EchoRequest {
+            ident: 7,
+            seq: 1,
+            data: vec![1, 2, 3],
+        };
+        b.send_ip(A_IP, IpProtocol::Icmp, &ping.emit(), 0);
+        let f = b.drain().remove(0);
+        assert!(matches!(a.classify_rx(&f, 0), RxClass::Icmp { .. }));
+        let reply_frames = a.drain();
+        assert_eq!(reply_frames.len(), 1);
+        match b.classify_rx(&reply_frames[0], 0) {
+            RxClass::Icmp { src } => assert_eq!(src, A_IP),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_ip_header_dropped() {
+        let mut a = a();
+        let mut b = b();
+        b.seed_arp(A_IP, MacAddr::local(1));
+        b.send_ip(A_IP, IpProtocol::Tcp, b"data", 0);
+        let mut f = b.drain().remove(0);
+        f[16] ^= 0xFF; // corrupt an IP header byte
+        assert!(matches!(a.classify_rx(&f, 0), RxClass::Dropped));
+        assert_eq!(a.rx_bad_checksum, 1);
+    }
+
+    #[test]
+    fn arp_requests_rate_limited() {
+        let mut a = a();
+        a.send_ip(B_IP, IpProtocol::Tcp, b"1", 0);
+        a.send_ip(B_IP, IpProtocol::Tcp, b"2", 1_000);
+        let frames = a.drain();
+        assert_eq!(frames.len(), 1, "second ARP within 1s suppressed");
+        assert_eq!(a.pending_arp(), 2);
+        // After a second, a new request may go out.
+        a.send_ip(B_IP, IpProtocol::Tcp, b"3", 1_500_000_000);
+        assert_eq!(a.drain().len(), 1);
+    }
+
+    #[test]
+    fn udp_classified() {
+        let mut a = a();
+        let mut b = b();
+        b.seed_arp(A_IP, MacAddr::local(1));
+        let dgram = neat_net::udp::UdpHeader::emit(53, 53, b"q", B_IP, A_IP);
+        b.send_ip(A_IP, IpProtocol::Udp, &dgram, 0);
+        let f = b.drain().remove(0);
+        assert!(matches!(a.classify_rx(&f, 0), RxClass::Udp { .. }));
+    }
+}

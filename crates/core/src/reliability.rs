@@ -1,0 +1,107 @@
+//! Reliability estimation (Figure 13).
+//!
+//! "We used the code size (proportional to code coverage for our test
+//! workload) of each component to estimate the probability that a single
+//! component fails when a failure occurs within the network stack —
+//! assuming uniform failure probability throughout the code — and the
+//! resulting expected fraction of state preserved after a failure." (§6.6)
+//!
+//! Only the TCP component holds irrecoverable state (stateless recovery),
+//! and the state is partitioned evenly across N replicas, so:
+//!
+//! * multi-component, N replicas: `preserved = 1 − P(fault hits TCP)/N`
+//! * single-component, N replicas: a fault anywhere inside a replica loses
+//!   that replica's whole TCP state: `preserved = 1 − P(fault in replica
+//!   code)/N` (driver faults lose nothing — transparent recovery, §3.5).
+
+use crate::config::StackMode;
+use crate::fault::CodeSizes;
+
+/// Expected fraction of TCP state preserved after one stack failure.
+pub fn expected_state_preserved(sizes: &CodeSizes, mode: StackMode, replicas: usize) -> f64 {
+    assert!(replicas >= 1);
+    let p_loss = match mode {
+        StackMode::Multi => sizes.tcp_fraction(),
+        StackMode::Single => sizes.replica_fraction_single(),
+    };
+    1.0 - p_loss / replicas as f64
+}
+
+/// One point of Figure 13: a configuration with its measured peak
+/// throughput and its expected preservation.
+#[derive(Debug, Clone)]
+pub struct ReliabilityPoint {
+    pub label: String,
+    pub cores: u32,
+    pub threads: u32,
+    pub max_krps: f64,
+    pub preserved_pct: f64,
+}
+
+impl ReliabilityPoint {
+    pub fn new(
+        label: impl Into<String>,
+        cores: u32,
+        threads: u32,
+        max_krps: f64,
+        sizes: &CodeSizes,
+        mode: StackMode,
+        replicas: usize,
+    ) -> ReliabilityPoint {
+        ReliabilityPoint {
+            label: label.into(),
+            cores,
+            threads,
+            max_krps,
+            preserved_pct: expected_state_preserved(sizes, mode, replicas) * 100.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_replicas_preserve_more() {
+        let s = CodeSizes::measured();
+        let m1 = expected_state_preserved(&s, StackMode::Multi, 1);
+        let m2 = expected_state_preserved(&s, StackMode::Multi, 2);
+        let m4 = expected_state_preserved(&s, StackMode::Multi, 4);
+        assert!(m1 < m2 && m2 < m4, "{m1} {m2} {m4}");
+        assert!(m4 > 0.80);
+    }
+
+    #[test]
+    fn multi_beats_single_at_equal_replicas() {
+        // Finer isolation: only TCP faults lose state in multi mode.
+        let s = CodeSizes::measured();
+        for n in 1..=4 {
+            let multi = expected_state_preserved(&s, StackMode::Multi, n);
+            let single = expected_state_preserved(&s, StackMode::Single, n);
+            assert!(
+                multi > single,
+                "multi {multi} vs single {single} at {n} replicas"
+            );
+        }
+    }
+
+    #[test]
+    fn single_1x_loses_almost_everything() {
+        // Figure 13's bottom-left point: NEaT 1x preserves ~nothing.
+        let s = CodeSizes::measured();
+        let p = expected_state_preserved(&s, StackMode::Single, 1);
+        assert!(p < 0.2, "NEaT 1x preserves little: {p}");
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let s = CodeSizes::measured();
+        for n in 1..=8 {
+            for mode in [StackMode::Single, StackMode::Multi] {
+                let p = expected_state_preserved(&s, mode, n);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

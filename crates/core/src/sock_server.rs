@@ -1,0 +1,438 @@
+//! The stack-side half of the socket fast path (§3.2).
+//!
+//! Each replica's socket-owning component (the TCP process in
+//! multi-component mode, the whole replica in single-component mode) embeds
+//! a [`SockServer`]: a [`TcpStack`] plus the bookkeeping that maps sockets
+//! to their owning application processes and translates stack events into
+//! fast-path messages. The paper's "mostly system-call-less" design means
+//! these messages model shared-memory queue operations, not kernel calls.
+
+use crate::msg::{ConnHandle, Msg};
+use neat_sim::ProcId;
+use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
+use std::collections::{HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// Stack-side socket service.
+#[derive(Debug)]
+pub struct SockServer {
+    pub stack: TcpStack,
+    /// Connection socket → owning application.
+    owners: HashMap<SocketId, ProcId>,
+    /// Listening port → (listener socket, owning application).
+    listeners: HashMap<u16, (SocketId, ProcId)>,
+    /// Listener socket id → port (reverse map).
+    listener_ports: HashMap<SocketId, u16>,
+    /// Pending active opens: socket → (app, token).
+    connects: HashMap<SocketId, (ProcId, u64)>,
+    /// Data accepted from apps but not yet pushed into the stack
+    /// (send-buffer backpressure).
+    backlog: HashMap<SocketId, VecDeque<u8>>,
+    /// Messages owed to applications.
+    to_app: Vec<(ProcId, Msg)>,
+    /// Count of sockets opened/accepted (TCP_OPEN/TCP_CLOSE charging).
+    pub opened: u64,
+    pub closed: u64,
+}
+
+impl SockServer {
+    pub fn new(local_ip: Ipv4Addr, cfg: TcpConfig) -> SockServer {
+        SockServer {
+            stack: TcpStack::new(local_ip, cfg),
+            owners: HashMap::new(),
+            listeners: HashMap::new(),
+            listener_ports: HashMap::new(),
+            connects: HashMap::new(),
+            backlog: HashMap::new(),
+            to_app: Vec::new(),
+            opened: 0,
+            closed: 0,
+        }
+    }
+
+    /// Handle one application fast-path message. Returns the number of
+    /// socket operations performed (for cost charging).
+    pub fn handle_app(&mut self, from: ProcId, msg: Msg, now: u64) -> u32 {
+        match msg {
+            Msg::Listen { port, app } => {
+                if let Ok(lid) = self.stack.listen(port) {
+                    self.listeners.insert(port, (lid, app));
+                    self.listener_ports.insert(lid, port);
+                }
+                self.to_app.push((from, Msg::ListenOk { port }));
+                1
+            }
+            Msg::Connect { remote, app, token } => {
+                match self.stack.connect(remote.0, remote.1, now) {
+                    Ok(sock) => {
+                        self.owners.insert(sock, app);
+                        self.connects.insert(sock, (app, token));
+                    }
+                    Err(_) => self.to_app.push((app, Msg::ConnFailed { token })),
+                }
+                1
+            }
+            Msg::ConnSend { sock, data } => {
+                let q = self.backlog.entry(sock).or_default();
+                q.extend(data);
+                self.flush_backlog(sock);
+                1
+            }
+            Msg::ConnClose { sock } => {
+                let _ = self.stack.close(sock, now);
+                1
+            }
+            _ => 0,
+        }
+    }
+
+    fn flush_backlog(&mut self, sock: SocketId) {
+        if let Some(q) = self.backlog.get_mut(&sock) {
+            while !q.is_empty() {
+                let chunk: Vec<u8> = q.iter().copied().take(16 * 1024).collect();
+                match self.stack.send(sock, &chunk) {
+                    Ok(n) => {
+                        q.drain(..n);
+                        if n == 0 {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            if q.is_empty() {
+                self.backlog.remove(&sock);
+            }
+        }
+    }
+
+    /// Translate queued stack events into application messages. `me` is
+    /// the pid handles should reference. Returns (events handled,
+    /// connections opened, connections closed) for cost charging.
+    pub fn process_events(&mut self, me: ProcId) -> (u32, u32, u32) {
+        let mut handled = 0;
+        let mut opened = 0;
+        let mut closed = 0;
+        while let Some(ev) = self.stack.poll_event() {
+            handled += 1;
+            match ev {
+                SockEvent::Acceptable(lid) => {
+                    let Some(port) = self.listener_ports.get(&lid).copied() else {
+                        continue;
+                    };
+                    let Some((_, app)) = self.listeners.get(&port).copied() else {
+                        continue;
+                    };
+                    while let Ok(sock) = self.stack.accept(lid) {
+                        self.owners.insert(sock, app);
+                        opened += 1;
+                        self.opened += 1;
+                        self.to_app.push((
+                            app,
+                            Msg::Incoming {
+                                port,
+                                conn: ConnHandle { stack: me, sock },
+                            },
+                        ));
+                        // Data may already have arrived with the handshake.
+                        self.pump_readable(me, sock);
+                    }
+                }
+                SockEvent::Connected(sock) => {
+                    if let Some((app, token)) = self.connects.remove(&sock) {
+                        opened += 1;
+                        self.opened += 1;
+                        self.to_app.push((
+                            app,
+                            Msg::ConnOpen {
+                                conn: ConnHandle { stack: me, sock },
+                                token,
+                            },
+                        ));
+                    }
+                }
+                SockEvent::Readable(sock) => {
+                    self.pump_readable(me, sock);
+                }
+                SockEvent::Writable(sock) => {
+                    self.flush_backlog(sock);
+                }
+                SockEvent::PeerClosed(sock) => {
+                    // Drain any remaining data first, then signal EOF.
+                    self.pump_readable(me, sock);
+                    if let Some(app) = self.owners.get(&sock).copied() {
+                        self.to_app.push((
+                            app,
+                            Msg::ConnEof {
+                                conn: ConnHandle { stack: me, sock },
+                            },
+                        ));
+                    }
+                }
+                SockEvent::Closed(sock) | SockEvent::Aborted(sock) => {
+                    let aborted = matches!(ev, SockEvent::Aborted(_));
+                    if let Some((app, token)) = self.connects.remove(&sock) {
+                        // Active open failed.
+                        let _ = app;
+                        self.to_app.push((app, Msg::ConnFailed { token }));
+                    } else if let Some(app) = self.owners.remove(&sock) {
+                        closed += 1;
+                        self.closed += 1;
+                        self.to_app.push((
+                            app,
+                            Msg::ConnClosed {
+                                conn: ConnHandle { stack: me, sock },
+                                aborted,
+                            },
+                        ));
+                    }
+                    self.backlog.remove(&sock);
+                }
+            }
+        }
+        (handled, opened, closed)
+    }
+
+    fn pump_readable(&mut self, me: ProcId, sock: SocketId) {
+        let Some(app) = self.owners.get(&sock).copied() else {
+            return;
+        };
+        let mut buf = [0u8; 4096];
+        let mut data = Vec::new();
+        while let Ok(n) = self.stack.recv(sock, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            data.extend_from_slice(&buf[..n]);
+        }
+        if !data.is_empty() {
+            self.to_app.push((
+                app,
+                Msg::ConnData {
+                    conn: ConnHandle { stack: me, sock },
+                    data,
+                },
+            ));
+        }
+    }
+
+    /// Take the application messages produced so far.
+    pub fn take_app_msgs(&mut self) -> Vec<(ProcId, Msg)> {
+        std::mem::take(&mut self.to_app)
+    }
+
+    /// Wire segments owed: `(dst ip, raw TCP bytes)`.
+    pub fn poll_wire(&mut self, now: u64) -> Vec<(Ipv4Addr, Vec<u8>)> {
+        let mut out = Vec::new();
+        while let Some((dst, h, payload)) = self.stack.poll_transmit(now) {
+            let bytes = h.emit(&payload, self.stack.local_ip, dst);
+            out.push((dst, bytes));
+        }
+        out
+    }
+
+    pub fn next_timeout(&self) -> Option<u64> {
+        self.stack.next_timeout()
+    }
+
+    pub fn on_timer(&mut self, now: u64) {
+        self.stack.on_timer(now);
+    }
+
+    /// Live connection count (lazy-termination GC input, §3.4).
+    pub fn conn_count(&self) -> usize {
+        self.stack.conn_count()
+    }
+
+    /// Ports currently being listened on.
+    pub fn listen_ports(&self) -> Vec<u16> {
+        self.listeners.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neat_net::TcpHeader;
+
+    const SERVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 9);
+    const APP: ProcId = ProcId(77);
+    const ME: ProcId = ProcId(50);
+
+    fn cfg() -> TcpConfig {
+        TcpConfig {
+            initial_rto_ns: 50_000_000,
+            ..TcpConfig::default()
+        }
+    }
+
+    /// Drive a client-side raw TcpStack against a SockServer.
+    fn pump(client: &mut TcpStack, srv: &mut SockServer, now: u64) {
+        loop {
+            let mut moved = false;
+            while let Some((_, h, p)) = client.poll_transmit(now) {
+                let bytes = h.emit(&p, CLIENT, SERVER);
+                let (g, r) = TcpHeader::parse(&bytes, CLIENT, SERVER).unwrap();
+                srv.stack.handle_segment(CLIENT, &g, &bytes[r], now);
+                moved = true;
+            }
+            srv.process_events(ME);
+            for (dst, seg) in srv.poll_wire(now) {
+                assert_eq!(dst, CLIENT);
+                let (g, r) = TcpHeader::parse(&seg, SERVER, CLIENT).unwrap();
+                client.handle_segment(SERVER, &g, &seg[r], now);
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn listen_accept_incoming_flow() {
+        let mut srv = SockServer::new(SERVER, cfg());
+        let mut client = TcpStack::new(CLIENT, cfg());
+        srv.handle_app(APP, Msg::Listen { port: 80, app: APP }, 0);
+        let msgs = srv.take_app_msgs();
+        assert!(matches!(msgs[0].1, Msg::ListenOk { port: 80 }));
+        client.connect(SERVER, 80, 0).unwrap();
+        pump(&mut client, &mut srv, 0);
+        let msgs = srv.take_app_msgs();
+        let incoming = msgs
+            .iter()
+            .find(|(_, m)| matches!(m, Msg::Incoming { .. }))
+            .expect("incoming connection surfaced to the app");
+        assert_eq!(incoming.0, APP);
+    }
+
+    #[test]
+    fn data_flows_to_app_and_back() {
+        let mut srv = SockServer::new(SERVER, cfg());
+        let mut client = TcpStack::new(CLIENT, cfg());
+        srv.handle_app(APP, Msg::Listen { port: 80, app: APP }, 0);
+        srv.take_app_msgs();
+        let cconn = client.connect(SERVER, 80, 0).unwrap();
+        pump(&mut client, &mut srv, 0);
+        let conn = match srv
+            .take_app_msgs()
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Msg::Incoming { conn, .. } => Some(conn),
+                _ => None,
+            }) {
+            Some(c) => c,
+            None => panic!("no incoming"),
+        };
+        // Client sends a request.
+        client.send(cconn, b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+        pump(&mut client, &mut srv, 1000);
+        let data = srv
+            .take_app_msgs()
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Msg::ConnData { data, .. } => Some(data),
+                _ => None,
+            })
+            .expect("request delivered to app");
+        assert_eq!(data, b"GET /x HTTP/1.1\r\n\r\n");
+        // App responds through the fast path.
+        srv.handle_app(
+            APP,
+            Msg::ConnSend {
+                sock: conn.sock,
+                data: b"HTTP/1.1 200 OK\r\n\r\n".to_vec(),
+            },
+            2000,
+        );
+        pump(&mut client, &mut srv, 2000);
+        let mut buf = [0u8; 128];
+        let n = client.recv(cconn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"HTTP/1.1 200 OK\r\n\r\n");
+    }
+
+    #[test]
+    fn eof_and_close_surface_to_app() {
+        let mut srv = SockServer::new(SERVER, cfg());
+        let mut client = TcpStack::new(CLIENT, cfg());
+        srv.handle_app(APP, Msg::Listen { port: 80, app: APP }, 0);
+        srv.take_app_msgs();
+        let cconn = client.connect(SERVER, 80, 0).unwrap();
+        pump(&mut client, &mut srv, 0);
+        let conn = srv
+            .take_app_msgs()
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Msg::Incoming { conn, .. } => Some(conn),
+                _ => None,
+            })
+            .unwrap();
+        client.close(cconn, 100).unwrap();
+        pump(&mut client, &mut srv, 100);
+        let msgs = srv.take_app_msgs();
+        assert!(
+            msgs.iter().any(|(_, m)| matches!(m, Msg::ConnEof { .. })),
+            "EOF surfaced: {msgs:?}"
+        );
+        // Server app closes its side; the connection winds down fully.
+        srv.handle_app(APP, Msg::ConnClose { sock: conn.sock }, 200);
+        pump(&mut client, &mut srv, 200);
+        let msgs = srv.take_app_msgs();
+        assert!(
+            msgs.iter()
+                .any(|(_, m)| matches!(m, Msg::ConnClosed { aborted: false, .. })),
+            "close surfaced: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn backlogged_sends_flush_on_writable() {
+        let mut srv = SockServer::new(SERVER, cfg());
+        let mut client = TcpStack::new(CLIENT, cfg());
+        srv.handle_app(APP, Msg::Listen { port: 80, app: APP }, 0);
+        srv.take_app_msgs();
+        let _cconn = client.connect(SERVER, 80, 0).unwrap();
+        pump(&mut client, &mut srv, 0);
+        let conn = srv
+            .take_app_msgs()
+            .into_iter()
+            .find_map(|(_, m)| match m {
+                Msg::Incoming { conn, .. } => Some(conn),
+                _ => None,
+            })
+            .unwrap();
+        // Push far more than the 64KB send buffer.
+        let big = vec![5u8; 256 * 1024];
+        srv.handle_app(
+            APP,
+            Msg::ConnSend {
+                sock: conn.sock,
+                data: big.clone(),
+            },
+            100,
+        );
+        // Drain repeatedly with timers (ACK clock).
+        let mut received = Vec::new();
+        let mut now = 100u64;
+        for _ in 0..2000 {
+            now += 1_000_000;
+            srv.on_timer(now);
+            client.on_timer(now);
+            pump(&mut client, &mut srv, now);
+            let mut buf = [0u8; 8192];
+            for id in client.socket_ids() {
+                while let Ok(n) = client.recv(id, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    received.extend_from_slice(&buf[..n]);
+                }
+            }
+            if received.len() >= big.len() {
+                break;
+            }
+        }
+        assert_eq!(received.len(), big.len(), "entire backlog delivered");
+    }
+}

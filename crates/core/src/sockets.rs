@@ -1,0 +1,283 @@
+//! The application-side POSIX socket library (§3.2–§3.3).
+//!
+//! Embedded in every application process, this is the layer that makes
+//! replication invisible: applications deal in file descriptors; the
+//! library maps them to `(replica, socket)` handles, replicates listeners
+//! via the SYSCALL server, picks a *random* replica for every active open
+//! (the load-balancing-cum-security property of §3.8), and heals its
+//! bookkeeping when the supervisor reports replica restarts.
+
+use crate::msg::{ConnHandle, Msg};
+use neat_sim::{Ctx, ProcId};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// An application-level file descriptor.
+pub type Fd = u32;
+
+/// Events the library surfaces to application logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibEvent {
+    /// `listen()` completed on all replicas.
+    ListenReady { port: u16 },
+    /// A connection was accepted on a listening port.
+    Accepted { fd: Fd, port: u16 },
+    /// An active open completed.
+    Connected { fd: Fd },
+    /// An active open failed.
+    ConnectFailed { fd: Fd },
+    /// Data arrived.
+    Data { fd: Fd, data: Vec<u8> },
+    /// Peer closed its direction (EOF).
+    Eof { fd: Fd },
+    /// Fully closed (`aborted` covers RST/timeout/replica loss).
+    Closed { fd: Fd, aborted: bool },
+}
+
+/// Per-process socket library state.
+#[derive(Debug)]
+pub struct SocketLib {
+    syscall: ProcId,
+    supervisor: Option<ProcId>,
+    /// Socket-owning heads of the live replicas.
+    replicas: Vec<ProcId>,
+    listen_ports: Vec<u16>,
+    conn_of: HashMap<Fd, ConnHandle>,
+    fd_of: HashMap<ConnHandle, Fd>,
+    next_fd: Fd,
+    next_token: u64,
+    pending_connect: HashMap<u64, Fd>,
+    /// Connections lost to replica crashes (reliability accounting).
+    pub lost_to_crash: u64,
+    registered: bool,
+    /// When set, all per-connection operations route to this process
+    /// instead of the handle's owner (the monolith's "syscalls run on the
+    /// caller's core" semantics).
+    route_override: Option<ProcId>,
+}
+
+impl SocketLib {
+    pub fn new(syscall: ProcId, replicas: Vec<ProcId>, supervisor: Option<ProcId>) -> SocketLib {
+        SocketLib {
+            syscall,
+            supervisor,
+            replicas,
+            listen_ports: Vec::new(),
+            conn_of: HashMap::new(),
+            fd_of: HashMap::new(),
+            next_fd: 3, // 0..2 are stdio, of course
+            next_token: 1,
+            pending_connect: HashMap::new(),
+            lost_to_crash: 0,
+            registered: false,
+            route_override: None,
+        }
+    }
+
+    /// Route all connection operations through `pid` (monolith mode: the
+    /// kernel context on the application's own core).
+    pub fn set_route(&mut self, pid: ProcId) {
+        self.route_override = Some(pid);
+    }
+
+    /// Register with the supervisor for lifecycle notifications. Call once
+    /// from the process's `Start` handler.
+    pub fn init(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.registered {
+            self.registered = true;
+            if let Some(sup) = self.supervisor {
+                ctx.send(sup, Msg::RegisterApp { app: ctx.self_id });
+            }
+        }
+    }
+
+    /// POSIX `listen()`: replicate across all stack replicas via SYSCALL.
+    /// With `syscall == ProcId(0)` (monolith mode) the listen goes straight
+    /// to the kernel context instead.
+    pub fn listen(&mut self, ctx: &mut Ctx<'_, Msg>, port: u16) {
+        ctx.charge(neat_sim::calibration::SYSCALL_CLIENT);
+        self.listen_ports.push(port);
+        if self.syscall == ProcId(0) {
+            for r in self.replicas.clone() {
+                ctx.send(
+                    r,
+                    Msg::Listen {
+                        port,
+                        app: ctx.self_id,
+                    },
+                );
+            }
+        } else {
+            ctx.send(
+                self.syscall,
+                Msg::SysListen {
+                    port,
+                    app: ctx.self_id,
+                },
+            );
+        }
+    }
+
+    /// POSIX `connect()`: bind a fresh fd to a *randomly chosen* replica
+    /// (§3.8: "binding each connection to a random replica").
+    pub fn connect(&mut self, ctx: &mut Ctx<'_, Msg>, remote: (std::net::Ipv4Addr, u16)) -> Fd {
+        let fd = self.alloc_fd();
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending_connect.insert(token, fd);
+        let idx = ctx.rng().gen_range(0..self.replicas.len());
+        let replica = self.replicas[idx];
+        ctx.send(
+            replica,
+            Msg::Connect {
+                remote,
+                app: ctx.self_id,
+                token,
+            },
+        );
+        fd
+    }
+
+    /// POSIX `write()` on a connection fd.
+    pub fn send(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd, data: Vec<u8>) -> bool {
+        let Some(conn) = self.conn_of.get(&fd) else {
+            return false;
+        };
+        ctx.charge(neat_sim::calibration::copy_cost(data.len()));
+        let to = self.route_override.unwrap_or(conn.stack);
+        ctx.send(to, Msg::ConnSend {
+            sock: conn.sock,
+            data,
+        });
+        true
+    }
+
+    /// POSIX `close()` on a connection fd.
+    pub fn close(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) {
+        if let Some(conn) = self.conn_of.get(&fd) {
+            let to = self.route_override.unwrap_or(conn.stack);
+            ctx.send(to, Msg::ConnClose { sock: conn.sock });
+        }
+    }
+
+    fn alloc_fd(&mut self) -> Fd {
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        fd
+    }
+
+    fn bind(&mut self, conn: ConnHandle, fd: Fd) {
+        self.conn_of.insert(fd, conn);
+        self.fd_of.insert(conn, fd);
+    }
+
+    fn unbind(&mut self, conn: &ConnHandle) -> Option<Fd> {
+        let fd = self.fd_of.remove(conn)?;
+        self.conn_of.remove(&fd);
+        Some(fd)
+    }
+
+    pub fn open_conns(&self) -> usize {
+        self.conn_of.len()
+    }
+
+    pub fn replica_of(&self, fd: Fd) -> Option<ProcId> {
+        self.conn_of.get(&fd).map(|c| c.stack)
+    }
+
+    /// Translate one inbound message into library events. Unrecognized
+    /// messages yield no events (the app handles them itself).
+    pub fn handle(&mut self, ctx: &mut Ctx<'_, Msg>, msg: &Msg) -> Vec<LibEvent> {
+        match msg {
+            Msg::SysListenDone { port } => vec![LibEvent::ListenReady { port: *port }],
+            Msg::ListenOk { port } if self.syscall == ProcId(0) => {
+                vec![LibEvent::ListenReady { port: *port }]
+            }
+            Msg::Incoming { port, conn } => {
+                let fd = self.alloc_fd();
+                self.bind(*conn, fd);
+                vec![LibEvent::Accepted { fd, port: *port }]
+            }
+            Msg::ConnOpen { conn, token } => match self.pending_connect.remove(token) {
+                Some(fd) => {
+                    self.bind(*conn, fd);
+                    vec![LibEvent::Connected { fd }]
+                }
+                None => vec![],
+            },
+            Msg::ConnFailed { token } => match self.pending_connect.remove(token) {
+                Some(fd) => vec![LibEvent::ConnectFailed { fd }],
+                None => vec![],
+            },
+            Msg::ConnData { conn, data } => match self.fd_of.get(conn) {
+                Some(&fd) => vec![LibEvent::Data {
+                    fd,
+                    data: data.clone(),
+                }],
+                None => vec![],
+            },
+            Msg::ConnEof { conn } => match self.fd_of.get(conn) {
+                Some(&fd) => vec![LibEvent::Eof { fd }],
+                None => vec![],
+            },
+            Msg::ConnClosed { conn, aborted } => match self.unbind(conn) {
+                Some(fd) => vec![LibEvent::Closed {
+                    fd,
+                    aborted: *aborted,
+                }],
+                None => vec![],
+            },
+            Msg::ReplicaRestarted { old, new } => {
+                // All handles on the dead replica are gone — stateless
+                // recovery (§3.6). Surface each as an aborted close.
+                let dead: Vec<ConnHandle> = self
+                    .fd_of
+                    .keys()
+                    .filter(|c| c.stack == *old)
+                    .copied()
+                    .collect();
+                let mut evs = Vec::new();
+                for conn in dead {
+                    if let Some(fd) = self.unbind(&conn) {
+                        self.lost_to_crash += 1;
+                        evs.push(LibEvent::Closed { fd, aborted: true });
+                    }
+                }
+                for r in &mut self.replicas {
+                    if *r == *old {
+                        *r = *new;
+                    }
+                }
+                // Re-establish listening subsockets on the new replica.
+                for port in self.listen_ports.clone() {
+                    ctx.send(
+                        *new,
+                        Msg::Listen {
+                            port,
+                            app: ctx.self_id,
+                        },
+                    );
+                }
+                evs
+            }
+            Msg::ReplicaAdded { stack } => {
+                self.replicas.push(*stack);
+                for port in self.listen_ports.clone() {
+                    ctx.send(
+                        *stack,
+                        Msg::Listen {
+                            port,
+                            app: ctx.self_id,
+                        },
+                    );
+                }
+                vec![]
+            }
+            Msg::ReplicaRemoved { stack } => {
+                self.replicas.retain(|r| r != stack);
+                vec![]
+            }
+            _ => vec![],
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The single-component stack replica (`NEaT Nx` in the figures).
+//!
+//! One process per replica containing the whole stack: link/ARP/ICMP
+//! handling, IP, TCP, UDP, and the socket fast path. Fewer cores and fewer
+//! internal messages than the multi-component configuration, at the cost of
+//! coarser fault isolation: a fault anywhere in the replica loses the
+//! replica's entire state, including TCP connections (§3.7, Figure 13).
+
+use crate::msg::Msg;
+use crate::netcode::{FrameIo, RxClass};
+use crate::sock_server::SockServer;
+use neat_net::ethernet::MacAddr;
+use neat_net::ipv4::IpProtocol;
+use neat_net::udp::UdpHeader;
+use neat_sim::{calibration, Ctx, Event, ProcId, Process, Time};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A whole-stack replica process.
+pub struct SingleStackProc {
+    pub name: String,
+    /// NIC queue this replica is fed from.
+    pub queue: usize,
+    driver: ProcId,
+    supervisor: ProcId,
+    io: FrameIo,
+    sock: SockServer,
+    udp_binds: HashMap<u16, ProcId>,
+    /// Termination state (§3.4): no new work; report when drained.
+    terminating: bool,
+    drained_reported: bool,
+    /// Earliest armed timer deadline (avoid timer storms).
+    armed: Option<u64>,
+    /// ASLR layout token — randomized at every (re)start (§3.8).
+    pub layout_token: u64,
+}
+
+impl SingleStackProc {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        queue: usize,
+        driver: ProcId,
+        supervisor: ProcId,
+        ip: Ipv4Addr,
+        mac: MacAddr,
+        tcp_cfg: neat_tcp::TcpConfig,
+        arp_seed: Vec<(Ipv4Addr, MacAddr)>,
+    ) -> SingleStackProc {
+        let mut io = FrameIo::new(ip, mac);
+        for (a, m) in arp_seed {
+            io.seed_arp(a, m);
+        }
+        SingleStackProc {
+            name: name.into(),
+            queue,
+            driver,
+            supervisor,
+            io,
+            sock: SockServer::new(ip, tcp_cfg),
+            udp_binds: HashMap::new(),
+            terminating: false,
+            drained_reported: false,
+            armed: None,
+            layout_token: 0,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Loopback traffic can generate new events/segments in the same
+        // handler; iterate to quiescence (bounded: each round consumes
+        // queued stack output).
+        for _ in 0..32 {
+            let had_loopback = self.flush_once(ctx);
+            if !had_loopback {
+                break;
+            }
+        }
+    }
+
+    /// One flush round; returns true if loopback segments were processed
+    /// (meaning another round may be needed).
+    fn flush_once(&mut self, ctx: &mut Ctx<'_, Msg>) -> bool {
+        let now = ctx.now().as_nanos();
+        let me = ctx.self_id;
+        // Stack events → app messages; charge per socket op + open/close.
+        let (_, opened, closed) = self.sock.process_events(me);
+        ctx.charge(opened as u64 * calibration::TCP_OPEN + closed as u64 * calibration::TCP_CLOSE);
+        // Outbound segments → IP encapsulation; segments addressed to our
+        // own IP take the replica's loopback device (§3.3: "this also
+        // allows the loopback devices to be implemented by each of the
+        // replicas") — no NIC, no driver, no other replica involved.
+        let mut loopback = Vec::new();
+        for (dst, seg) in self.sock.poll_wire(now) {
+            ctx.charge(calibration::TCP_TX_SEG + calibration::IP_TX_PKT);
+            if dst == self.io.ip {
+                loopback.push(seg);
+            } else {
+                self.io.send_ip(dst, IpProtocol::Tcp, &seg, now);
+            }
+        }
+        let had_loopback = !loopback.is_empty();
+        for seg in loopback {
+            ctx.charge(calibration::TCP_RX_SEG);
+            let src = self.io.ip;
+            if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, src) {
+                self.sock.stack.handle_segment(src, &h, &seg[range], now);
+            }
+        }
+        // Wire frames → driver.
+        for frame in self.io.drain() {
+            ctx.send(self.driver, Msg::NetTx(frame));
+        }
+        // App notifications.
+        for (app, msg) in self.sock.take_app_msgs() {
+            ctx.charge(calibration::SOCK_OP);
+            ctx.send(app, msg);
+        }
+        // Timer re-arm.
+        if let Some(d) = self.sock.next_timeout() {
+            if self.armed.map(|a| d < a).unwrap_or(true) {
+                self.armed = Some(d);
+                let delay = d.saturating_sub(now);
+                ctx.set_timer(Time::from_nanos(delay), 0);
+            }
+        }
+        // Lazy-termination GC (§3.4).
+        if self.terminating && !self.drained_reported && self.sock.conn_count() == 0 {
+            self.drained_reported = true;
+            ctx.send(self.supervisor, Msg::Drained { queue: self.queue });
+        }
+        had_loopback
+    }
+
+    fn handle_frame(&mut self, ctx: &mut Ctx<'_, Msg>, frame: Vec<u8>) {
+        let now = ctx.now().as_nanos();
+        match self.io.classify_rx(&frame, now) {
+            RxClass::Tcp { src, seg } => {
+                ctx.charge(calibration::IP_RX_PKT + calibration::TCP_RX_SEG);
+                if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, self.io.ip) {
+                    self.sock.stack.handle_segment(src, &h, &seg[range], now);
+                }
+                // Bad checksum → silently dropped, like hardware.
+            }
+            RxClass::Udp { src, dgram } => {
+                ctx.charge(calibration::IP_RX_PKT + calibration::UDP_PKT);
+                if let Ok((h, range)) = UdpHeader::parse(&dgram, src, self.io.ip) {
+                    match self.udp_binds.get(&h.dst_port).copied() {
+                        Some(app) => {
+                            ctx.send(
+                                app,
+                                Msg::UdpData {
+                                    port: h.dst_port,
+                                    src: (src, h.src_port),
+                                    data: dgram[range].to_vec(),
+                                },
+                            );
+                        }
+                        None => {
+                            // ICMP port unreachable (RFC 1122).
+                            let orig: Vec<u8> = dgram.iter().take(28).copied().collect();
+                            let icmp = neat_net::icmp::IcmpMessage::DestUnreachable {
+                                code: neat_net::icmp::PORT_UNREACHABLE,
+                                original: orig,
+                            };
+                            self.io.send_ip(src, IpProtocol::Icmp, &icmp.emit(), now);
+                        }
+                    }
+                }
+            }
+            RxClass::Icmp { .. } | RxClass::Arp => {
+                ctx.charge(calibration::IP_RX_PKT);
+            }
+            RxClass::Dropped => {
+                ctx.charge(calibration::IP_RX_PKT / 2);
+            }
+        }
+    }
+}
+
+impl Process<Msg> for SingleStackProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {
+                // Fresh ASLR layout on every start (§3.8).
+                self.layout_token = rand::Rng::gen(ctx.rng());
+                // Announce to the driver: packets may flow to this replica.
+                ctx.send(
+                    self.driver,
+                    Msg::Announce {
+                        queue: self.queue,
+                        head: ctx.self_id,
+                    },
+                );
+            }
+            Event::Timer { .. } => {
+                self.armed = None;
+                let now = ctx.now().as_nanos();
+                self.sock.on_timer(now);
+                self.flush(ctx);
+            }
+            Event::Message { from, msg } => match msg {
+                Msg::NetRx(frame) => {
+                    self.handle_frame(ctx, frame);
+                    self.flush(ctx);
+                }
+                m @ (Msg::Listen { .. }
+                | Msg::Connect { .. }
+                | Msg::ConnSend { .. }
+                | Msg::ConnClose { .. }) => {
+                    // Refuse new listens/connects while terminating; data
+                    // on existing connections still flows.
+                    if self.terminating && matches!(m, Msg::Listen { .. } | Msg::Connect { .. }) {
+                        return;
+                    }
+                    let now = ctx.now().as_nanos();
+                    let ops = self.sock.handle_app(from, m, now);
+                    ctx.charge(ops as u64 * calibration::SOCK_OP);
+                    self.flush(ctx);
+                }
+                Msg::UdpBind { port, app } => {
+                    ctx.charge(calibration::SOCK_OP);
+                    self.udp_binds.insert(port, app);
+                }
+                Msg::UdpTx {
+                    src_port,
+                    dst,
+                    data,
+                } => {
+                    ctx.charge(calibration::UDP_PKT + calibration::IP_TX_PKT);
+                    let now = ctx.now().as_nanos();
+                    let dgram = UdpHeader::emit(src_port, dst.1, &data, self.io.ip, dst.0);
+                    self.io.send_ip(dst.0, IpProtocol::Udp, &dgram, now);
+                    self.flush(ctx);
+                }
+                Msg::Terminate => {
+                    self.terminating = true;
+                    self.supervisor = from;
+                    self.flush(ctx);
+                }
+                Msg::SetNeighbor { role, pid } => match role {
+                    crate::msg::NeighborRole::Driver => self.driver = pid,
+                    crate::msg::NeighborRole::Supervisor => self.supervisor = pid,
+                    _ => {}
+                },
+                Msg::Poison => ctx.crash_self(),
+                _ => {}
+            },
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The supervisor ("reincarnation server" in MINIX 3 terms).
+//!
+//! It is the crash monitor for every NEaT component and implements the
+//! paper's recovery and scaling protocols:
+//!
+//! * **Stateless recovery (§3.6)** — when a component crashes, all its
+//!   state is gone (the engine drops the process). The supervisor restarts
+//!   a fresh instance on the same hardware thread after a recovery delay,
+//!   rewires its pipeline neighbours, and — only if the dead component was
+//!   a TCP/socket owner — tells applications and the SYSCALL server that
+//!   connection handles on the old pid are dead. Other replicas never
+//!   notice: isolation means there is nothing to clean up across replicas.
+//! * **Scale-up/down (§3.4)** — scale-up grows the NIC queue set and boots
+//!   a replica on spare threads; scale-down marks a replica *terminating*
+//!   (the NIC stops steering new flows to it) and garbage-collects it only
+//!   once its connection count drains to zero — lazy termination that
+//!   never breaks a connection.
+
+use crate::config::{NeatConfig, StackMode};
+use crate::ip_comp::IpProc;
+use crate::msg::{Msg, NeighborRole};
+use crate::pf_comp::PfProc;
+use crate::stack_single::SingleStackProc;
+use crate::tcp_comp::TcpProc;
+use crate::udp_comp::UdpProc;
+use neat_net::MacAddr;
+use neat_sim::{Ctx, Event, HwThreadId, ProcId, Process, Time};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Component roles within a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    Single,
+    Pf,
+    Ip,
+    Tcp,
+    Udp,
+    Driver,
+}
+
+/// Harness-visible supervisor counters (shared instrumentation handle).
+#[derive(Debug, Default, Clone)]
+pub struct SupStats {
+    pub crashes_seen: u64,
+    pub recoveries: u64,
+    /// Crashes that lost TCP state (TCP component or single-comp replica).
+    pub stateful_losses: u64,
+    pub scale_ups: u64,
+    pub scale_downs_completed: u64,
+}
+
+/// Per-replica bookkeeping.
+#[derive(Debug)]
+struct ReplicaRec {
+    queue: usize,
+    /// role → (pid, thread). Removed replicas have this emptied.
+    comps: HashMap<Role, (ProcId, HwThreadId)>,
+    terminating: bool,
+    alive: bool,
+}
+
+/// A scheduled respawn.
+#[derive(Debug)]
+struct RespawnJob {
+    queue: Option<usize>, // None for the driver
+    role: Role,
+    old_pid: ProcId,
+    thread: HwThreadId,
+}
+
+/// The supervisor process.
+pub struct Supervisor {
+    pub name: String,
+    cfg: NeatConfig,
+    arp_seed: Vec<(Ipv4Addr, MacAddr)>,
+    nic: ProcId,
+    driver: ProcId,
+    driver_thread: HwThreadId,
+    syscall: ProcId,
+    replicas: Vec<ReplicaRec>,
+    apps: Vec<ProcId>,
+    /// Spare hardware threads for scale-up.
+    spare: Vec<HwThreadId>,
+    jobs: HashMap<u64, RespawnJob>,
+    next_token: u64,
+    pub stats: Rc<RefCell<SupStats>>,
+}
+
+impl Supervisor {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        cfg: NeatConfig,
+        arp_seed: Vec<(Ipv4Addr, MacAddr)>,
+        nic: ProcId,
+        driver: ProcId,
+        driver_thread: HwThreadId,
+        syscall: ProcId,
+        spare: Vec<HwThreadId>,
+        stats: Rc<RefCell<SupStats>>,
+    ) -> Supervisor {
+        Supervisor {
+            name: name.into(),
+            cfg,
+            arp_seed,
+            nic,
+            driver,
+            driver_thread,
+            syscall,
+            replicas: Vec::new(),
+            apps: Vec::new(),
+            spare,
+            jobs: HashMap::new(),
+            next_token: 1,
+            stats,
+        }
+    }
+
+    /// Register a booted replica (called by the boot builder).
+    pub fn register_replica(&mut self, queue: usize, comps: Vec<(Role, ProcId, HwThreadId)>) {
+        while self.replicas.len() <= queue {
+            self.replicas.push(ReplicaRec {
+                queue: self.replicas.len(),
+                comps: HashMap::new(),
+                terminating: false,
+                alive: false,
+            });
+        }
+        let rec = &mut self.replicas[queue];
+        rec.alive = true;
+        for (role, pid, thread) in comps {
+            rec.comps.insert(role, (pid, thread));
+        }
+    }
+
+    /// The socket-owning head of a replica (TCP comp or single stack).
+    fn sockets_head(&self, queue: usize) -> Option<ProcId> {
+        let rec = self.replicas.get(queue)?;
+        rec.comps
+            .get(&Role::Tcp)
+            .or_else(|| rec.comps.get(&Role::Single))
+            .map(|(p, _)| *p)
+    }
+
+    fn find_crashed(&self, pid: ProcId) -> Option<(Option<usize>, Role, HwThreadId)> {
+        if pid == self.driver {
+            return Some((None, Role::Driver, self.driver_thread));
+        }
+        for rec in &self.replicas {
+            for (role, (p, t)) in &rec.comps {
+                if *p == pid {
+                    return Some((Some(rec.queue), *role, *t));
+                }
+            }
+        }
+        None
+    }
+
+    fn schedule_respawn(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        queue: Option<usize>,
+        role: Role,
+        old_pid: ProcId,
+        thread: HwThreadId,
+    ) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.jobs.insert(
+            token,
+            RespawnJob {
+                queue,
+                role,
+                old_pid,
+                thread,
+            },
+        );
+        ctx.set_timer(Time::from_nanos(self.cfg.recovery_delay_ns), token);
+    }
+
+    fn notify_apps(&self, ctx: &mut Ctx<'_, Msg>, make: impl Fn() -> Msg) {
+        for app in &self.apps {
+            ctx.send(*app, make());
+        }
+        ctx.send(self.syscall, make());
+    }
+
+    fn respawn(&mut self, ctx: &mut Ctx<'_, Msg>, job: RespawnJob) {
+        let RespawnJob {
+            queue,
+            role,
+            old_pid,
+            thread,
+        } = job;
+        self.stats.borrow_mut().recoveries += 1;
+        let delay = Time::from_nanos(self.cfg.spawn_delay_ns);
+        match role {
+            Role::Driver => {
+                let queues = self.replicas.len().max(self.cfg.replicas);
+                let drv = crate::driver::DriverProc::new("drv", self.nic, queues);
+                let new = ctx.spawn(thread, Box::new(drv), delay);
+                self.driver = new;
+                ctx.send(
+                    self.nic,
+                    Msg::SetNeighbor {
+                        role: NeighborRole::Driver,
+                        pid: new,
+                    },
+                );
+                // Re-announce every live head and repoint TX paths.
+                for rec in &self.replicas {
+                    if !rec.alive {
+                        continue;
+                    }
+                    let head = rec
+                        .comps
+                        .get(&Role::Pf)
+                        .or_else(|| rec.comps.get(&Role::Single));
+                    if let Some((head_pid, _)) = head {
+                        ctx.send(
+                            self.driver,
+                            Msg::Announce {
+                                queue: rec.queue,
+                                head: *head_pid,
+                            },
+                        );
+                    }
+                    for r in [Role::Ip, Role::Single, Role::Pf] {
+                        if let Some((pid, _)) = rec.comps.get(&r) {
+                            ctx.send(
+                                *pid,
+                                Msg::SetNeighbor {
+                                    role: NeighborRole::Driver,
+                                    pid: new,
+                                },
+                            );
+                        }
+                    }
+                }
+                return;
+            }
+            Role::Single => {
+                let q = queue.unwrap();
+                let proc = SingleStackProc::new(
+                    format!("neat.{q}"),
+                    q,
+                    self.driver,
+                    ctx.self_id,
+                    self.cfg.ip,
+                    self.cfg.mac,
+                    self.cfg.tcp.clone(),
+                    self.arp_seed.clone(),
+                );
+                let new = ctx.spawn(thread, Box::new(proc), delay);
+                self.replicas[q].comps.insert(Role::Single, (new, thread));
+                self.stats.borrow_mut().stateful_losses += 1;
+                self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
+            }
+            Role::Tcp => {
+                let q = queue.unwrap();
+                let ip_pid = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
+                let proc = TcpProc::new(
+                    format!("tcp.{q}"),
+                    q,
+                    ctx.self_id,
+                    ip_pid,
+                    self.cfg.ip,
+                    self.cfg.tcp.clone(),
+                );
+                let new = ctx.spawn(thread, Box::new(proc), delay);
+                self.replicas[q].comps.insert(Role::Tcp, (new, thread));
+                if let Some(ip) = ip_pid {
+                    ctx.send(
+                        ip,
+                        Msg::SetNeighbor {
+                            role: NeighborRole::Tcp,
+                            pid: new,
+                        },
+                    );
+                }
+                self.stats.borrow_mut().stateful_losses += 1;
+                self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
+            }
+            Role::Ip => {
+                let q = queue.unwrap();
+                let rec = &self.replicas[q];
+                let tcp = rec.comps.get(&Role::Tcp).map(|(p, _)| *p);
+                let udp = rec.comps.get(&Role::Udp).map(|(p, _)| *p);
+                let pf = rec.comps.get(&Role::Pf).map(|(p, _)| *p);
+                let proc = IpProc::new(
+                    format!("ip.{q}"),
+                    q,
+                    self.driver,
+                    tcp,
+                    udp,
+                    self.cfg.ip,
+                    self.cfg.mac,
+                    self.arp_seed.clone(),
+                );
+                let new = ctx.spawn(thread, Box::new(proc), delay);
+                self.replicas[q].comps.insert(Role::Ip, (new, thread));
+                // Neighbours of the new IP are baked in; repoint PF, TCP,
+                // and UDP at it.
+                for (r, pid) in [(NeighborRole::Ip, pf), (NeighborRole::Ip, tcp), (NeighborRole::Ip, udp)]
+                {
+                    if let Some(p) = pid {
+                        ctx.send(p, Msg::SetNeighbor { role: r, pid: new });
+                    }
+                }
+            }
+            Role::Pf => {
+                let q = queue.unwrap();
+                let ip = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
+                let proc = PfProc::new(format!("pf.{q}"), q, self.driver, ip, Vec::new());
+                let new = ctx.spawn(thread, Box::new(proc), delay);
+                self.replicas[q].comps.insert(Role::Pf, (new, thread));
+                // PF announces itself to the driver on Start.
+            }
+            Role::Udp => {
+                let q = queue.unwrap();
+                let ip = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
+                let proc = UdpProc::new(format!("udp.{q}"), q, ip, self.cfg.ip);
+                let new = ctx.spawn(thread, Box::new(proc), delay);
+                self.replicas[q].comps.insert(Role::Udp, (new, thread));
+                if let Some(ip) = ip {
+                    ctx.send(
+                        ip,
+                        Msg::SetNeighbor {
+                            role: NeighborRole::Udp,
+                            pid: new,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn scale_up(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let queue = self.replicas.len();
+        let delay = Time::from_nanos(self.cfg.spawn_delay_ns);
+        let needed = match self.cfg.mode {
+            StackMode::Single => 1,
+            StackMode::Multi => 2,
+        };
+        if self.spare.len() < needed {
+            return; // no cores left — the paper's hard resource wall
+        }
+        ctx.send(self.driver, Msg::NicGrowQueues { n: queue + 1 });
+        match self.cfg.mode {
+            StackMode::Single => {
+                let t = self.spare.remove(0);
+                let proc = SingleStackProc::new(
+                    format!("neat.{queue}"),
+                    queue,
+                    self.driver,
+                    ctx.self_id,
+                    self.cfg.ip,
+                    self.cfg.mac,
+                    self.cfg.tcp.clone(),
+                    self.arp_seed.clone(),
+                );
+                let pid = ctx.spawn(t, Box::new(proc), delay);
+                self.register_replica(queue, vec![(Role::Single, pid, t)]);
+                self.notify_apps(ctx, || Msg::ReplicaAdded { stack: pid });
+            }
+            StackMode::Multi => {
+                let t_tcp = self.spare.remove(0);
+                let t_ip = self.spare.remove(0);
+                // Spawn TCP and UDP first so IP can be wired at build time;
+                // PF and UDP share the IP thread (as in the paper's
+                // placements, where only TCP and IP get dedicated cores).
+                let tcp = ctx.spawn(
+                    t_tcp,
+                    Box::new(TcpProc::new(
+                        format!("tcp.{queue}"),
+                        queue,
+                        ctx.self_id,
+                        None,
+                        self.cfg.ip,
+                        self.cfg.tcp.clone(),
+                    )),
+                    delay,
+                );
+                let udp = ctx.spawn(
+                    t_ip,
+                    Box::new(UdpProc::new(format!("udp.{queue}"), queue, None, self.cfg.ip)),
+                    delay,
+                );
+                let ip = ctx.spawn(
+                    t_ip,
+                    Box::new(IpProc::new(
+                        format!("ip.{queue}"),
+                        queue,
+                        self.driver,
+                        Some(tcp),
+                        Some(udp),
+                        self.cfg.ip,
+                        self.cfg.mac,
+                        self.arp_seed.clone(),
+                    )),
+                    delay,
+                );
+                let pf = ctx.spawn(
+                    t_ip,
+                    Box::new(PfProc::new(
+                        format!("pf.{queue}"),
+                        queue,
+                        self.driver,
+                        Some(ip),
+                        Vec::new(),
+                    )),
+                    delay,
+                );
+                ctx.send(tcp, Msg::SetNeighbor { role: NeighborRole::Ip, pid: ip });
+                ctx.send(udp, Msg::SetNeighbor { role: NeighborRole::Ip, pid: ip });
+                self.register_replica(
+                    queue,
+                    vec![
+                        (Role::Tcp, tcp, t_tcp),
+                        (Role::Udp, udp, t_ip),
+                        (Role::Ip, ip, t_ip),
+                        (Role::Pf, pf, t_ip),
+                    ],
+                );
+                self.notify_apps(ctx, || Msg::ReplicaAdded { stack: tcp });
+            }
+        }
+        self.stats.borrow_mut().scale_ups += 1;
+    }
+
+    fn scale_down(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Pick the highest-numbered live, non-terminating replica; never
+        // terminate the last one.
+        let live: Vec<usize> = self
+            .replicas
+            .iter()
+            .filter(|r| r.alive && !r.terminating)
+            .map(|r| r.queue)
+            .collect();
+        if live.len() <= 1 {
+            return;
+        }
+        let q = *live.last().unwrap();
+        self.replicas[q].terminating = true;
+        // New connections avoid this queue; existing ones keep flowing.
+        ctx.send(
+            self.driver,
+            Msg::NicSetAccepting {
+                queue: q,
+                accepting: false,
+            },
+        );
+        if let Some(head) = self.sockets_head(q) {
+            ctx.send(head, Msg::Terminate);
+        }
+    }
+
+    fn gc_drained(&mut self, ctx: &mut Ctx<'_, Msg>, queue: usize) {
+        let Some(rec) = self.replicas.get_mut(queue) else {
+            return;
+        };
+        if !rec.terminating || !rec.alive {
+            return;
+        }
+        rec.alive = false;
+        let head = rec
+            .comps
+            .get(&Role::Tcp)
+            .or_else(|| rec.comps.get(&Role::Single))
+            .map(|(p, _)| *p);
+        let comps: Vec<(ProcId, HwThreadId)> = rec.comps.drain().map(|(_, v)| v).collect();
+        for (pid, thread) in comps {
+            ctx.kill(pid, false);
+            // The freed threads become spare capacity (the paper: "makes
+            // the corresponding cores available to the applications").
+            if !self.spare.contains(&thread) {
+                self.spare.push(thread);
+            }
+        }
+        ctx.send(self.driver, Msg::ReplicaDown { queue });
+        if let Some(h) = head {
+            self.notify_apps(ctx, || Msg::ReplicaRemoved { stack: h });
+        }
+        self.stats.borrow_mut().scale_downs_completed += 1;
+    }
+}
+
+impl Process<Msg> for Supervisor {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {}
+            Event::Timer { token } => {
+                if let Some(job) = self.jobs.remove(&token) {
+                    self.respawn(ctx, job);
+                }
+            }
+            Event::Message { msg, .. } => match msg {
+                Msg::Crashed { pid, .. } => {
+                    self.stats.borrow_mut().crashes_seen += 1;
+                    if let Some((queue, role, thread)) = self.find_crashed(pid) {
+                        // If the pipeline head died, tell the driver to
+                        // hold (drop) that queue's packets meanwhile.
+                        if matches!(role, Role::Pf | Role::Single) {
+                            if let Some(q) = queue {
+                                ctx.send(self.driver, Msg::ReplicaDown { queue: q });
+                            }
+                        }
+                        self.schedule_respawn(ctx, queue, role, pid, thread);
+                    }
+                }
+                Msg::RegisterApp { app } => {
+                    if !self.apps.contains(&app) {
+                        self.apps.push(app);
+                    }
+                }
+                Msg::ScaleUp => self.scale_up(ctx),
+                Msg::ScaleDown => self.scale_down(ctx),
+                Msg::Drained { queue } => self.gc_drained(ctx, queue),
+                _ => {}
+            },
+        }
+    }
+}

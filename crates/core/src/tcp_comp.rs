@@ -1,0 +1,137 @@
+//! The TCP component of the multi-component replica (§3.7, Figure 3).
+//!
+//! The only component with "significant per-connection read/write state,
+//! read/write control state, and in-flight data" (§6.6) — which is why only
+//! TCP faults cause visible state loss in the fault-injection experiments.
+
+use crate::msg::{Msg, NeighborRole};
+use crate::sock_server::SockServer;
+use neat_sim::{calibration, Ctx, Event, ProcId, Process, Time};
+use std::net::Ipv4Addr;
+
+/// The TCP process.
+pub struct TcpProc {
+    pub name: String,
+    pub queue: usize,
+    supervisor: ProcId,
+    ip: Option<ProcId>,
+    sock: SockServer,
+    terminating: bool,
+    drained_reported: bool,
+    armed: Option<u64>,
+    /// ASLR layout token — randomized at every (re)start (§3.8).
+    pub layout_token: u64,
+}
+
+impl TcpProc {
+    pub fn new(
+        name: impl Into<String>,
+        queue: usize,
+        supervisor: ProcId,
+        ip: Option<ProcId>,
+        local_ip: Ipv4Addr,
+        tcp_cfg: neat_tcp::TcpConfig,
+    ) -> TcpProc {
+        TcpProc {
+            name: name.into(),
+            queue,
+            supervisor,
+            ip,
+            sock: SockServer::new(local_ip, tcp_cfg),
+            terminating: false,
+            drained_reported: false,
+            armed: None,
+            layout_token: 0,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now().as_nanos();
+        let me = ctx.self_id;
+        let (_, opened, closed) = self.sock.process_events(me);
+        ctx.charge(opened as u64 * calibration::TCP_OPEN + closed as u64 * calibration::TCP_CLOSE);
+        for (dst, seg) in self.sock.poll_wire(now) {
+            ctx.charge(calibration::TCP_TX_SEG);
+            if let Some(ip) = self.ip {
+                ctx.send(
+                    ip,
+                    Msg::IpTx {
+                        dst,
+                        protocol: 6,
+                        payload: seg,
+                    },
+                );
+            }
+        }
+        for (app, msg) in self.sock.take_app_msgs() {
+            ctx.charge(calibration::SOCK_OP);
+            ctx.send(app, msg);
+        }
+        if let Some(d) = self.sock.next_timeout() {
+            if self.armed.map(|a| d < a).unwrap_or(true) {
+                self.armed = Some(d);
+                ctx.set_timer(Time::from_nanos(d.saturating_sub(now)), 0);
+            }
+        }
+        if self.terminating && !self.drained_reported && self.sock.conn_count() == 0 {
+            self.drained_reported = true;
+            ctx.send(self.supervisor, Msg::Drained { queue: self.queue });
+        }
+    }
+}
+
+impl Process<Msg> for TcpProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {
+                self.layout_token = rand::Rng::gen(ctx.rng());
+            }
+            Event::Timer { .. } => {
+                self.armed = None;
+                let now = ctx.now().as_nanos();
+                self.sock.on_timer(now);
+                self.flush(ctx);
+            }
+            Event::Message { from, msg } => match msg {
+                Msg::IpRxTcp { src, seg } => {
+                    ctx.charge(calibration::TCP_RX_SEG);
+                    let now = ctx.now().as_nanos();
+                    if let Ok((h, range)) =
+                        neat_net::TcpHeader::parse(&seg, src, self.sock.stack.local_ip)
+                    {
+                        self.sock.stack.handle_segment(src, &h, &seg[range], now);
+                    }
+                    self.flush(ctx);
+                }
+                m @ (Msg::Listen { .. }
+                | Msg::Connect { .. }
+                | Msg::ConnSend { .. }
+                | Msg::ConnClose { .. }) => {
+                    if self.terminating && matches!(m, Msg::Listen { .. } | Msg::Connect { .. }) {
+                        return;
+                    }
+                    let now = ctx.now().as_nanos();
+                    let ops = self.sock.handle_app(from, m, now);
+                    ctx.charge(ops as u64 * calibration::SOCK_OP);
+                    self.flush(ctx);
+                }
+                Msg::SetNeighbor { role, pid } => match role {
+                    NeighborRole::Ip => self.ip = Some(pid),
+                    NeighborRole::Supervisor => self.supervisor = pid,
+                    _ => {}
+                },
+                Msg::Terminate => {
+                    self.terminating = true;
+                    self.supervisor = from;
+                    self.flush(ctx);
+                }
+                Msg::Poison => ctx.crash_self(),
+                _ => {}
+            },
+        }
+    }
+}

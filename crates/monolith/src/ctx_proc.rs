@@ -1,0 +1,239 @@
+//! Per-core kernel contexts and the IRQ fan-out of the monolithic stack.
+//!
+//! A [`KernelCtxProc`] is "the kernel as seen from one core": it executes
+//! softirq work for packets steered to its core and syscall work for the
+//! application pinned there — all against the *shared* kernel state, paying
+//! the contention taxes. A [`MonoIrqProc`] models the interrupt routing
+//! fabric: it places each received frame on the core its queue is bound to
+//! (IRQ affinity) or wherever irqbalance happens to point (defaults).
+
+use crate::shared::{MonoShared, MONO_VFS_PER_OP};
+use neat::msg::Msg;
+use neat::netcode::RxClass;
+use neat_sim::{calibration, Ctx, Event, ProcId, Process, Time};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// One per-core kernel context.
+pub struct KernelCtxProc {
+    pub name: String,
+    pub idx: usize,
+    shared: Rc<RefCell<MonoShared>>,
+    /// Shared link/ARP state (also kernel-owned).
+    io: Rc<RefCell<neat::netcode::FrameIo>>,
+    nic: ProcId,
+    armed: Option<u64>,
+}
+
+impl KernelCtxProc {
+    pub fn new(
+        name: impl Into<String>,
+        idx: usize,
+        shared: Rc<RefCell<MonoShared>>,
+        io: Rc<RefCell<neat::netcode::FrameIo>>,
+        nic: ProcId,
+    ) -> KernelCtxProc {
+        KernelCtxProc {
+            name: name.into(),
+            idx,
+            shared,
+            io,
+            nic,
+            armed: None,
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now().as_nanos();
+        let mut sh = self.shared.borrow_mut();
+        let canonical = sh.canonical;
+        let (_, opened, closed) = sh.sock.process_events(canonical);
+        ctx.charge(opened as u64 * calibration::TCP_OPEN + closed as u64 * calibration::TCP_CLOSE);
+        let wire = sh.sock.poll_wire(now);
+        let mut io = self.io.borrow_mut();
+        for (dst, seg) in wire {
+            ctx.charge(
+                calibration::TCP_TX_SEG
+                    + calibration::IP_TX_PKT
+                    + sh.scaled(
+                        calibration::MONO_STACK_TX_OVERHEAD
+                            + calibration::MONO_SKB_PER_PKT
+                            + MONO_VFS_PER_OP / 2,
+                    ),
+            );
+            io.send_ip(dst, neat_net::ipv4::IpProtocol::Tcp, &seg, now);
+        }
+        for frame in io.drain() {
+            ctx.send(self.nic, Msg::NetTx(frame));
+        }
+        drop(io);
+        let msgs = sh.sock.take_app_msgs();
+        for (app, msg) in msgs {
+            ctx.charge(calibration::SOCK_OP + sh.wrong_core_penalty(self.idx, app));
+            ctx.send(app, msg);
+        }
+        // One context owns the kernel's timer wheel.
+        if self.idx == 0 {
+            if let Some(d) = sh.sock.next_timeout() {
+                if self.armed.map(|a| d < a).unwrap_or(true) {
+                    self.armed = Some(d);
+                    ctx.set_timer(Time::from_nanos(d.saturating_sub(now)), 0);
+                }
+            }
+        }
+    }
+}
+
+impl Process<Msg> for KernelCtxProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        match ev {
+            Event::Start => {}
+            Event::Timer { .. } => {
+                self.armed = None;
+                let now = ctx.now().as_nanos();
+                self.shared.borrow_mut().sock.on_timer(now);
+                self.flush(ctx);
+            }
+            Event::Message { from, msg } => match msg {
+                Msg::NetRx(frame) => {
+                    let now = ctx.now().as_nanos();
+                    let (tax, skb) = {
+                        let mut sh = self.shared.borrow_mut();
+                        let t = sh.kernel_entry(self.idx, now, 1);
+                        let s = sh.scaled(
+                            calibration::MONO_STACK_RX_OVERHEAD + calibration::MONO_SKB_PER_PKT,
+                        );
+                        (t, s)
+                    };
+                    ctx.charge(tax + skb + calibration::IP_RX_PKT);
+                    let class = self.io.borrow_mut().classify_rx(&frame, now);
+                    match class {
+                        RxClass::Tcp { src, seg } => {
+                            let vfs = self.shared.borrow().scaled(MONO_VFS_PER_OP / 2);
+                            ctx.charge(calibration::TCP_RX_SEG + vfs);
+                            let local_ip = self.shared.borrow().sock.stack.local_ip;
+                            if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, local_ip)
+                            {
+                                self.shared
+                                    .borrow_mut()
+                                    .sock
+                                    .stack
+                                    .handle_segment(src, &h, &seg[range], now);
+                            }
+                        }
+                        _ => {}
+                    }
+                    self.flush(ctx);
+                }
+                m @ (Msg::Listen { .. }
+                | Msg::Connect { .. }
+                | Msg::ConnSend { .. }
+                | Msg::ConnClose { .. }) => {
+                    let now = ctx.now().as_nanos();
+                    // Syscall path: boundary crossing + VFS + locks.
+                    let mut sh = self.shared.borrow_mut();
+                    let tax = sh.kernel_entry(self.idx, now, 1);
+                    let vfs = sh.scaled(MONO_VFS_PER_OP);
+                    ctx.charge(calibration::MONO_SYSCALL + vfs + tax);
+                    if let Msg::Listen { app, .. } = &m {
+                        // The listener's application lives on this core.
+                        sh.app_ctx.insert(*app, self.idx);
+                    }
+                    let ops = sh.handle_app_msg(from, m, now);
+                    ctx.charge(ops as u64 * calibration::SOCK_OP);
+                    drop(sh);
+                    self.flush(ctx);
+                }
+                Msg::Poison => ctx.crash_self(),
+                _ => {}
+            },
+        }
+    }
+}
+
+/// The interrupt routing fabric (device engine): steers each queue's
+/// frames to a kernel context per the tuning's affinity policy.
+pub struct MonoIrqProc {
+    pub name: String,
+    ctxs: Vec<ProcId>,
+    /// Flow-aligned steering (rxAff + serv): route by destination port so
+    /// a connection's packets hit its server's core.
+    aligned: bool,
+    base_port: u16,
+    /// irqbalance churn when affinity is off: rotating assignment.
+    rr: usize,
+    irq_affinity: bool,
+}
+
+impl MonoIrqProc {
+    pub fn new(
+        name: impl Into<String>,
+        ctxs: Vec<ProcId>,
+        aligned: bool,
+        irq_affinity: bool,
+        base_port: u16,
+    ) -> MonoIrqProc {
+        MonoIrqProc {
+            name: name.into(),
+            ctxs,
+            aligned,
+            base_port,
+            rr: 0,
+            irq_affinity,
+        }
+    }
+
+    fn route(&mut self, frame: &[u8], queue: usize) -> ProcId {
+        let n = self.ctxs.len();
+        if self.aligned {
+            if let Some(flow) = neat_nic::Steering::parse_flow(frame) {
+                let idx = (flow.key.dst_port.wrapping_sub(self.base_port)) as usize % n;
+                return self.ctxs[idx];
+            }
+        }
+        if self.irq_affinity {
+            self.ctxs[queue % n]
+        } else {
+            // irqbalance: interrupts wander between cores.
+            self.rr = (self.rr + 1) % n;
+            self.ctxs[self.rr]
+        }
+    }
+}
+
+impl Process<Msg> for MonoIrqProc {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn dispatch_cost(&self) -> u64 {
+        0 // routing fabric; CPU costs are charged at the contexts
+    }
+
+    fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+        if let Event::Message {
+            msg: Msg::RxFrame { queue, frame },
+            ..
+        } = ev
+        {
+            let dst = self.route(&frame, queue);
+            ctx.send(dst, Msg::NetRx(frame));
+        }
+    }
+}
+
+/// Extension hook: `MonoShared` needs a message-consuming variant of
+/// `handle_app` (the `SockServer` one takes `Msg` by value).
+impl MonoShared {
+    pub fn handle_app_msg(&mut self, from: ProcId, msg: Msg, now: u64) -> u32 {
+        self.sock.handle_app(from, msg, now)
+    }
+}
+
+/// The server IP the monolith binds (mirrors the NEaT testbed).
+pub const MONO_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 1);

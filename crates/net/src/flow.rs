@@ -1,0 +1,172 @@
+//! Flow identification and receive-side scaling.
+//!
+//! NEaT's partitioning hinges on the NIC steering "every packet of each
+//! connection [through] the same path through the network stack" (§3,
+//! Figure 2). Contemporary NICs do this with a hash of the 5-tuple
+//! (RSS) or exact-match filters; this module provides both primitives:
+//! [`FlowKey`] and the Microsoft/Intel Toeplitz hash the 82599 implements.
+
+use crate::ipv4::IpProtocol;
+use std::net::Ipv4Addr;
+
+/// The classic 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    pub src: Ipv4Addr,
+    pub dst: Ipv4Addr,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    pub fn tcp(src: Ipv4Addr, src_port: u16, dst: Ipv4Addr, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src,
+            dst,
+            src_port,
+            dst_port,
+            protocol: u8::from(IpProtocol::Tcp),
+        }
+    }
+
+    /// The same flow seen from the opposite direction.
+    pub fn reversed(&self) -> FlowKey {
+        FlowKey {
+            src: self.dst,
+            dst: self.src,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+}
+
+/// The Toeplitz hash over (src ip, dst ip, src port, dst port), as used by
+/// RSS in the Intel 82599 (and most NICs since).
+#[derive(Debug, Clone)]
+pub struct RssHasher {
+    key: [u8; 40],
+}
+
+impl Default for RssHasher {
+    fn default() -> Self {
+        // Microsoft's reference RSS key.
+        RssHasher {
+            key: [
+                0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43,
+                0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb,
+                0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01,
+                0xfa,
+            ],
+        }
+    }
+}
+
+impl RssHasher {
+    pub fn new(key: [u8; 40]) -> RssHasher {
+        RssHasher { key }
+    }
+
+    /// 32-bit Toeplitz hash of the flow's 12-byte input vector
+    /// (src ip | dst ip | src port | dst port).
+    pub fn hash(&self, flow: &FlowKey) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&flow.src.octets());
+        input[4..8].copy_from_slice(&flow.dst.octets());
+        input[8..10].copy_from_slice(&flow.src_port.to_be_bytes());
+        input[10..12].copy_from_slice(&flow.dst_port.to_be_bytes());
+
+        let mut result: u32 = 0;
+        // The sliding 32-bit window over the key, advanced bit by bit.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_key_bit = 32; // index of the next key bit to shift in
+        for byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                let kb = (self.key[next_key_bit / 8] >> (7 - next_key_bit % 8)) & 1;
+                window = (window << 1) | kb as u32;
+                next_key_bit += 1;
+            }
+        }
+        result
+    }
+
+    /// Map a flow to one of `n` queues like the 82599's indirection table.
+    pub fn queue_for(&self, flow: &FlowKey, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.hash(flow) as usize) % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u8, p: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(66, 9, 149, a),
+            p,
+            Ipv4Addr::new(161, 142, 100, 80),
+            1766,
+        )
+    }
+
+    /// Verification vector from the Microsoft RSS specification:
+    /// 66.9.149.187:2794 -> 161.142.100.80:1766 hashes to 0x51ccc178.
+    #[test]
+    fn toeplitz_reference_vector() {
+        let h = RssHasher::default();
+        let flow = key(187, 2794);
+        assert_eq!(h.hash(&flow), 0x51cc_c178);
+    }
+
+    /// Second vector: 199.92.111.2:14230 -> 65.69.140.83:4739 = 0xc626b0ea.
+    #[test]
+    fn toeplitz_reference_vector_2() {
+        let h = RssHasher::default();
+        let flow = FlowKey::tcp(
+            Ipv4Addr::new(199, 92, 111, 2),
+            14230,
+            Ipv4Addr::new(65, 69, 140, 83),
+            4739,
+        );
+        assert_eq!(h.hash(&flow), 0xc626_b0ea);
+    }
+
+    #[test]
+    fn same_flow_same_queue_always() {
+        let h = RssHasher::default();
+        let flow = key(10, 5555);
+        let q = h.queue_for(&flow, 4);
+        for _ in 0..10 {
+            assert_eq!(h.queue_for(&flow, 4), q);
+        }
+    }
+
+    #[test]
+    fn flows_spread_across_queues() {
+        let h = RssHasher::default();
+        let mut counts = [0usize; 4];
+        for p in 1024..2048u16 {
+            counts[h.queue_for(&key(1, p), 4)] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!(
+                (150..=400).contains(c),
+                "queue {i} got {c} of 1024 flows — load imbalance"
+            );
+        }
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let f = key(1, 1000);
+        let r = f.reversed();
+        assert_eq!(r.src, f.dst);
+        assert_eq!(r.dst_port, f.src_port);
+        assert_eq!(r.reversed(), f);
+    }
+}

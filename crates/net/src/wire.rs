@@ -1,0 +1,89 @@
+//! Low-level byte-order helpers and the crate error type.
+
+use std::fmt;
+
+/// Errors raised while parsing or emitting wire formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated,
+    /// A length field disagrees with the available bytes.
+    BadLength,
+    /// A checksum failed validation.
+    BadChecksum,
+    /// An unsupported version/type/operation value.
+    Unsupported,
+    /// A malformed field (reserved bits, illegal combination).
+    Malformed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetError::Truncated => "truncated packet",
+            NetError::BadLength => "inconsistent length field",
+            NetError::BadChecksum => "checksum mismatch",
+            NetError::Unsupported => "unsupported value",
+            NetError::Malformed => "malformed field",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for NetError {}
+
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Read a big-endian u16 at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([buf[off], buf[off + 1]])
+}
+
+/// Read a big-endian u32 at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_be_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Write a big-endian u16 at `off`.
+#[inline]
+pub fn set_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Write a big-endian u32 at `off`.
+#[inline]
+pub fn set_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_be_bytes());
+}
+
+/// Ensure at least `n` bytes are available.
+#[inline]
+pub fn need(buf: &[u8], n: usize) -> NetResult<()> {
+    if buf.len() < n {
+        Err(NetError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn be_roundtrip() {
+        let mut b = [0u8; 8];
+        set_u16(&mut b, 1, 0xBEEF);
+        set_u32(&mut b, 3, 0xDEAD_C0DE);
+        assert_eq!(get_u16(&b, 1), 0xBEEF);
+        assert_eq!(get_u32(&b, 3), 0xDEAD_C0DE);
+    }
+
+    #[test]
+    fn need_checks_length() {
+        assert_eq!(need(&[0; 4], 5), Err(NetError::Truncated));
+        assert!(need(&[0; 4], 4).is_ok());
+    }
+}

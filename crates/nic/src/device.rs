@@ -1,0 +1,288 @@
+//! The assembled NIC device: queue pairs + steering + TSO + faults + link
+//! timing, as one passive hardware model the driver process drives.
+
+use crate::faults::{FaultInjector, FaultOutcome};
+use crate::link::LinkModel;
+use crate::queue::DescRing;
+use crate::steer::Steering;
+use crate::tso;
+use neat_net::FlowKey;
+use neat_sim::Time;
+
+/// Static NIC configuration.
+#[derive(Debug, Clone)]
+pub struct NicConfig {
+    /// Number of RX/TX queue pairs (== max stack replicas served).
+    pub queue_pairs: usize,
+    /// Descriptors per RX ring.
+    pub ring_size: usize,
+    /// TSO segment size used when splitting oversized TX frames.
+    pub tso_mss: usize,
+    /// Enable TSO.
+    pub tso: bool,
+    pub link: LinkModel,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            queue_pairs: 4,
+            ring_size: 512,
+            tso_mss: 1460,
+            tso: true,
+            link: LinkModel::ten_gbe(),
+        }
+    }
+}
+
+/// Counters exposed to the experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NicStats {
+    pub rx_frames: u64,
+    pub tx_frames: u64,
+    pub rx_bytes: u64,
+    pub tx_bytes: u64,
+    pub rx_dropped_ring: u64,
+    pub tso_splits: u64,
+}
+
+/// The simulated 82599. RX path: wire → faults → steering → per-queue ring.
+/// TX path: host frame → TSO → wire frames (with serialization times).
+#[derive(Debug)]
+pub struct Nic {
+    cfg: NicConfig,
+    steering: Steering,
+    rx_rings: Vec<DescRing>,
+    rx_faults: FaultInjector,
+    pub stats: NicStats,
+}
+
+impl Nic {
+    pub fn new(cfg: NicConfig, rx_faults: FaultInjector) -> Nic {
+        let steering = Steering::new(cfg.queue_pairs);
+        let rx_rings = (0..cfg.queue_pairs)
+            .map(|_| DescRing::new(cfg.ring_size))
+            .collect();
+        Nic {
+            cfg,
+            steering,
+            rx_rings,
+            rx_faults,
+            stats: NicStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    pub fn num_queues(&self) -> usize {
+        self.rx_rings.len()
+    }
+
+    /// A frame arrived from the wire at `now_ns`. Returns the queue it was
+    /// steered to, or `None` if faults or ring overflow consumed it.
+    pub fn wire_rx(&mut self, frame: Vec<u8>, now_ns: u64) -> Option<usize> {
+        let frame = match self.rx_faults.apply(frame, now_ns) {
+            FaultOutcome::Pass(f) | FaultOutcome::Corrupted(f) => f,
+            FaultOutcome::Dropped => return None,
+        };
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += frame.len() as u64;
+        let q = self.steering.classify_track(&frame, now_ns);
+        if self.rx_rings[q].push(frame) {
+            Some(q)
+        } else {
+            self.stats.rx_dropped_ring += 1;
+            None
+        }
+    }
+
+    /// The driver fetches the next received frame from a queue.
+    pub fn rx_pop(&mut self, queue: usize) -> Option<Vec<u8>> {
+        self.rx_rings.get_mut(queue)?.pop()
+    }
+
+    pub fn rx_pending(&self, queue: usize) -> usize {
+        self.rx_rings.get(queue).map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// The host hands the NIC a frame for transmission. Returns the wire
+    /// frames (after TSO) each paired with its serialization time.
+    pub fn host_tx(&mut self, frame: Vec<u8>) -> Vec<(Vec<u8>, Time)> {
+        let frames = if self.cfg.tso {
+            let split = tso::tso_split(frame, self.cfg.tso_mss);
+            if split.len() > 1 {
+                self.stats.tso_splits += 1;
+            }
+            split
+        } else {
+            vec![frame]
+        };
+        frames
+            .into_iter()
+            .map(|f| {
+                self.stats.tx_frames += 1;
+                self.stats.tx_bytes += f.len() as u64;
+                let t = self.cfg.link.tx_time(f.len());
+                (f, t)
+            })
+            .collect()
+    }
+
+    /// One-way link latency to the peer NIC.
+    pub fn link_latency(&self) -> Time {
+        self.cfg.link.latency
+    }
+
+    // --- control plane (driver-configured), §4 ---
+
+    pub fn add_filter(&mut self, key: FlowKey, queue: usize) -> bool {
+        self.steering.add_filter(key, queue)
+    }
+
+    pub fn remove_filter(&mut self, key: &FlowKey) {
+        self.steering.remove_filter(key);
+    }
+
+    pub fn set_queue_accepting(&mut self, queue: usize, accepting: bool) {
+        self.steering.set_accepting(queue, accepting);
+    }
+
+    /// Toggle SYN-learned tracking filters (ablation hook).
+    pub fn set_tracking(&mut self, on: bool) {
+        self.steering.track_flows = on;
+    }
+
+    /// Grow the queue set for scale-up (§3.4).
+    pub fn grow_queues(&mut self, n: usize) {
+        while self.rx_rings.len() < n {
+            self.rx_rings.push(DescRing::new(self.cfg.ring_size));
+        }
+        self.steering.grow(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultConfig;
+    use neat_net::ethernet::{EtherType, EthernetFrame};
+    use neat_net::ipv4::{IpProtocol, Ipv4Header};
+    use neat_net::tcp::{TcpFlags, TcpHeader};
+    use neat_net::{MacAddr, SeqNum};
+    use std::net::Ipv4Addr;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn frame(src_port: u16, payload: &[u8]) -> Vec<u8> {
+        let tcp = TcpHeader::new(src_port, 80, SeqNum(0), SeqNum(0), TcpFlags::psh_ack())
+            .emit(payload, SRC, DST);
+        let ip = Ipv4Header::new(SRC, DST, IpProtocol::Tcp, tcp.len()).emit(&tcp);
+        EthernetFrame {
+            dst: MacAddr::local(1),
+            src: MacAddr::local(2),
+            ethertype: EtherType::Ipv4,
+        }
+        .emit(&ip)
+    }
+
+    #[test]
+    fn rx_steers_to_stable_queue() {
+        let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
+        let q1 = nic.wire_rx(frame(1000, b"a"), 0).unwrap();
+        let q2 = nic.wire_rx(frame(1000, b"b"), 0).unwrap();
+        assert_eq!(q1, q2);
+        assert_eq!(nic.rx_pending(q1), 2);
+        assert!(nic.rx_pop(q1).is_some());
+        assert!(nic.rx_pop(q1).is_some());
+        assert!(nic.rx_pop(q1).is_none());
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let cfg = NicConfig {
+            ring_size: 2,
+            queue_pairs: 1,
+            ..Default::default()
+        };
+        let mut nic = Nic::new(cfg, FaultInjector::disabled(1));
+        assert!(nic.wire_rx(frame(1, b"x"), 0).is_some());
+        assert!(nic.wire_rx(frame(2, b"x"), 0).is_some());
+        assert!(nic.wire_rx(frame(3, b"x"), 0).is_none());
+        assert_eq!(nic.stats.rx_dropped_ring, 1);
+    }
+
+    #[test]
+    fn tx_tso_produces_timed_wire_frames() {
+        let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
+        let big = frame(5000, &vec![9u8; 4000]);
+        let out = nic.host_tx(big);
+        assert_eq!(out.len(), 3);
+        assert_eq!(nic.stats.tso_splits, 1);
+        for (f, t) in &out {
+            assert!(t.as_nanos() > 0);
+            assert!(f.len() <= 14 + 20 + 20 + 1460);
+        }
+    }
+
+    #[test]
+    fn tx_without_tso_passthrough() {
+        let cfg = NicConfig {
+            tso: false,
+            ..Default::default()
+        };
+        let mut nic = Nic::new(cfg, FaultInjector::disabled(1));
+        let big = frame(5000, &vec![9u8; 4000]);
+        let out = nic.host_tx(big.clone());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, big);
+    }
+
+    #[test]
+    fn faults_drop_on_rx() {
+        let mut nic = Nic::new(
+            NicConfig::default(),
+            FaultInjector::new(
+                FaultConfig {
+                    drop_pct: 100,
+                    ..Default::default()
+                },
+                1,
+            ),
+        );
+        assert!(nic.wire_rx(frame(1, b"x"), 0).is_none());
+        assert_eq!(nic.stats.rx_frames, 0);
+    }
+
+    #[test]
+    fn grow_queues_expands() {
+        let cfg = NicConfig {
+            queue_pairs: 1,
+            ..Default::default()
+        };
+        let mut nic = Nic::new(cfg, FaultInjector::disabled(1));
+        assert_eq!(nic.num_queues(), 1);
+        nic.grow_queues(3);
+        assert_eq!(nic.num_queues(), 3);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..256 {
+            if let Some(q) = nic.wire_rx(frame(2000 + p, b"s"), 0) {
+                seen.insert(q);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn filters_pin_flows() {
+        let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
+        let f = frame(7777, b"z");
+        let flow = crate::steer::Steering::parse_flow(&f).unwrap().key;
+        let natural = nic.wire_rx(f.clone(), 0).unwrap();
+        let target = (natural + 1) % nic.num_queues();
+        assert!(nic.add_filter(flow, target));
+        assert_eq!(nic.wire_rx(f, 0).unwrap(), target);
+    }
+}

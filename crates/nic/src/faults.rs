@@ -1,0 +1,220 @@
+//! Link-level fault injection, modelled on smoltcp's example options:
+//! `--drop-chance`, `--corrupt-chance`, `--size-limit`, rate limiting via a
+//! token bucket. Used to demonstrate the stack's robustness and to stress
+//! the recovery experiments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault injection configuration (probabilities in percent, like smoltcp).
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Probability (0–100) of dropping a frame.
+    pub drop_pct: u8,
+    /// Probability (0–100) of flipping one bit in a frame.
+    pub corrupt_pct: u8,
+    /// Drop frames larger than this many bytes (0 = unlimited).
+    pub size_limit: usize,
+    /// Token bucket size in frames (0 = no rate limit).
+    pub rate_tokens: u32,
+    /// Bucket refill interval in nanoseconds.
+    pub refill_interval_ns: u64,
+}
+
+/// What happened to a frame passed through the injector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Pass through unchanged.
+    Pass(Vec<u8>),
+    /// Pass through with one octet mutated.
+    Corrupted(Vec<u8>),
+    /// Silently dropped.
+    Dropped,
+}
+
+/// Stateful fault injector (token bucket + RNG).
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SmallRng,
+    tokens: u32,
+    last_refill_ns: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+    pub passed: u64,
+}
+
+impl FaultInjector {
+    pub fn new(cfg: FaultConfig, seed: u64) -> FaultInjector {
+        let tokens = cfg.rate_tokens;
+        FaultInjector {
+            cfg,
+            rng: SmallRng::seed_from_u64(seed),
+            tokens,
+            last_refill_ns: 0,
+            dropped: 0,
+            corrupted: 0,
+            passed: 0,
+        }
+    }
+
+    /// A no-fault injector (everything passes).
+    pub fn disabled(seed: u64) -> FaultInjector {
+        FaultInjector::new(FaultConfig::default(), seed)
+    }
+
+    /// Run one frame through the injector at simulated time `now_ns`.
+    pub fn apply(&mut self, mut frame: Vec<u8>, now_ns: u64) -> FaultOutcome {
+        // Size limit.
+        if self.cfg.size_limit > 0 && frame.len() > self.cfg.size_limit {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        // Token-bucket rate limit.
+        if self.cfg.rate_tokens > 0 {
+            if self.cfg.refill_interval_ns > 0
+                && now_ns.saturating_sub(self.last_refill_ns) >= self.cfg.refill_interval_ns
+            {
+                self.tokens = self.cfg.rate_tokens;
+                self.last_refill_ns = now_ns;
+            }
+            if self.tokens == 0 {
+                self.dropped += 1;
+                return FaultOutcome::Dropped;
+            }
+            self.tokens -= 1;
+        }
+        // Random drop.
+        if self.cfg.drop_pct > 0 && self.rng.gen_range(0..100) < self.cfg.drop_pct as u32 {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        // Random single-octet corruption.
+        if self.cfg.corrupt_pct > 0
+            && !frame.is_empty()
+            && self.rng.gen_range(0..100) < self.cfg.corrupt_pct as u32
+        {
+            let idx = self.rng.gen_range(0..frame.len());
+            let bit = 1u8 << self.rng.gen_range(0..8);
+            frame[idx] ^= bit;
+            self.corrupted += 1;
+            return FaultOutcome::Corrupted(frame);
+        }
+        self.passed += 1;
+        FaultOutcome::Pass(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_passes_everything() {
+        let mut f = FaultInjector::disabled(1);
+        for i in 0..100u8 {
+            match f.apply(vec![i; 64], 0) {
+                FaultOutcome::Pass(v) => assert_eq!(v, vec![i; 64]),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(f.passed, 100);
+    }
+
+    #[test]
+    fn drop_rate_approximates_config() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                drop_pct: 15,
+                ..Default::default()
+            },
+            42,
+        );
+        let mut drops = 0;
+        for _ in 0..10_000 {
+            if f.apply(vec![0; 64], 0) == FaultOutcome::Dropped {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.12..=0.18).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                corrupt_pct: 100,
+                ..Default::default()
+            },
+            7,
+        );
+        let orig = vec![0u8; 64];
+        match f.apply(orig.clone(), 0) {
+            FaultOutcome::Corrupted(v) => {
+                let flipped: u32 = v
+                    .iter()
+                    .zip(&orig)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            other => panic!("expected corruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn size_limit_drops_large() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                size_limit: 100,
+                ..Default::default()
+            },
+            1,
+        );
+        assert_eq!(f.apply(vec![0; 101], 0), FaultOutcome::Dropped);
+        assert!(matches!(f.apply(vec![0; 100], 0), FaultOutcome::Pass(_)));
+    }
+
+    #[test]
+    fn token_bucket_limits_and_refills() {
+        let mut f = FaultInjector::new(
+            FaultConfig {
+                rate_tokens: 4,
+                refill_interval_ns: 50_000_000,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut passed = 0;
+        for _ in 0..10 {
+            if matches!(f.apply(vec![0; 10], 1000), FaultOutcome::Pass(_)) {
+                passed += 1;
+            }
+        }
+        assert_eq!(passed, 4, "bucket exhausted after 4 frames");
+        // After the refill interval, tokens return.
+        assert!(matches!(
+            f.apply(vec![0; 10], 60_000_000),
+            FaultOutcome::Pass(_)
+        ));
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let run = |seed| {
+            let mut f = FaultInjector::new(
+                FaultConfig {
+                    drop_pct: 50,
+                    ..Default::default()
+                },
+                seed,
+            );
+            (0..64)
+                .map(|_| f.apply(vec![0; 8], 0) == FaultOutcome::Dropped)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

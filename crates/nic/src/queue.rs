@@ -1,0 +1,95 @@
+//! Descriptor rings: the bounded RX/TX queues of one NIC queue pair.
+
+use std::collections::VecDeque;
+
+/// A bounded frame ring. When full, new frames are dropped (tail drop) —
+/// exactly what an overloaded replica's RX queue does in the paper's
+/// overload experiments.
+#[derive(Debug)]
+pub struct DescRing {
+    frames: VecDeque<Vec<u8>>,
+    cap: usize,
+    /// Total frames ever enqueued.
+    pub enqueued: u64,
+    /// Frames dropped because the ring was full.
+    pub dropped: u64,
+}
+
+impl DescRing {
+    pub fn new(cap: usize) -> DescRing {
+        DescRing {
+            frames: VecDeque::with_capacity(cap.min(1024)),
+            cap,
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Enqueue a frame; returns false (and counts a drop) when full.
+    pub fn push(&mut self, frame: Vec<u8>) -> bool {
+        if self.frames.len() >= self.cap {
+            self.dropped += 1;
+            false
+        } else {
+            self.frames.push_back(frame);
+            self.enqueued += 1;
+            true
+        }
+    }
+
+    pub fn pop(&mut self) -> Option<Vec<u8>> {
+        self.frames.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Discard everything (device reset).
+    pub fn clear(&mut self) {
+        self.frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = DescRing::new(4);
+        assert!(r.push(vec![1]));
+        assert!(r.push(vec![2]));
+        assert_eq!(r.pop(), Some(vec![1]));
+        assert_eq!(r.pop(), Some(vec![2]));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut r = DescRing::new(2);
+        assert!(r.push(vec![1]));
+        assert!(r.push(vec![2]));
+        assert!(!r.push(vec![3]));
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.enqueued, 2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut r = DescRing::new(2);
+        r.push(vec![1]);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.enqueued, 1);
+    }
+}

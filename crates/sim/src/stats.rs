@@ -1,0 +1,228 @@
+//! Measurement utilities: latency histograms and rate meters.
+//!
+//! The benchmark harness reports the same quantities httperf does in the
+//! paper: successful request rate (krps), throughput (MB/s), and response
+//! latency — so the experiment binaries can print paper-shaped rows.
+
+use crate::time::Time;
+use serde::Serialize;
+
+/// A log-bucketed latency histogram (HdrHistogram-style, power-of-two
+/// buckets with linear sub-buckets), covering 1 ns .. ~17 s.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    /// 64 major buckets x 16 sub-buckets.
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+const SUB: usize = 16;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; 40 * SUB],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < SUB as u64 {
+            return ns as usize;
+        }
+        let major = 63 - ns.leading_zeros() as usize; // floor(log2)
+        let shift = major - 4; // keep 4 bits of sub-bucket precision
+        let sub = ((ns >> shift) & (SUB as u64 - 1)) as usize;
+        let bucket = (major - 3) * SUB + sub;
+        bucket.min(40 * SUB - 1)
+    }
+
+    /// Bucket lower bound for an index (inverse of `index`, approximate).
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let major = idx / SUB + 3;
+        let sub = (idx % SUB) as u64;
+        let shift = major - 4;
+        ((SUB as u64) << shift) | (sub << shift)
+    }
+
+    pub fn record(&mut self, t: Time) {
+        let ns = t.as_nanos();
+        self.counts[Self::index(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn mean(&self) -> Time {
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        Time((self.sum_ns / self.total as u128) as u64)
+    }
+
+    pub fn max(&self) -> Time {
+        Time(self.max_ns)
+    }
+
+    pub fn min(&self) -> Time {
+        if self.total == 0 {
+            Time::ZERO
+        } else {
+            Time(self.min_ns)
+        }
+    }
+
+    /// Quantile in `[0, 1]`, e.g. `0.99` for p99. Returns the lower bound of
+    /// the bucket containing the quantile.
+    pub fn quantile(&self, q: f64) -> Time {
+        if self.total == 0 {
+            return Time::ZERO;
+        }
+        let target = ((self.total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Time(Self::value_of(i));
+            }
+        }
+        Time(self.max_ns)
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+}
+
+/// Counts discrete completions over a window and reports a rate.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RateMeter {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+impl RateMeter {
+    pub fn add(&mut self, bytes: u64) {
+        self.count += 1;
+        self.bytes += bytes;
+    }
+
+    /// Completions per second over `elapsed`.
+    pub fn per_sec(&self, elapsed: Time) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / s
+        }
+    }
+
+    /// Kilo-completions per second (the paper's krps unit).
+    pub fn krps(&self, elapsed: Time) -> f64 {
+        self.per_sec(elapsed) / 1e3
+    }
+
+    /// Payload megabytes per second.
+    pub fn mbps(&self, elapsed: Time) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_orders_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Time::from_micros(i));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 < p99);
+        // p50 of uniform 1..1000us should land near 500us (bucket bounds
+        // make this approximate).
+        assert!(p50 > Time::from_micros(350) && p50 < Time::from_micros(700), "p50={p50}");
+        assert!(h.max() == Time::from_micros(1000));
+        assert!(h.min() == Time::from_micros(1));
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = Histogram::new();
+        h.record(Time::from_nanos(100));
+        h.record(Time::from_nanos(300));
+        assert_eq!(h.mean(), Time::from_nanos(200));
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Time::from_micros(10));
+        b.record(Time::from_micros(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Time::from_micros(20));
+    }
+
+    #[test]
+    fn small_values_exact_buckets() {
+        let mut h = Histogram::new();
+        h.record(Time::from_nanos(3));
+        assert_eq!(h.quantile(1.0), Time::from_nanos(3));
+    }
+
+    #[test]
+    fn rate_meter_units() {
+        let mut r = RateMeter::default();
+        for _ in 0..224_000 {
+            r.add(20);
+        }
+        let e = Time::from_secs(1);
+        assert!((r.krps(e) - 224.0).abs() < 1e-9);
+        assert!((r.mbps(e) - 4.48).abs() < 1e-9);
+        assert_eq!(RateMeter::default().per_sec(Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), Time::ZERO);
+        assert_eq!(h.quantile(0.99), Time::ZERO);
+        assert_eq!(h.min(), Time::ZERO);
+    }
+}

@@ -1,0 +1,215 @@
+//! Send and receive stream buffers.
+//!
+//! The send buffer keeps every byte from the ACK point (`snd.una`) forward —
+//! the retransmittable part of the stream — addressed by sequence number.
+//! The receive buffer holds in-order bytes awaiting the application; its
+//! free space is the window we advertise.
+
+use neat_net::SeqNum;
+use std::collections::VecDeque;
+
+/// Bytes between `snd.una` and the end of the user-enqueued stream.
+#[derive(Debug)]
+pub struct SendBuffer {
+    /// Sequence number of `data[0]` (== snd.una).
+    base: SeqNum,
+    data: VecDeque<u8>,
+    cap: usize,
+}
+
+impl SendBuffer {
+    pub fn new(base: SeqNum, cap: usize) -> SendBuffer {
+        SendBuffer {
+            base,
+            data: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue user data; returns how many bytes were accepted.
+    pub fn push(&mut self, buf: &[u8]) -> usize {
+        let room = self.cap - self.data.len();
+        let n = buf.len().min(room);
+        self.data.extend(&buf[..n]);
+        n
+    }
+
+    /// Total buffered bytes (unacked + unsent).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Free space for new user data.
+    pub fn room(&self) -> usize {
+        self.cap - self.data.len()
+    }
+
+    pub fn base(&self) -> SeqNum {
+        self.base
+    }
+
+    /// Last sequence number + 1 covered by the buffer.
+    pub fn end(&self) -> SeqNum {
+        self.base + self.data.len() as u32
+    }
+
+    /// Drop bytes acknowledged up to `ack`; returns bytes released.
+    pub fn ack_to(&mut self, ack: SeqNum) -> usize {
+        let n = (ack - self.base).max(0) as usize;
+        let n = n.min(self.data.len());
+        self.data.drain(..n);
+        self.base = self.base + n as u32;
+        n
+    }
+
+    /// Copy out up to `len` bytes starting at sequence `seq` (for transmit
+    /// or retransmit). Returns an empty vec if `seq` is outside the buffer.
+    pub fn peek(&self, seq: SeqNum, len: usize) -> Vec<u8> {
+        let off = seq - self.base;
+        if off < 0 || off as usize >= self.data.len() {
+            return Vec::new();
+        }
+        let off = off as usize;
+        let end = (off + len).min(self.data.len());
+        self.data.range(off..end).copied().collect()
+    }
+
+    /// Bytes available at or beyond `seq`.
+    pub fn len_from(&self, seq: SeqNum) -> usize {
+        let off = seq - self.base;
+        if off < 0 {
+            return self.data.len();
+        }
+        self.data.len().saturating_sub(off as usize)
+    }
+}
+
+/// In-order received bytes awaiting the application.
+#[derive(Debug)]
+pub struct RecvBuffer {
+    data: VecDeque<u8>,
+    cap: usize,
+}
+
+impl RecvBuffer {
+    pub fn new(cap: usize) -> RecvBuffer {
+        RecvBuffer {
+            data: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Append in-order stream bytes (flow control guarantees room; any
+    /// excess is truncated defensively).
+    pub fn write(&mut self, buf: &[u8]) -> usize {
+        let n = buf.len().min(self.cap - self.data.len());
+        self.data.extend(&buf[..n]);
+        n
+    }
+
+    /// Move up to `buf.len()` bytes out to the application.
+    pub fn read(&mut self, buf: &mut [u8]) -> usize {
+        let n = buf.len().min(self.data.len());
+        for (i, b) in self.data.drain(..n).enumerate() {
+            buf[i] = b;
+        }
+        n
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The receive window we can advertise.
+    pub fn window(&self) -> usize {
+        self.cap - self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_buffer_push_ack_peek() {
+        let mut s = SendBuffer::new(SeqNum(1000), 10);
+        assert_eq!(s.push(b"hello world"), 10, "capacity limits push");
+        assert_eq!(s.peek(SeqNum(1000), 5), b"hello");
+        assert_eq!(s.peek(SeqNum(1006), 10), b"worl");
+        assert_eq!(s.ack_to(SeqNum(1005)), 5);
+        assert_eq!(s.base(), SeqNum(1005));
+        assert_eq!(s.peek(SeqNum(1005), 5), b" worl");
+        assert_eq!(s.room(), 5);
+        assert_eq!(s.push(b"xyz"), 3);
+        assert_eq!(s.end(), SeqNum(1013));
+    }
+
+    #[test]
+    fn ack_beyond_end_clamps() {
+        let mut s = SendBuffer::new(SeqNum(0), 100);
+        s.push(b"abc");
+        assert_eq!(s.ack_to(SeqNum(50)), 3);
+        assert_eq!(s.base(), SeqNum(3), "base advances only over real data");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn old_ack_is_noop() {
+        let mut s = SendBuffer::new(SeqNum(100), 100);
+        s.push(b"abc");
+        assert_eq!(s.ack_to(SeqNum(50)), 0);
+        assert_eq!(s.base(), SeqNum(100));
+    }
+
+    #[test]
+    fn peek_outside_returns_empty() {
+        let s = SendBuffer::new(SeqNum(100), 100);
+        assert!(s.peek(SeqNum(100), 4).is_empty());
+        assert!(s.peek(SeqNum(90), 4).is_empty());
+    }
+
+    #[test]
+    fn len_from_positions() {
+        let mut s = SendBuffer::new(SeqNum(100), 100);
+        s.push(b"0123456789");
+        assert_eq!(s.len_from(SeqNum(100)), 10);
+        assert_eq!(s.len_from(SeqNum(105)), 5);
+        assert_eq!(s.len_from(SeqNum(110)), 0);
+        assert_eq!(s.len_from(SeqNum(115)), 0);
+    }
+
+    #[test]
+    fn send_buffer_wraps_sequence_space() {
+        let mut s = SendBuffer::new(SeqNum(u32::MAX - 1), 100);
+        s.push(b"abcdef");
+        assert_eq!(s.end(), SeqNum(4));
+        assert_eq!(s.peek(SeqNum(u32::MAX), 3), b"bcd");
+        assert_eq!(s.ack_to(SeqNum(2)), 4);
+        assert_eq!(s.peek(SeqNum(2), 2), b"ef");
+    }
+
+    #[test]
+    fn recv_buffer_write_read_window() {
+        let mut r = RecvBuffer::new(8);
+        assert_eq!(r.window(), 8);
+        assert_eq!(r.write(b"abcdefghij"), 8);
+        assert_eq!(r.window(), 0);
+        let mut out = [0u8; 5];
+        assert_eq!(r.read(&mut out), 5);
+        assert_eq!(&out, b"abcde");
+        assert_eq!(r.window(), 5);
+        assert_eq!(r.len(), 3);
+        let mut rest = [0u8; 10];
+        assert_eq!(r.read(&mut rest), 3);
+        assert_eq!(&rest[..3], b"fgh");
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Congestion control: Reno (RFC 5681) and CUBIC (RFC 8312), behind one
+//! trait so a stack can switch algorithms (like smoltcp's optional
+//! controllers).
+
+use crate::types::CongestionAlgo;
+
+/// The interface the socket's send path consults.
+pub trait CongestionControl: std::fmt::Debug {
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> usize;
+
+    /// New data was cumulatively acknowledged.
+    fn on_ack(&mut self, acked: usize, now_ns: u64);
+
+    /// Three duplicate ACKs — fast retransmit / fast recovery entry.
+    fn on_fast_retransmit(&mut self, now_ns: u64);
+
+    /// Retransmission timeout fired — collapse the window.
+    fn on_timeout(&mut self, now_ns: u64);
+}
+
+/// Build the controller selected by the stack config.
+pub fn make(algo: CongestionAlgo, mss: u16) -> Box<dyn CongestionControl> {
+    match algo {
+        CongestionAlgo::Reno => Box::new(Reno::new(mss)),
+        CongestionAlgo::Cubic => Box::new(Cubic::new(mss)),
+        CongestionAlgo::None => Box::new(NoCc),
+    }
+}
+
+/// TCP Reno: slow start, congestion avoidance, fast recovery.
+#[derive(Debug)]
+pub struct Reno {
+    mss: usize,
+    cwnd: usize,
+    ssthresh: usize,
+    /// Bytes accumulated toward the next +MSS in congestion avoidance.
+    avoid_acc: usize,
+}
+
+impl Reno {
+    pub fn new(mss: u16) -> Reno {
+        let mss = mss as usize;
+        Reno {
+            mss,
+            // RFC 5681 IW: min(4*MSS, max(2*MSS, 4380)).
+            cwnd: (4 * mss).min((2 * mss).max(4380)),
+            ssthresh: usize::MAX / 2,
+            avoid_acc: 0,
+        }
+    }
+
+    pub fn ssthresh(&self) -> usize {
+        self.ssthresh
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, acked: usize, _now_ns: u64) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: cwnd += min(acked, MSS) per ACK.
+            self.cwnd += acked.min(self.mss);
+        } else {
+            // Congestion avoidance: +1 MSS per cwnd of data acked.
+            self.avoid_acc += acked;
+            if self.avoid_acc >= self.cwnd {
+                self.avoid_acc -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, _now_ns: u64) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.avoid_acc = 0;
+    }
+
+    fn on_timeout(&mut self, _now_ns: u64) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.avoid_acc = 0;
+    }
+}
+
+/// CUBIC (RFC 8312): window growth is a cubic function of time since the
+/// last congestion event, independent of RTT.
+#[derive(Debug)]
+pub struct Cubic {
+    mss: usize,
+    cwnd: usize,
+    ssthresh: usize,
+    /// Window size before the last reduction (W_max), in bytes.
+    w_max: f64,
+    /// Time of the last congestion event (ns).
+    epoch_start: Option<u64>,
+    /// K: time to regain W_max, in seconds.
+    k: f64,
+}
+
+/// RFC 8312 constants.
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    pub fn new(mss: u16) -> Cubic {
+        let mss = mss as usize;
+        Cubic {
+            mss,
+            cwnd: (4 * mss).min((2 * mss).max(4380)),
+            ssthresh: usize::MAX / 2,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+        }
+    }
+
+    fn enter_epoch(&mut self, now_ns: u64) {
+        self.epoch_start = Some(now_ns);
+        let w_max_mss = self.w_max / self.mss as f64;
+        let cwnd_mss = self.cwnd as f64 / self.mss as f64;
+        self.k = if w_max_mss > cwnd_mss {
+            ((w_max_mss - cwnd_mss) / CUBIC_C).cbrt()
+        } else {
+            0.0
+        };
+    }
+
+    fn target(&self, now_ns: u64) -> usize {
+        let t = (now_ns - self.epoch_start.unwrap()) as f64 / 1e9;
+        let w_mss = CUBIC_C * (t - self.k).powi(3) + self.w_max / self.mss as f64;
+        (w_mss * self.mss as f64).max(self.mss as f64) as usize
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, acked: usize, now_ns: u64) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked.min(self.mss);
+            return;
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(now_ns);
+        }
+        let target = self.target(now_ns);
+        if target > self.cwnd {
+            // Approach the cubic target, at most one MSS per ACK.
+            let step = ((target - self.cwnd) / 8).clamp(1, self.mss);
+            self.cwnd += step;
+        }
+    }
+
+    fn on_fast_retransmit(&mut self, now_ns: u64) {
+        self.w_max = self.cwnd as f64;
+        self.cwnd = ((self.cwnd as f64 * CUBIC_BETA) as usize).max(2 * self.mss);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+        let _ = now_ns;
+    }
+
+    fn on_timeout(&mut self, _now_ns: u64) {
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * CUBIC_BETA) as usize).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+    }
+}
+
+/// No congestion control: the window is effectively unbounded.
+#[derive(Debug)]
+pub struct NoCc;
+
+impl CongestionControl for NoCc {
+    fn cwnd(&self) -> usize {
+        usize::MAX / 2
+    }
+    fn on_ack(&mut self, _: usize, _: u64) {}
+    fn on_fast_retransmit(&mut self, _: u64) {}
+    fn on_timeout(&mut self, _: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u16 = 1460;
+
+    #[test]
+    fn reno_slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(MSS);
+        let start = r.cwnd();
+        // One RTT's worth of ACKs: every cwnd byte acked in MSS chunks.
+        let acks = start / MSS as usize;
+        for _ in 0..acks {
+            r.on_ack(MSS as usize, 0);
+        }
+        assert!(
+            r.cwnd() >= 2 * start - MSS as usize,
+            "slow start should ~double: {} -> {}",
+            start,
+            r.cwnd()
+        );
+    }
+
+    #[test]
+    fn reno_congestion_avoidance_linear() {
+        let mut r = Reno::new(MSS);
+        r.on_timeout(0); // cwnd = 1 MSS, ssthresh small
+        let ssthresh = r.ssthresh();
+        // Grow past ssthresh.
+        while r.cwnd() < ssthresh {
+            r.on_ack(MSS as usize, 0);
+        }
+        let w = r.cwnd();
+        // One full window of ACKs in avoidance adds ~1 MSS.
+        let mut acked = 0;
+        while acked < w {
+            r.on_ack(MSS as usize, 0);
+            acked += MSS as usize;
+        }
+        assert!(
+            r.cwnd() - w <= 2 * MSS as usize,
+            "avoidance is linear: {} -> {}",
+            w,
+            r.cwnd()
+        );
+        assert!(r.cwnd() > w);
+    }
+
+    #[test]
+    fn reno_fast_retransmit_halves() {
+        let mut r = Reno::new(MSS);
+        for _ in 0..100 {
+            r.on_ack(MSS as usize, 0);
+        }
+        let before = r.cwnd();
+        r.on_fast_retransmit(0);
+        assert!(r.cwnd() <= before / 2 + MSS as usize);
+        assert!(r.cwnd() >= 2 * MSS as usize);
+    }
+
+    #[test]
+    fn reno_timeout_collapses_to_one_mss() {
+        let mut r = Reno::new(MSS);
+        for _ in 0..100 {
+            r.on_ack(MSS as usize, 0);
+        }
+        r.on_timeout(0);
+        assert_eq!(r.cwnd(), MSS as usize);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax() {
+        let mut c = Cubic::new(MSS);
+        // Grow, then suffer a loss.
+        for _ in 0..200 {
+            c.on_ack(MSS as usize, 0);
+        }
+        let before_loss = c.cwnd();
+        c.on_fast_retransmit(1_000_000_000);
+        let floor = c.cwnd();
+        assert!(floor < before_loss);
+        // ACK clocks over the next simulated seconds: window climbs again.
+        let mut now = 1_000_000_000u64;
+        for _ in 0..2000 {
+            now += 2_000_000;
+            c.on_ack(MSS as usize, now);
+        }
+        assert!(
+            c.cwnd() > floor,
+            "cubic should grow after loss: {} -> {}",
+            floor,
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn cubic_beta_reduction() {
+        let mut c = Cubic::new(MSS);
+        for _ in 0..500 {
+            c.on_ack(MSS as usize, 0);
+        }
+        let before = c.cwnd();
+        c.on_fast_retransmit(0);
+        let after = c.cwnd();
+        let ratio = after as f64 / before as f64;
+        assert!((0.6..=0.8).contains(&ratio), "beta=0.7 reduction, got {ratio}");
+    }
+
+    #[test]
+    fn nocc_never_limits() {
+        let mut n = NoCc;
+        n.on_timeout(0);
+        n.on_fast_retransmit(0);
+        assert!(n.cwnd() > 1 << 40);
+    }
+
+    #[test]
+    fn factory_dispatches() {
+        assert!(make(CongestionAlgo::Reno, MSS).cwnd() < 10_000);
+        assert!(make(CongestionAlgo::Cubic, MSS).cwnd() < 10_000);
+        assert!(make(CongestionAlgo::None, MSS).cwnd() > 1 << 40);
+    }
+}

@@ -1,0 +1,686 @@
+//! One TCP stack instance: socket table, demultiplexing, listeners with
+//! SYN backlog and accept queues, ephemeral ports, and timer scheduling.
+//!
+//! In NEaT terms, a [`TcpStack`] is the state a single replica owns. The
+//! paper's key partitioning invariant — "each network socket [lives] only in
+//! a single instance of the network stack" (§3.1) — holds trivially because
+//! a stack instance is a plain owned value; there is nothing to share.
+
+use crate::socket::TcpSocket;
+use crate::types::{SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+use neat_net::{FlowKey, SeqNum, TcpFlags, TcpHeader};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+
+/// A listening socket: subsockets of the paper's replicated listeners map
+/// to one `Listener` in each replica's stack.
+#[derive(Debug)]
+struct Listener {
+    id: SocketId,
+    port: u16,
+    /// Connections past the handshake, ready for `accept`.
+    accept_q: VecDeque<SocketId>,
+    /// Connections still in SYN-RECEIVED.
+    syn_backlog: usize,
+}
+
+/// Aggregate statistics for the experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackStats {
+    pub rx_segments: u64,
+    pub tx_segments: u64,
+    pub rst_sent: u64,
+    pub conns_opened: u64,
+    pub conns_accepted: u64,
+    pub demux_misses: u64,
+}
+
+/// One isolated TCP stack instance.
+#[derive(Debug)]
+pub struct TcpStack {
+    pub local_ip: Ipv4Addr,
+    cfg: TcpConfig,
+    sockets: HashMap<SocketId, TcpSocket>,
+    /// Established/opening connections by flow (remote side as src).
+    conns: HashMap<FlowKey, SocketId>,
+    listeners: HashMap<u16, Listener>,
+    /// Which listener a pending (not yet accepted) socket belongs to.
+    pending_of: HashMap<SocketId, u16>,
+    next_id: u64,
+    next_port: u16,
+    port_lo: u16,
+    port_hi: u16,
+    iss_counter: u32,
+    /// Sockets that may have segments to transmit.
+    dirty: VecDeque<SocketId>,
+    dirty_set: std::collections::HashSet<SocketId>,
+    /// Raw segments owed to peers with no socket (RSTs).
+    raw_out: VecDeque<(Ipv4Addr, TcpHeader, Vec<u8>)>,
+    /// User-visible events.
+    events: VecDeque<SockEvent>,
+    /// Timer heap: (deadline, socket), lazily validated.
+    timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    pub stats: StackStats,
+}
+
+impl TcpStack {
+    pub fn new(local_ip: Ipv4Addr, cfg: TcpConfig) -> TcpStack {
+        TcpStack {
+            local_ip,
+            cfg,
+            sockets: HashMap::new(),
+            conns: HashMap::new(),
+            listeners: HashMap::new(),
+            pending_of: HashMap::new(),
+            next_id: 1,
+            next_port: 49_152,
+            port_lo: 49_152,
+            port_hi: 65_535,
+            iss_counter: 0x1234_5678,
+            dirty: VecDeque::new(),
+            dirty_set: std::collections::HashSet::new(),
+            raw_out: VecDeque::new(),
+            events: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            stats: StackStats::default(),
+        }
+    }
+
+    /// Restrict ephemeral ports to `[lo, hi]` — lets several stack
+    /// instances share one IP address without colliding (the load
+    /// generator's per-process stacks partition the port space).
+    pub fn set_port_range(&mut self, lo: u16, hi: u16) {
+        assert!(lo <= hi && lo >= 1024);
+        self.port_lo = lo;
+        self.port_hi = hi;
+        self.next_port = lo;
+    }
+
+    fn alloc_id(&mut self) -> SocketId {
+        let id = SocketId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn next_iss(&mut self) -> SeqNum {
+        // Deterministic ISS spacing (RFC 793's clock-driven ISS is
+        // irrelevant inside the simulation).
+        self.iss_counter = self.iss_counter.wrapping_add(64_021);
+        SeqNum(self.iss_counter)
+    }
+
+    fn mark_dirty(&mut self, id: SocketId) {
+        if self.dirty_set.insert(id) {
+            self.dirty.push_back(id);
+        }
+    }
+
+    fn arm_timer(&mut self, id: SocketId) {
+        if let Some(s) = self.sockets.get(&id) {
+            if let Some(d) = s.next_timeout() {
+                self.timers.push(std::cmp::Reverse((d, id.0)));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // User API (BSD-socket shaped)
+    // ------------------------------------------------------------------
+
+    /// Open a listening socket on `port`.
+    pub fn listen(&mut self, port: u16) -> Result<SocketId, TcpError> {
+        if self.listeners.contains_key(&port) {
+            return Err(TcpError::AddrInUse);
+        }
+        let id = self.alloc_id();
+        self.listeners.insert(
+            port,
+            Listener {
+                id,
+                port,
+                accept_q: VecDeque::new(),
+                syn_backlog: 0,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Stop listening on a port (existing connections are unaffected).
+    pub fn unlisten(&mut self, port: u16) {
+        self.listeners.remove(&port);
+    }
+
+    /// Active open to `remote`. Returns the new socket id; the
+    /// [`SockEvent::Connected`] event fires when the handshake completes.
+    pub fn connect(
+        &mut self,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+        now: u64,
+    ) -> Result<SocketId, TcpError> {
+        let port = self.alloc_ephemeral(remote_ip, remote_port)?;
+        let id = self.alloc_id();
+        let iss = self.next_iss();
+        let sock = TcpSocket::connect(
+            id,
+            &self.cfg,
+            (self.local_ip, port),
+            (remote_ip, remote_port),
+            iss,
+            now,
+        );
+        let flow = FlowKey::tcp(remote_ip, remote_port, self.local_ip, port);
+        self.conns.insert(flow, id);
+        self.sockets.insert(id, sock);
+        self.stats.conns_opened += 1;
+        self.mark_dirty(id);
+        self.arm_timer(id);
+        Ok(id)
+    }
+
+    fn alloc_ephemeral(&mut self, rip: Ipv4Addr, rport: u16) -> Result<u16, TcpError> {
+        let span = (self.port_hi - self.port_lo) as usize + 1;
+        for _ in 0..span {
+            let p = self.next_port;
+            self.next_port = if self.next_port >= self.port_hi {
+                self.port_lo
+            } else {
+                self.next_port + 1
+            };
+            let flow = FlowKey::tcp(rip, rport, self.local_ip, p);
+            if !self.conns.contains_key(&flow) && !self.listeners.contains_key(&p) {
+                return Ok(p);
+            }
+        }
+        Err(TcpError::NoPorts)
+    }
+
+    /// Accept one ready connection from a listener.
+    pub fn accept(&mut self, listener: SocketId) -> Result<SocketId, TcpError> {
+        let l = self
+            .listeners
+            .values_mut()
+            .find(|l| l.id == listener)
+            .ok_or(TcpError::NoSocket)?;
+        let id = l.accept_q.pop_front().ok_or(TcpError::WouldBlock)?;
+        self.pending_of.remove(&id);
+        self.stats.conns_accepted += 1;
+        Ok(id)
+    }
+
+    /// Number of connections ready to accept on a listener.
+    pub fn acceptable(&self, listener: SocketId) -> usize {
+        self.listeners
+            .values()
+            .find(|l| l.id == listener)
+            .map(|l| l.accept_q.len())
+            .unwrap_or(0)
+    }
+
+    pub fn send(&mut self, id: SocketId, data: &[u8]) -> Result<usize, TcpError> {
+        let s = self.sockets.get_mut(&id).ok_or(TcpError::NoSocket)?;
+        let r = s.send(data);
+        if r.is_ok() {
+            self.mark_dirty(id);
+        }
+        r
+    }
+
+    pub fn recv(&mut self, id: SocketId, buf: &mut [u8]) -> Result<usize, TcpError> {
+        let s = self.sockets.get_mut(&id).ok_or(TcpError::NoSocket)?;
+        let r = s.recv(buf);
+        if r.is_ok() {
+            self.mark_dirty(id); // window update may be owed
+        }
+        r
+    }
+
+    pub fn close(&mut self, id: SocketId, now: u64) -> Result<(), TcpError> {
+        let s = self.sockets.get_mut(&id).ok_or(TcpError::NoSocket)?;
+        s.close(now);
+        self.mark_dirty(id);
+        self.arm_timer(id);
+        Ok(())
+    }
+
+    pub fn abort(&mut self, id: SocketId) -> Result<(), TcpError> {
+        let s = self.sockets.get_mut(&id).ok_or(TcpError::NoSocket)?;
+        s.abort();
+        self.mark_dirty(id);
+        Ok(())
+    }
+
+    pub fn state(&self, id: SocketId) -> Option<TcpState> {
+        self.sockets.get(&id).map(|s| s.state())
+    }
+
+    pub fn recv_available(&self, id: SocketId) -> usize {
+        self.sockets.get(&id).map(|s| s.recv_available()).unwrap_or(0)
+    }
+
+    pub fn send_room(&self, id: SocketId) -> usize {
+        self.sockets.get(&id).map(|s| s.send_room()).unwrap_or(0)
+    }
+
+    pub fn at_eof(&self, id: SocketId) -> bool {
+        self.sockets.get(&id).map(|s| s.at_eof()).unwrap_or(true)
+    }
+
+    /// Live (non-listener) connection count — drives the lazy-termination
+    /// GC of §3.4.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Wire input
+    // ------------------------------------------------------------------
+
+    /// Handle one TCP segment (post-IP). `src`/`dst` are the IPv4 addresses
+    /// from the IP header; the caller has already validated those.
+    pub fn handle_segment(&mut self, src: Ipv4Addr, h: &TcpHeader, payload: &[u8], now: u64) {
+        self.stats.rx_segments += 1;
+        let flow = FlowKey::tcp(src, h.src_port, self.local_ip, h.dst_port);
+        if let Some(&id) = self.conns.get(&flow) {
+            self.deliver(id, h, payload, now);
+            return;
+        }
+        // No connection: maybe a listener (SYN only).
+        if h.flags.syn && !h.flags.ack {
+            if let Some(l) = self.listeners.get_mut(&h.dst_port) {
+                if l.syn_backlog + l.accept_q.len() >= self.cfg.backlog {
+                    // Backlog overflow: drop the SYN (retry will come).
+                    self.stats.demux_misses += 1;
+                    return;
+                }
+                let lid = l.id;
+                let lport = l.port;
+                l.syn_backlog += 1;
+                let id = self.alloc_id();
+                let iss = self.next_iss();
+                let sock = TcpSocket::accept_from_syn(
+                    id,
+                    &self.cfg,
+                    (self.local_ip, lport),
+                    (src, h.src_port),
+                    h,
+                    iss,
+                    now,
+                );
+                self.conns.insert(flow, id);
+                self.sockets.insert(id, sock);
+                self.pending_of.insert(id, lport);
+                let _ = lid;
+                self.mark_dirty(id);
+                self.arm_timer(id);
+                return;
+            }
+        }
+        // Nothing matches: RST (unless the segment itself is a RST).
+        self.stats.demux_misses += 1;
+        if !h.flags.rst {
+            let (seq, ack, flags) = if h.flags.ack {
+                (h.ack, SeqNum(0), TcpFlags::rst())
+            } else {
+                (
+                    SeqNum(0),
+                    h.seq + h.seq_len(payload.len()),
+                    TcpFlags {
+                        rst: true,
+                        ack: true,
+                        ..Default::default()
+                    },
+                )
+            };
+            let rst = TcpHeader::new(h.dst_port, h.src_port, seq, ack, flags);
+            self.raw_out.push_back((src, rst, Vec::new()));
+            self.stats.rst_sent += 1;
+        }
+    }
+
+    fn deliver(&mut self, id: SocketId, h: &TcpHeader, payload: &[u8], now: u64) {
+        let was_pending = self.pending_of.contains_key(&id);
+        if let Some(s) = self.sockets.get_mut(&id) {
+            let before = s.state();
+            s.on_segment(h, payload, now);
+            let after = s.state();
+            // Handshake completed on a backlog socket → accept queue.
+            if was_pending && before == TcpState::SynReceived && after == TcpState::Established {
+                if let Some(port) = self.pending_of.get(&id).copied() {
+                    if let Some(l) = self.listeners.get_mut(&port) {
+                        l.syn_backlog = l.syn_backlog.saturating_sub(1);
+                        l.accept_q.push_back(id);
+                        self.events.push_back(SockEvent::Acceptable(l.id));
+                    }
+                }
+            }
+        }
+        self.drain_socket_events(id);
+        self.mark_dirty(id);
+        self.arm_timer(id);
+    }
+
+    fn drain_socket_events(&mut self, id: SocketId) {
+        let evs = match self.sockets.get_mut(&id) {
+            Some(s) => std::mem::take(&mut s.events),
+            None => return,
+        };
+        for e in evs {
+            // Connected events for backlog sockets become Acceptable at the
+            // listener; all others pass through.
+            if matches!(e, SockEvent::Connected(_)) && self.pending_of.contains_key(&id) {
+                continue; // already surfaced via Acceptable above
+            }
+            self.events.push_back(e);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Wire output + events + timers
+    // ------------------------------------------------------------------
+
+    /// Next segment to put on the wire: `(dst_ip, header, payload)`.
+    pub fn poll_transmit(&mut self, now: u64) -> Option<(Ipv4Addr, TcpHeader, Vec<u8>)> {
+        if let Some(raw) = self.raw_out.pop_front() {
+            self.stats.tx_segments += 1;
+            return Some(raw);
+        }
+        while let Some(id) = self.dirty.front().copied() {
+            if let Some(s) = self.sockets.get_mut(&id) {
+                if let Some((h, payload)) = s.poll_transmit(now) {
+                    let dst = s.remote_ip;
+                    self.stats.tx_segments += 1;
+                    self.arm_timer(id);
+                    return Some((dst, h, payload));
+                }
+            }
+            self.dirty.pop_front();
+            self.dirty_set.remove(&id);
+            self.drain_socket_events(id);
+        }
+        None
+    }
+
+    /// Drain the next user-visible event.
+    pub fn poll_event(&mut self) -> Option<SockEvent> {
+        self.events.pop_front()
+    }
+
+    /// Earliest pending timer deadline across all sockets.
+    pub fn next_timeout(&self) -> Option<u64> {
+        self.timers.peek().map(|std::cmp::Reverse((d, _))| *d)
+    }
+
+    /// Fire all timers due at `now`; then garbage-collect closed sockets.
+    pub fn on_timer(&mut self, now: u64) {
+        loop {
+            match self.timers.peek() {
+                Some(std::cmp::Reverse((d, _))) if *d <= now => {}
+                _ => break,
+            }
+            let std::cmp::Reverse((_, raw_id)) = self.timers.pop().unwrap();
+            let id = SocketId(raw_id);
+            if let Some(s) = self.sockets.get_mut(&id) {
+                // Lazily validate: fire only if a deadline is really due.
+                match s.next_timeout() {
+                    Some(d) if d <= now => {
+                        s.on_timer(now);
+                        self.drain_socket_events(id);
+                        self.mark_dirty(id);
+                        self.arm_timer(id);
+                    }
+                    Some(_) => self.arm_timer(id),
+                    None => {}
+                }
+            }
+        }
+        self.collect_closed();
+    }
+
+    /// Remove fully closed sockets (after their final segments drained).
+    fn collect_closed(&mut self) {
+        let dead: Vec<SocketId> = self
+            .sockets
+            .iter()
+            .filter(|(id, s)| {
+                s.state() == TcpState::Closed
+                    && !self.dirty_set.contains(id)
+                    && s.events.is_empty()
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dead {
+            if let Some(s) = self.sockets.remove(&id) {
+                let flow =
+                    FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+                self.conns.remove(&flow);
+                if let Some(port) = self.pending_of.remove(&id) {
+                    if let Some(l) = self.listeners.get_mut(&port) {
+                        l.accept_q.retain(|x| *x != id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All live socket ids (diagnostics).
+    pub fn socket_ids(&self) -> Vec<SocketId> {
+        self.sockets.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    fn pair() -> (TcpStack, TcpStack) {
+        let cfg = TcpConfig {
+            initial_rto_ns: 50_000_000,
+            ..TcpConfig::default()
+        };
+        (
+            TcpStack::new(CLIENT_IP, cfg.clone()),
+            TcpStack::new(SERVER_IP, cfg),
+        )
+    }
+
+    /// Move segments between two stacks until quiescent, via real wire
+    /// bytes. Returns segments moved.
+    fn pump(a: &mut TcpStack, b: &mut TcpStack, now: u64) -> usize {
+        let mut n = 0;
+        loop {
+            let mut moved = false;
+            while let Some((dst, h, p)) = a.poll_transmit(now) {
+                assert_eq!(dst, b.local_ip);
+                let bytes = h.emit(&p, a.local_ip, b.local_ip);
+                let (g, r) = TcpHeader::parse(&bytes, a.local_ip, b.local_ip).unwrap();
+                b.handle_segment(a.local_ip, &g, &bytes[r], now);
+                n += 1;
+                moved = true;
+            }
+            while let Some((dst, h, p)) = b.poll_transmit(now) {
+                assert_eq!(dst, a.local_ip);
+                let bytes = h.emit(&p, b.local_ip, a.local_ip);
+                let (g, r) = TcpHeader::parse(&bytes, b.local_ip, a.local_ip).unwrap();
+                a.handle_segment(b.local_ip, &g, &bytes[r], now);
+                n += 1;
+                moved = true;
+            }
+            if !moved {
+                return n;
+            }
+        }
+    }
+
+    #[test]
+    fn listen_connect_accept() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        assert_eq!(c.state(conn), Some(TcpState::Established));
+        assert_eq!(s.acceptable(l), 1);
+        let srv_sock = s.accept(l).unwrap();
+        assert_eq!(s.state(srv_sock), Some(TcpState::Established));
+        // Events surfaced on both sides.
+        let mut c_evs = Vec::new();
+        while let Some(e) = c.poll_event() {
+            c_evs.push(e);
+        }
+        assert!(c_evs.iter().any(|e| matches!(e, SockEvent::Connected(_))));
+        let mut s_evs = Vec::new();
+        while let Some(e) = s.poll_event() {
+            s_evs.push(e);
+        }
+        assert!(s_evs.iter().any(|e| matches!(e, SockEvent::Acceptable(_))));
+    }
+
+    #[test]
+    fn echo_request_response() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        let srv = s.accept(l).unwrap();
+        c.send(conn, b"GET /\r\n").unwrap();
+        pump(&mut c, &mut s, 1000);
+        let mut buf = [0u8; 64];
+        let n = s.recv(srv, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"GET /\r\n");
+        s.send(srv, b"200 OK").unwrap();
+        pump(&mut c, &mut s, 2000);
+        let n = c.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"200 OK");
+    }
+
+    #[test]
+    fn syn_to_closed_port_gets_rst() {
+        let (mut c, mut s) = pair();
+        let conn = c.connect(SERVER_IP, 9999, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        assert_eq!(c.state(conn), Some(TcpState::Closed), "RST should abort");
+        assert!(s.stats.rst_sent >= 1);
+    }
+
+    #[test]
+    fn many_concurrent_connections_demux_correctly() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        let mut conns = Vec::new();
+        for i in 0..32 {
+            let id = c.connect(SERVER_IP, 80, i).unwrap();
+            conns.push(id);
+        }
+        pump(&mut c, &mut s, 100);
+        assert_eq!(s.acceptable(l), 32);
+        let mut srv_socks = Vec::new();
+        for _ in 0..32 {
+            srv_socks.push(s.accept(l).unwrap());
+        }
+        // Each client sends a distinct message.
+        for (i, id) in conns.iter().enumerate() {
+            c.send(*id, format!("msg-{i}").as_bytes()).unwrap();
+        }
+        pump(&mut c, &mut s, 200);
+        // Messages arrive on the right sockets (match by content count).
+        let mut seen = std::collections::HashSet::new();
+        for sid in &srv_socks {
+            let mut buf = [0u8; 32];
+            let n = s.recv(*sid, &mut buf).unwrap();
+            let msg = String::from_utf8_lossy(&buf[..n]).to_string();
+            assert!(msg.starts_with("msg-"));
+            assert!(seen.insert(msg), "no cross-connection bleed");
+        }
+        assert_eq!(seen.len(), 32);
+        assert_eq!(c.conn_count(), 32);
+    }
+
+    #[test]
+    fn backlog_overflow_drops_syn() {
+        let cfg = TcpConfig {
+            backlog: 4,
+            initial_rto_ns: 50_000_000,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpStack::new(CLIENT_IP, cfg.clone());
+        let mut s = TcpStack::new(SERVER_IP, cfg);
+        let l = s.listen(80).unwrap();
+        for i in 0..10 {
+            c.connect(SERVER_IP, 80, i).unwrap();
+        }
+        pump(&mut c, &mut s, 0);
+        // Only `backlog` connections complete immediately.
+        assert!(s.acceptable(l) <= 4, "got {}", s.acceptable(l));
+    }
+
+    #[test]
+    fn close_full_lifecycle_and_gc() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        let srv = s.accept(l).unwrap();
+        c.close(conn, 1000).unwrap();
+        pump(&mut c, &mut s, 1000);
+        s.close(srv, 2000).unwrap();
+        pump(&mut c, &mut s, 2000);
+        // Server side reaches Closed; client in TIME_WAIT.
+        assert_eq!(c.state(conn), Some(TcpState::TimeWait));
+        // After TIME_WAIT expires and GC runs, the socket is gone.
+        c.on_timer(2000 + 10_000_000_001);
+        s.on_timer(2000 + 10_000_000_001);
+        pump(&mut c, &mut s, 2000 + 10_000_000_002);
+        c.on_timer(2000 + 20_000_000_002);
+        assert_eq!(c.conn_count(), 0);
+        assert_eq!(s.conn_count(), 0);
+    }
+
+    #[test]
+    fn retransmit_through_stack_timers() {
+        let (mut c, mut s) = pair();
+        let _l = s.listen(80).unwrap();
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        // Drop the SYN deliberately.
+        let (_, _h, _p) = c.poll_transmit(0).expect("SYN");
+        assert!(c.poll_transmit(0).is_none());
+        // Stack timer fires the retransmission.
+        let deadline = c.next_timeout().expect("rtx timer");
+        c.on_timer(deadline);
+        pump(&mut c, &mut s, deadline);
+        assert_eq!(c.state(conn), Some(TcpState::Established));
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let (mut c, mut s) = pair();
+        s.listen(80).unwrap();
+        let mut ports = std::collections::HashSet::new();
+        for i in 0..100 {
+            let id = c.connect(SERVER_IP, 80, i).unwrap();
+            let _ = id;
+        }
+        pump(&mut c, &mut s, 1000);
+        // Inspect via socket ids — all local ports must differ.
+        for id in c.socket_ids() {
+            if let Some(TcpState::Established) = c.state(id) {
+                // port uniqueness is implied by the conn map keying; verify
+                // no two sockets share a flow.
+            }
+        }
+        assert_eq!(c.conn_count(), 100);
+        ports.insert(0);
+    }
+
+    #[test]
+    fn listener_removal_stops_new_conns() {
+        let (mut c, mut s) = pair();
+        s.listen(80).unwrap();
+        s.unlisten(80);
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        assert_eq!(c.state(conn), Some(TcpState::Closed), "RST expected");
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Inject the measured tables from results/ into EXPERIMENTS.md at the
+<!-- FILLED-FROM-RESULTS --> marker, with paper-reference annotations."""
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+EXP = ROOT / "EXPERIMENTS.md"
+
+ORDER = [
+    ("table1", "Paper: defaults 184.118 | +sched/eth/irqAff/rxAff 186.667 | +serv 223.987 krps."),
+    ("fig4_5", "Paper: request rate flat for tiny files; 10 Gb/s saturates past ~7 KB; latency rises sharply between 100 KB and 1 MB."),
+    ("fig7", "Paper: Multi 1x linear to 4 instances then saturated; Multi 2x to 5; NEaT 3x scales to 6 instances at 302 krps (Linux best: 224)."),
+    ("fig9", "Paper: multi-component throughput peaks at 4 instances per replica; HT colocation reaches 322 krps at 8 instances."),
+    ("fig11", "Paper: NEaT 4x HT sustains 372 krps, +13.4% over the best Linux (328 krps, 16 lighttpd on 16 threads)."),
+    ("fig12", "Paper: single-replica multi-component beats two replicas at 8 connections (sleep latency); replicas win at higher loads."),
+    ("table2", "Paper: load 6/60/88/97% -> kernel 33.3/14.2/5.4/0.1%, polling 51.8/27.9/19.7/7.4%, at 3/45/90/242 krps."),
+    ("table3", "Paper: 53.8% fully transparent recovery, 46.2% TCP connections lost, over 100 failing runs."),
+    ("fig13", "Paper: both axes improve with replicas; multi-component preserves more state than single at equal replica count."),
+    ("security", "Paper (§3.8, qualitative): consecutive connections handled by processes with unpredictably different layouts."),
+    ("ablations", "Not in the paper: isolating the design choices (tracking filters, TSO, congestion control, wake latency)."),
+]
+
+def main():
+    parts = []
+    for name, paper_note in ORDER:
+        f = RESULTS / f"{name}.txt"
+        if not f.exists():
+            continue
+        parts.append(f"*Paper reference:* {paper_note}\n")
+        parts.append(f.read_text().strip() + "\n")
+    body = "\n".join(parts)
+    text = EXP.read_text()
+    marker = "<!-- FILLED-FROM-RESULTS -->"
+    assert marker in text, "marker missing"
+    EXP.write_text(text.replace(marker, body))
+    print(f"wrote {len(parts)//2} experiment sections into EXPERIMENTS.md")
+
+if __name__ == "__main__":
+    main()

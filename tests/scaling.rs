@@ -1,0 +1,121 @@
+//! Dynamic scaling integration (§3.4): scale-up under load, scale-down
+//! with lazy termination that never breaks a connection.
+
+use neat::config::NeatConfig;
+use neat::msg::Msg;
+use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
+use neat_sim::Time;
+
+fn testbed_with_spare_cores() -> Testbed {
+    // NEaT 1x + 5 webs on the 12-core AMD: the single replica (~150 krps)
+    // is the bottleneck (5 webs could serve ~250), and spare cores remain
+    // for growth.
+    let mut spec = TestbedSpec::amd(NeatConfig::single(1), 5);
+    spec.clients = 10;
+    spec.workload = Workload {
+        conns_per_client: 8,
+        requests_per_conn: 100,
+        ..Workload::default()
+    };
+    Testbed::build(spec)
+}
+
+#[test]
+fn scale_up_adds_serving_replica() {
+    let mut tb = testbed_with_spare_cores();
+    let before = tb.measure(Time::from_millis(150), Time::from_millis(250));
+    assert!(before.requests > 1_000);
+
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleUp);
+    tb.sim.run_until(tb.sim.now() + Time::from_millis(100));
+    assert_eq!(tb.deployment.sup_stats.borrow().scale_ups, 1);
+
+    let after = tb.measure(Time::from_millis(100), Time::from_millis(250));
+    // One replica saturates around 150 krps; with webs as limit (~150),
+    // the new replica relieves the stack bottleneck.
+    assert!(
+        after.krps > before.krps * 1.05,
+        "scale-up increased throughput: {:.1} -> {:.1}",
+        before.krps,
+        after.krps
+    );
+    assert_eq!(after.conn_errors, 0, "scale-up breaks nothing");
+}
+
+#[test]
+fn scale_down_is_lazy_and_breaks_no_connection() {
+    // Boot 2 replicas, then scale down: the draining replica keeps
+    // serving its existing connections and is only GC'd once drained.
+    let mut spec = TestbedSpec::amd(NeatConfig::single(2), 3);
+    spec.clients = 6;
+    spec.workload = Workload {
+        conns_per_client: 4,
+        requests_per_conn: 200,
+        ..Workload::default()
+    };
+    let mut tb = Testbed::build(spec);
+    tb.sim.run_until(Time::from_millis(200));
+    let errs_before = tb.total_errors();
+
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    // Connections finish after 200 requests each and get replaced — the
+    // replacements land only on the surviving replica; the terminating one
+    // drains and is garbage collected.
+    let mut drained = false;
+    for _ in 0..40 {
+        tb.sim.run_until(tb.sim.now() + Time::from_millis(100));
+        if tb.deployment.sup_stats.borrow().scale_downs_completed == 1 {
+            drained = true;
+            break;
+        }
+    }
+    assert!(drained, "lazy termination completed within the run");
+    assert_eq!(
+        tb.total_errors(),
+        errs_before,
+        "no connection was broken by scale-down"
+    );
+    // And the system still serves.
+    let after = tb.measure(Time::from_millis(50), Time::from_millis(200));
+    assert!(after.requests > 500, "one replica still serving: {after:?}");
+}
+
+#[test]
+fn scale_down_refuses_to_kill_last_replica() {
+    let mut tb = testbed_with_spare_cores();
+    tb.sim.run_until(Time::from_millis(100));
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    tb.sim.run_until(tb.sim.now() + Time::from_millis(300));
+    assert_eq!(
+        tb.deployment.sup_stats.borrow().scale_downs_completed,
+        0,
+        "the last replica must never be terminated"
+    );
+    let after = tb.measure(Time::from_millis(50), Time::from_millis(200));
+    assert!(after.requests > 500);
+}
+
+#[test]
+fn scale_up_then_down_round_trip() {
+    let mut tb = testbed_with_spare_cores();
+    tb.sim.run_until(Time::from_millis(150));
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleUp);
+    tb.sim.run_until(tb.sim.now() + Time::from_millis(200));
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    let mut done = false;
+    for _ in 0..40 {
+        tb.sim.run_until(tb.sim.now() + Time::from_millis(100));
+        if tb.deployment.sup_stats.borrow().scale_downs_completed == 1 {
+            done = true;
+            break;
+        }
+    }
+    assert!(done, "replica added by scale-up can drain away again");
+    let after = tb.measure(Time::from_millis(50), Time::from_millis(200));
+    assert!(after.requests > 500, "back to steady state: {after:?}");
+}
