@@ -38,7 +38,10 @@ impl StreamParser {
     }
 
     fn find_headers_end(&self) -> Option<usize> {
-        self.buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+        self.buf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + 4)
     }
 
     /// Pop the next complete request, if any.

@@ -150,7 +150,10 @@ impl HttperfProc {
     fn open_conn(&mut self, ctx: &mut Ctx<'_, Msg>) {
         ctx.charge(calibration::CLIENT_CONN);
         let now = ctx.now().as_nanos();
-        if let Ok(sock) = self.stack.connect(self.cfg.target.0, self.cfg.target.1, now) {
+        if let Ok(sock) = self
+            .stack
+            .connect(self.cfg.target.0, self.cfg.target.1, now)
+        {
             self.metrics.borrow_mut().conns_opened += 1;
             self.conns.insert(
                 sock,
@@ -230,10 +233,7 @@ impl HttperfProc {
                         // Next request on the persistent connection
                         // (after any configured think time).
                         if self.cfg.think_ns > 0 {
-                            ctx.set_timer(
-                                Time::from_nanos(self.cfg.think_ns),
-                                TOK_THINK + sock.0,
-                            );
+                            ctx.set_timer(Time::from_nanos(self.cfg.think_ns), TOK_THINK + sock.0);
                         } else {
                             ctx.charge(calibration::CLIENT_REQUEST);
                             let req = http::format_request(&self.cfg.path, true);

@@ -167,9 +167,7 @@ impl Testbed {
                 Box::new(neat::nic_proc::NicProc::new(
                     "nic.srv",
                     nic,
-                    neat::nic_proc::NicMode::Server {
-                        driver: ProcId(0),
-                    },
+                    neat::nic_proc::NicMode::Server { driver: ProcId(0) },
                 )),
             )
         };
@@ -453,7 +451,6 @@ fn layout_resolved(spec: &TestbedSpec) -> (PreSlots, Vec<Slot>) {
         }
     }
 }
-
 
 // ---------------------------------------------------------------------------
 // Monolithic (Linux-like) testbed

@@ -197,8 +197,7 @@ impl Process<Msg> for WebServerProc {
                         LibEvent::Closed { fd, .. } => {
                             self.conns.remove(&fd);
                         }
-                        LibEvent::Connected { .. }
-                        | LibEvent::ConnectFailed { .. } => {}
+                        LibEvent::Connected { .. } | LibEvent::ConnectFailed { .. } => {}
                     }
                 }
                 let lost = self.lib.lost_to_crash - before_lost;

@@ -1,12 +1,17 @@
-//! Criterion microbenchmarks for the hot paths of the reproduction:
-//! checksums, header parse/emit, RSS hashing, TSO splitting, reassembly,
-//! the TCP socket round trip, and raw DES event dispatch.
+//! Microbenchmarks for the hot paths of the reproduction: checksums,
+//! header parse/emit, RSS hashing, TSO splitting, reassembly, the TCP
+//! socket round trip, and raw DES event dispatch. Runs on the in-tree
+//! `neat_util::bench` runner (criterion-shaped API, zero dependencies);
+//! `NEAT_BENCH_QUICK=1` shortens measurement windows.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use neat_net::tcp::{TcpFlags, TcpHeader};
-use neat_net::{checksum, EtherType, EthernetFrame, FlowKey, Ipv4Header, MacAddr, RssHasher, SeqNum};
+use neat_net::{
+    checksum, EtherType, EthernetFrame, FlowKey, Ipv4Header, MacAddr, RssHasher, SeqNum,
+};
 use neat_tcp::assembler::Assembler;
 use neat_tcp::{SocketId, TcpConfig, TcpSocket};
+use neat_util::bench::{black_box, Criterion, Throughput};
+use neat_util::{criterion_group, criterion_main};
 use std::net::Ipv4Addr;
 
 const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
@@ -32,8 +37,8 @@ fn bench_headers(c: &mut Criterion) {
             h.emit(black_box(&payload), A, B)
         })
     });
-    let seg = TcpHeader::new(1234, 80, SeqNum(1), SeqNum(2), TcpFlags::psh_ack())
-        .emit(&payload, A, B);
+    let seg =
+        TcpHeader::new(1234, 80, SeqNum(1), SeqNum(2), TcpFlags::psh_ack()).emit(&payload, A, B);
     c.bench_function("tcp_parse_1400B", |b| {
         b.iter(|| TcpHeader::parse(black_box(&seg), A, B).unwrap())
     });

@@ -11,9 +11,7 @@
 
 use neat::config::NeatConfig;
 use neat::msg::Msg;
-use neat_apps::scenario::{
-    MonoTestbed, MonoTestbedSpec, Testbed, TestbedSpec, Workload,
-};
+use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Testbed, TestbedSpec, Workload};
 use neat_apps::FileStore;
 use neat_bench::{windows, Table};
 use neat_sim::Time;

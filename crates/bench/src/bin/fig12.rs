@@ -34,12 +34,30 @@ fn measure(cfg: NeatConfig, p: &Point) -> f64 {
 
 fn main() {
     let points = [
-        Point { servers: 1, total_conns: 8 },
-        Point { servers: 1, total_conns: 16 },
-        Point { servers: 1, total_conns: 32 },
-        Point { servers: 1, total_conns: 64 },
-        Point { servers: 2, total_conns: 32 },
-        Point { servers: 4, total_conns: 64 },
+        Point {
+            servers: 1,
+            total_conns: 8,
+        },
+        Point {
+            servers: 1,
+            total_conns: 16,
+        },
+        Point {
+            servers: 1,
+            total_conns: 32,
+        },
+        Point {
+            servers: 1,
+            total_conns: 64,
+        },
+        Point {
+            servers: 2,
+            total_conns: 32,
+        },
+        Point {
+            servers: 4,
+            total_conns: 64,
+        },
     ];
     let configs: &[(&str, NeatConfig)] = &[
         ("NEaT 1x", NeatConfig::single(1)),

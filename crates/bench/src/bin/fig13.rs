@@ -100,7 +100,13 @@ fn main() {
     ];
     let mut t = Table::new(
         "Figure 13 — expected % of state preserved after a failure vs max throughput (Xeon)",
-        &["config", "stack cores", "threads", "max krps", "state preserved"],
+        &[
+            "config",
+            "stack cores",
+            "threads",
+            "max krps",
+            "state preserved",
+        ],
     );
     for c in &configs {
         let preserved = expected_state_preserved(

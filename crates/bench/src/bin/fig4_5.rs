@@ -9,9 +9,9 @@
 use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Workload};
 use neat_apps::FileStore;
 use neat_bench::{windows, Table};
+use neat_monolith::MonoTuning;
 #[allow(unused_imports)]
 use neat_sim::Time;
-use neat_monolith::MonoTuning;
 
 fn main() {
     let sizes: &[usize] = &[

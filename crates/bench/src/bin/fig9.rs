@@ -47,7 +47,11 @@ fn main() {
     let curves: &[(&str, NeatConfig, PlacementPlan)] = &[
         ("Multi 1x", NeatConfig::multi(1), PlacementPlan::Dedicated),
         ("Multi 2x", NeatConfig::multi(2), PlacementPlan::Dedicated),
-        ("Multi 2x HT", NeatConfig::multi(2), PlacementPlan::HtColocated),
+        (
+            "Multi 2x HT",
+            NeatConfig::multi(2),
+            PlacementPlan::HtColocated,
+        ),
     ];
     for (name, cfg, plan) in curves {
         let mut cells = vec![name.to_string()];

@@ -8,8 +8,17 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "fig4_5", "fig7", "fig9", "fig11", "fig12", "table2", "table3", "fig13",
-        "security", "ablations",
+        "table1",
+        "fig4_5",
+        "fig7",
+        "fig9",
+        "fig11",
+        "fig12",
+        "table2",
+        "table3",
+        "fig13",
+        "security",
+        "ablations",
     ];
     let _ = std::fs::remove_dir_all("results");
     let exe = std::env::current_exe().expect("self path");

@@ -20,12 +20,7 @@ fn main() {
     // Drive the 3-replica Xeon stack at rising offered loads:
     // (clients, conns/client, think time us) — targeting the paper's
     // 3 / 45 / 90 / peak krps operating points.
-    let loads: &[(usize, usize, u64)] = &[
-        (1, 1, 300),
-        (2, 4, 100),
-        (4, 8, 50),
-        (12, 24, 0),
-    ];
+    let loads: &[(usize, usize, u64)] = &[(1, 1, 300), (2, 4, 100), (4, 8, 50), (12, 24, 0)];
     let mut t = Table::new(
         "Table 2 — 10G driver CPU usage breakdown on Xeon (3 replicas)",
         &["CPU load", "Active in kernel", "Polling", "Web krps"],

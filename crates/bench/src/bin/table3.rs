@@ -21,8 +21,7 @@ use neat::msg::Msg;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
 use neat_bench::Table;
 use neat_sim::Time;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use neat_util::Rng;
 
 struct Outcome {
     transparent: bool,
@@ -41,9 +40,9 @@ fn one_run(seed: u64, sizes: &CodeSizes) -> Outcome {
     let mut tb = Testbed::build(spec);
     tb.sim.run_until(Time::from_millis(150));
 
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_417);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xFA_417);
     let target = pick_target(sizes, &mut rng);
-    let replica = rng.gen_range(0..2);
+    let replica = rng.gen_range(0usize..2);
     let pid = match target {
         neat::supervisor::Role::Driver => tb.deployment.driver,
         role => tb.deployment.comp_pids[replica]

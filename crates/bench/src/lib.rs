@@ -18,6 +18,7 @@
 //! | `fig13`  | expected state preserved vs max throughput |
 //! | `run_all`| everything above, writing `results/*.txt` + summary |
 
+use neat_util::{Json, ToJson};
 use std::fmt::Write as _;
 use std::io::Write as _;
 
@@ -67,7 +68,28 @@ impl Table {
         out
     }
 
-    /// Print to stdout and append to `results/<name>.txt`.
+    /// Machine-readable form: title, header, and rows-as-objects keyed by
+    /// the header columns.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut obj = Json::object();
+                for (k, v) in self.header.iter().zip(r) {
+                    obj = obj.field(k.clone(), v.as_str());
+                }
+                obj
+            })
+            .collect();
+        Json::object()
+            .field("title", self.title.as_str())
+            .field("columns", self.header.to_json())
+            .field("rows", Json::Array(rows))
+    }
+
+    /// Print to stdout and write `results/<name>.txt` (append, paper-shaped
+    /// text) plus `results/BENCH_<name>.json` (overwrite, machine-readable).
     pub fn emit(&self, name: &str) {
         let text = self.render();
         println!("{text}");
@@ -79,6 +101,10 @@ impl Table {
         {
             let _ = f.write_all(text.as_bytes());
         }
+        let _ = std::fs::write(
+            format!("results/BENCH_{name}.json"),
+            self.to_json().render(),
+        );
     }
 }
 

@@ -159,7 +159,13 @@ pub fn boot_neat(
                 comp_pids.push(vec![(Role::Single, pid)]);
                 registry.push((q, vec![(Role::Single, pid, t)]));
             }
-            (ReplicaSlots::Multi { tcp: t_tcp, ip: t_ip }, StackMode::Multi) => {
+            (
+                ReplicaSlots::Multi {
+                    tcp: t_tcp,
+                    ip: t_ip,
+                },
+                StackMode::Multi,
+            ) => {
                 let tcp = sim.spawn(
                     t_tcp,
                     Box::new(TcpProc::new(
@@ -190,7 +196,13 @@ pub fn boot_neat(
                 );
                 let pf = sim.spawn(
                     t_ip,
-                    Box::new(PfProc::new(format!("pf.{q}"), q, driver, Some(ip), Vec::new())),
+                    Box::new(PfProc::new(
+                        format!("pf.{q}"),
+                        q,
+                        driver,
+                        Some(ip),
+                        Vec::new(),
+                    )),
                 );
                 sim.send_external(
                     tcp,

@@ -8,7 +8,7 @@
 //! crashes the owning process — exercising the real recovery path.
 
 use crate::supervisor::Role;
-use rand::Rng;
+use neat_util::Rng;
 
 /// Per-component code sizes (lines), measured from the real sources.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +80,7 @@ impl CodeSizes {
 }
 
 /// Draw a fault target with probability proportional to code size.
-pub fn pick_target(sizes: &CodeSizes, rng: &mut impl Rng) -> Role {
+pub fn pick_target(sizes: &CodeSizes, rng: &mut Rng) -> Role {
     let total = sizes.total();
     let x = rng.gen_range(0..total);
     if x < sizes.tcp {
@@ -99,8 +99,6 @@ pub fn pick_target(sizes: &CodeSizes, rng: &mut impl Rng) -> Role {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn sizes_are_measured_and_tcp_dominates() {
@@ -121,7 +119,7 @@ mod tests {
     #[test]
     fn pick_target_matches_weights() {
         let s = CodeSizes::measured();
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut tcp_hits = 0;
         let n = 20_000;
         for _ in 0..n {
@@ -140,7 +138,7 @@ mod tests {
     #[test]
     fn all_targets_reachable() {
         let s = CodeSizes::measured();
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..50_000 {
             seen.insert(format!("{:?}", pick_target(&s, &mut rng)));

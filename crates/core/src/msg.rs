@@ -35,7 +35,10 @@ pub enum Msg {
     /// Driver → NIC: transmit this frame (NIC applies TSO).
     HostTx(Vec<u8>),
     /// Driver → NIC control plane: add an exact-match steering filter.
-    NicAddFilter { flow: neat_net::FlowKey, queue: usize },
+    NicAddFilter {
+        flow: neat_net::FlowKey,
+        queue: usize,
+    },
     /// Driver → NIC control plane: queues accepting new flows (§3.4).
     NicSetAccepting { queue: usize, accepting: bool },
     /// Driver → NIC control plane: grow to `n` queue pairs (scale-up).
@@ -67,7 +70,11 @@ pub enum Msg {
     /// IP → UDP: a validated UDP datagram.
     IpRxUdp { src: Ipv4Addr, dgram: Vec<u8> },
     /// TCP/UDP → IP: emit this transport payload to `dst`.
-    IpTx { dst: Ipv4Addr, protocol: u8, payload: Vec<u8> },
+    IpTx {
+        dst: Ipv4Addr,
+        protocol: u8,
+        payload: Vec<u8>,
+    },
     /// Supervisor → component: (re)wire a pipeline neighbour.
     SetNeighbor { role: NeighborRole, pid: ProcId },
 
@@ -80,7 +87,11 @@ pub enum Msg {
     /// Replica → app: subsocket created.
     ListenOk { port: u16 },
     /// App → replica: active open to `remote` for `app`.
-    Connect { remote: (Ipv4Addr, u16), app: ProcId, token: u64 },
+    Connect {
+        remote: (Ipv4Addr, u16),
+        app: ProcId,
+        token: u64,
+    },
     /// Replica → app: active open completed.
     ConnOpen { conn: ConnHandle, token: u64 },
     /// Replica → app: active open failed.
@@ -89,7 +100,10 @@ pub enum Msg {
     Incoming { port: u16, conn: ConnHandle },
     /// App → replica: send bytes on a connection (shared-memory socket
     /// buffer write + notification).
-    ConnSend { sock: neat_tcp::SocketId, data: Vec<u8> },
+    ConnSend {
+        sock: neat_tcp::SocketId,
+        data: Vec<u8>,
+    },
     /// Replica → app: received bytes.
     ConnData { conn: ConnHandle, data: Vec<u8> },
     /// App → replica: close (graceful).
@@ -105,9 +119,17 @@ pub enum Msg {
     /// App → replica (UDP component): bind a datagram port.
     UdpBind { port: u16, app: ProcId },
     /// App → replica: send a datagram.
-    UdpTx { src_port: u16, dst: (Ipv4Addr, u16), data: Vec<u8> },
+    UdpTx {
+        src_port: u16,
+        dst: (Ipv4Addr, u16),
+        data: Vec<u8>,
+    },
     /// Replica → app: a datagram arrived on a bound port.
-    UdpData { port: u16, src: (Ipv4Addr, u16), data: Vec<u8> },
+    UdpData {
+        port: u16,
+        src: (Ipv4Addr, u16),
+        data: Vec<u8>,
+    },
 
     // ------------------------------------------------------------------
     // SYSCALL server (slow path), §3.1

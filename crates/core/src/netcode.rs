@@ -107,7 +107,10 @@ impl FrameIo {
                 }
                 let l4 = frame[off..][payload].to_vec();
                 match ip.protocol {
-                    IpProtocol::Tcp => RxClass::Tcp { src: ip.src, seg: l4 },
+                    IpProtocol::Tcp => RxClass::Tcp {
+                        src: ip.src,
+                        seg: l4,
+                    },
                     IpProtocol::Udp => RxClass::Udp {
                         src: ip.src,
                         dgram: l4,

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn link_bound_sanity() {
         let rps = link_bound_small_frame_rps();
-        assert!(rps > 1e6, "link is never the bottleneck at 20B files: {rps}");
+        assert!(
+            rps > 1e6,
+            "link is never the bottleneck at 20B files: {rps}"
+        );
     }
 
     #[test]

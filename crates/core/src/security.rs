@@ -68,11 +68,7 @@ impl AslrObserver {
         if self.sequence.len() < 2 {
             return 1.0;
         }
-        let same = self
-            .sequence
-            .windows(2)
-            .filter(|w| w[0] == w[1])
-            .count();
+        let same = self.sequence.windows(2).filter(|w| w[0] == w[1]).count();
         same as f64 / (self.sequence.len() - 1) as f64
     }
 }
@@ -80,8 +76,7 @@ impl AslrObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use neat_util::Rng;
 
     #[test]
     fn single_replica_no_entropy() {
@@ -98,12 +93,16 @@ mod tests {
     fn four_replicas_two_bits() {
         let mut o = AslrObserver::new();
         let layouts = [11u64, 22, 33, 44];
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..10_000 {
-            o.record(layouts[rng.gen_range(0..4)]);
+            o.record(layouts[rng.gen_range(0usize..4)]);
         }
         assert_eq!(o.distinct_layouts(), 4);
-        assert!((o.entropy_bits() - 2.0).abs() < 0.05, "{}", o.entropy_bits());
+        assert!(
+            (o.entropy_bits() - 2.0).abs() < 0.05,
+            "{}",
+            o.entropy_bits()
+        );
         let f = o.consecutive_same_fraction();
         assert!((f - 0.25).abs() < 0.05, "{f}");
     }

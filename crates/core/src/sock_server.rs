@@ -315,13 +315,10 @@ mod tests {
         srv.take_app_msgs();
         let cconn = client.connect(SERVER, 80, 0).unwrap();
         pump(&mut client, &mut srv, 0);
-        let conn = match srv
-            .take_app_msgs()
-            .into_iter()
-            .find_map(|(_, m)| match m {
-                Msg::Incoming { conn, .. } => Some(conn),
-                _ => None,
-            }) {
+        let conn = match srv.take_app_msgs().into_iter().find_map(|(_, m)| match m {
+            Msg::Incoming { conn, .. } => Some(conn),
+            _ => None,
+        }) {
             Some(c) => c,
             None => panic!("no incoming"),
         };

@@ -9,7 +9,6 @@
 
 use crate::msg::{ConnHandle, Msg};
 use neat_sim::{Ctx, ProcId};
-use rand::Rng;
 use std::collections::HashMap;
 
 /// An application-level file descriptor.
@@ -145,10 +144,13 @@ impl SocketLib {
         };
         ctx.charge(neat_sim::calibration::copy_cost(data.len()));
         let to = self.route_override.unwrap_or(conn.stack);
-        ctx.send(to, Msg::ConnSend {
-            sock: conn.sock,
-            data,
-        });
+        ctx.send(
+            to,
+            Msg::ConnSend {
+                sock: conn.sock,
+                data,
+            },
+        );
         true
     }
 

@@ -187,7 +187,7 @@ impl Process<Msg> for SingleStackProc {
         match ev {
             Event::Start => {
                 // Fresh ASLR layout on every start (§3.8).
-                self.layout_token = rand::Rng::gen(ctx.rng());
+                self.layout_token = ctx.rng().gen();
                 // Announce to the driver: packets may flow to this replica.
                 ctx.send(
                     self.driver,

@@ -304,8 +304,11 @@ impl Supervisor {
                 self.replicas[q].comps.insert(Role::Ip, (new, thread));
                 // Neighbours of the new IP are baked in; repoint PF, TCP,
                 // and UDP at it.
-                for (r, pid) in [(NeighborRole::Ip, pf), (NeighborRole::Ip, tcp), (NeighborRole::Ip, udp)]
-                {
+                for (r, pid) in [
+                    (NeighborRole::Ip, pf),
+                    (NeighborRole::Ip, tcp),
+                    (NeighborRole::Ip, udp),
+                ] {
                     if let Some(p) = pid {
                         ctx.send(p, Msg::SetNeighbor { role: r, pid: new });
                     }
@@ -386,7 +389,12 @@ impl Supervisor {
                 );
                 let udp = ctx.spawn(
                     t_ip,
-                    Box::new(UdpProc::new(format!("udp.{queue}"), queue, None, self.cfg.ip)),
+                    Box::new(UdpProc::new(
+                        format!("udp.{queue}"),
+                        queue,
+                        None,
+                        self.cfg.ip,
+                    )),
                     delay,
                 );
                 let ip = ctx.spawn(
@@ -414,8 +422,20 @@ impl Supervisor {
                     )),
                     delay,
                 );
-                ctx.send(tcp, Msg::SetNeighbor { role: NeighborRole::Ip, pid: ip });
-                ctx.send(udp, Msg::SetNeighbor { role: NeighborRole::Ip, pid: ip });
+                ctx.send(
+                    tcp,
+                    Msg::SetNeighbor {
+                        role: NeighborRole::Ip,
+                        pid: ip,
+                    },
+                );
+                ctx.send(
+                    udp,
+                    Msg::SetNeighbor {
+                        role: NeighborRole::Ip,
+                        pid: ip,
+                    },
+                );
                 self.register_replica(
                     queue,
                     vec![

@@ -48,8 +48,7 @@ impl Process<Msg> for SyscallProc {
                 // Replicate the listening socket across all replicas: the
                 // library creates "a socket per each replica of the stack,
                 // they all listen at the same address" (§3.3).
-                self.pending_listen
-                    .insert(port, (app, self.replicas.len()));
+                self.pending_listen.insert(port, (app, self.replicas.len()));
                 for r in self.replicas.clone() {
                     ctx.send(r, Msg::Listen { port, app });
                 }

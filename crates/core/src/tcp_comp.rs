@@ -88,7 +88,7 @@ impl Process<Msg> for TcpProc {
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
             Event::Start => {
-                self.layout_token = rand::Rng::gen(ctx.rng());
+                self.layout_token = ctx.rng().gen();
             }
             Event::Timer { .. } => {
                 self.armed = None;

@@ -71,7 +71,10 @@ fn driver_forwards_rx_only_after_announce() {
         },
     );
     sim.run_until(Time::from_micros(50));
-    assert!(head_log.borrow().is_empty(), "no forwarding before announce");
+    assert!(
+        head_log.borrow().is_empty(),
+        "no forwarding before announce"
+    );
 
     // Announce, then frames flow.
     sim.send_external(drv, Msg::Announce { queue: 0, head });
@@ -155,7 +158,10 @@ fn syscall_replicates_listen_across_replicas() {
     sim.run_until(Time::from_micros(50));
     assert_eq!(r1_log.borrow().as_slice(), ["Listen(80)"]);
     assert_eq!(r2_log.borrow().as_slice(), ["Listen(80)"]);
-    assert!(app_log.borrow().is_empty(), "not done until all subsockets ack");
+    assert!(
+        app_log.borrow().is_empty(),
+        "not done until all subsockets ack"
+    );
 
     // Both replicas acknowledge; only then does the app learn.
     sim.send_external(sys, Msg::ListenOk { port: 80 });
@@ -228,7 +234,11 @@ fn nic_proc_serializes_and_links() {
     let dev = sim.add_device_thread(m);
     let nic = sim.spawn(
         dev,
-        Box::new(NicProc::new("nic", default_server_nic(2), NicMode::Server { driver: drv })),
+        Box::new(NicProc::new(
+            "nic",
+            default_server_nic(2),
+            NicMode::Server { driver: drv },
+        )),
     );
     sim.send_external(
         nic,
@@ -247,7 +257,11 @@ fn nic_proc_serializes_and_links() {
         neat_net::SeqNum(0),
         neat_net::TcpFlags::SYN,
     )
-    .emit(&[], std::net::Ipv4Addr::new(1, 1, 1, 1), std::net::Ipv4Addr::new(2, 2, 2, 2));
+    .emit(
+        &[],
+        std::net::Ipv4Addr::new(1, 1, 1, 1),
+        std::net::Ipv4Addr::new(2, 2, 2, 2),
+    );
     let ip = neat_net::Ipv4Header::new(
         std::net::Ipv4Addr::new(1, 1, 1, 1),
         std::net::Ipv4Addr::new(2, 2, 2, 2),

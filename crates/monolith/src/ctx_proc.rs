@@ -119,11 +119,12 @@ impl Process<Msg> for KernelCtxProc {
                             let local_ip = self.shared.borrow().sock.stack.local_ip;
                             if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, local_ip)
                             {
-                                self.shared
-                                    .borrow_mut()
-                                    .sock
-                                    .stack
-                                    .handle_segment(src, &h, &seg[range], now);
+                                self.shared.borrow_mut().sock.stack.handle_segment(
+                                    src,
+                                    &h,
+                                    &seg[range],
+                                    now,
+                                );
                             }
                         }
                         _ => {}

@@ -80,12 +80,9 @@ impl MonoShared {
             .count() as u64;
         self.last_op[me] = now;
         let locks = LOCKS_PER_OP
-            * (calibration::MONO_LOCK_UNCONTENDED
-                + waiters * calibration::MONO_LOCK_PER_WAITER);
+            * (calibration::MONO_LOCK_UNCONTENDED + waiters * calibration::MONO_LOCK_PER_WAITER);
         let bounce = if waiters > 0 {
-            calibration::MONO_SHARED_LINES_PER_PKT as u64
-                * calibration::MONO_LINE_BOUNCE
-                * pkts
+            calibration::MONO_SHARED_LINES_PER_PKT as u64 * calibration::MONO_LINE_BOUNCE * pkts
         } else {
             0
         };

@@ -92,8 +92,10 @@ mod tests {
 
     #[test]
     fn verify_detects_corruption() {
-        let mut pkt = vec![0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0,
-                           0, 1, 10, 0, 0, 2];
+        let mut pkt = vec![
+            0x45, 0x00, 0x00, 0x14, 0x12, 0x34, 0x00, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&pkt);
         pkt[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&pkt));
@@ -121,10 +123,20 @@ mod tests {
 
     #[test]
     fn pseudo_header_contributes() {
-        let a = pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6, 20)
-            .finish();
-        let b = pseudo_header(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 3), 6, 20)
-            .finish();
+        let a = pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            6,
+            20,
+        )
+        .finish();
+        let b = pseudo_header(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 3),
+            6,
+            20,
+        )
+        .finish();
         assert_ne!(a, b);
     }
 }

@@ -135,10 +135,7 @@ mod tests {
 
     #[test]
     fn short_frame_rejected() {
-        assert_eq!(
-            EthernetFrame::parse(&[0u8; 10]),
-            Err(NetError::Truncated)
-        );
+        assert_eq!(EthernetFrame::parse(&[0u8; 10]), Err(NetError::Truncated));
     }
 
     #[test]

@@ -349,7 +349,12 @@ mod tests {
 
     #[test]
     fn protocol_conversion() {
-        for p in [IpProtocol::Icmp, IpProtocol::Tcp, IpProtocol::Udp, IpProtocol::Unknown(99)] {
+        for p in [
+            IpProtocol::Icmp,
+            IpProtocol::Tcp,
+            IpProtocol::Udp,
+            IpProtocol::Unknown(99),
+        ] {
             assert_eq!(IpProtocol::from(u8::from(p)), p);
         }
     }

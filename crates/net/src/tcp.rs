@@ -227,8 +227,8 @@ impl TcpHeader {
         let mut i = TCP_HEADER_LEN;
         while i < data_off {
             match buf[i] {
-                0 => break,    // end of options
-                1 => i += 1,   // NOP
+                0 => break,  // end of options
+                1 => i += 1, // NOP
                 2 => {
                     if i + 4 > data_off || buf[i + 1] != 4 {
                         return Err(NetError::Malformed);
@@ -370,7 +370,7 @@ mod tests {
         h.mss = Some(1460);
         let mut bytes = h.emit(&[], A, B);
         bytes[TCP_HEADER_LEN + 1] = 0; // option length 0 -> malformed
-        // Fix checksum so the option parser (not the checksum) rejects it.
+                                       // Fix checksum so the option parser (not the checksum) rejects it.
         set_u16(&mut bytes, 16, 0);
         let mut c = pseudo_header(A, B, 6, bytes.len() as u16);
         c.add(&bytes);

@@ -111,7 +111,10 @@ mod tests {
         let mut bytes = UdpHeader::emit(1, 2, b"hello", A, B);
         set_u16(&mut bytes, 4, 200);
         assert_eq!(UdpHeader::parse(&bytes, A, B), Err(NetError::BadLength));
-        assert_eq!(UdpHeader::parse(&bytes[..6], A, B), Err(NetError::Truncated));
+        assert_eq!(
+            UdpHeader::parse(&bytes[..6], A, B),
+            Err(NetError::Truncated)
+        );
     }
 
     #[test]

@@ -1,156 +1,234 @@
-//! Property tests for the wire-format crate.
+//! Property tests for the wire-format crate, on the in-tree
+//! `neat_util::check` harness.
 
 use neat_net::arp::ArpPacket;
 use neat_net::checksum::{checksum, Checksum};
 use neat_net::ethernet::MacAddr;
 use neat_net::ipv4::{fragment, IpProtocol, Ipv4Header, Reassembler};
 use neat_net::udp::UdpHeader;
-use proptest::prelude::*;
+use neat_util::check::{bytes, check, vec_of, Config};
+use neat_util::{prop_assert, prop_assert_eq};
 use std::net::Ipv4Addr;
 
-proptest! {
-    /// Chunked checksum == one-shot checksum for any split points.
-    #[test]
-    fn checksum_chunking_invariant(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        splits in proptest::collection::vec(any::<usize>(), 0..8),
-    ) {
-        let oneshot = checksum(&data);
-        let mut cuts: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
-        cuts.sort_unstable();
-        let mut c = Checksum::new();
-        let mut prev = 0;
-        for cut in cuts {
-            c.add(&data[prev..cut]);
-            prev = cut;
-        }
-        c.add(&data[prev..]);
-        prop_assert_eq!(c.finish(), oneshot);
-    }
-
-    /// A region with its own checksum embedded always verifies, and any
-    /// 16-bit word flip is detected.
-    #[test]
-    fn checksum_verifies_and_detects(
-        mut data in proptest::collection::vec(any::<u8>(), 4..256),
-        flip_pos in any::<usize>(),
-        flip_val in 1u16..=u16::MAX,
-    ) {
-        if data.len() % 2 == 1 {
-            data.push(0);
-        }
-        data[0] = 0;
-        data[1] = 0;
-        let c = checksum(&data);
-        data[0] = (c >> 8) as u8;
-        data[1] = (c & 0xFF) as u8;
-        prop_assert!(neat_net::checksum::verify(&data));
-        // Flip one aligned 16-bit word (never produces an equal sum
-        // because one's-complement addition is injective per word flip,
-        // except the 0x0000 <-> 0xFFFF ambiguity — skip that case).
-        let p = (flip_pos % (data.len() / 2)) * 2;
-        let orig = u16::from_be_bytes([data[p], data[p + 1]]);
-        let new = orig ^ flip_val;
-        if orig != 0xFFFF && new != 0xFFFF && orig != new {
-            data[p] = (new >> 8) as u8;
-            data[p + 1] = (new & 0xFF) as u8;
-            prop_assert!(!neat_net::checksum::verify(&data), "flip at {p} undetected");
-        }
-    }
-
-    /// fragment → reassemble is the identity for any payload and MTU.
-    #[test]
-    fn fragmentation_roundtrip(
-        payload in proptest::collection::vec(any::<u8>(), 1..6000),
-        mtu in 68usize..1500,
-        ident in any::<u16>(),
-    ) {
-        let mut h = Ipv4Header::new(
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
-            IpProtocol::Udp,
-            payload.len(),
-        );
-        h.dont_frag = false;
-        h.ident = ident;
-        let frags = fragment(&h, &payload, mtu).unwrap();
-        let mut r = Reassembler::new();
-        let mut got = None;
-        for f in &frags {
-            let (fh, range) = Ipv4Header::parse(f).unwrap();
-            got = r.push(&fh, &f[range], 0);
-        }
-        prop_assert_eq!(got.expect("complete"), payload);
-    }
-
-    /// Reassembly works in any delivery order.
-    #[test]
-    fn fragmentation_reorder_roundtrip(
-        payload in proptest::collection::vec(any::<u8>(), 1500..5000),
-        order_seed in any::<u64>(),
-    ) {
-        let mut h = Ipv4Header::new(
-            Ipv4Addr::new(1, 2, 3, 4),
-            Ipv4Addr::new(5, 6, 7, 8),
-            IpProtocol::Tcp,
-            payload.len(),
-        );
-        h.dont_frag = false;
-        h.ident = 99;
-        let mut frags = fragment(&h, &payload, 600).unwrap();
-        // Deterministic shuffle.
-        let mut s = order_seed;
-        for k in (1..frags.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
-            frags.swap(k, (s >> 33) as usize % (k + 1));
-        }
-        let mut r = Reassembler::new();
-        let mut got = None;
-        for f in &frags {
-            let (fh, range) = Ipv4Header::parse(f).unwrap();
-            if let Some(g) = r.push(&fh, &f[range], 0) {
-                got = Some(g);
+/// Chunked checksum == one-shot checksum for any split points.
+#[test]
+fn checksum_chunking_invariant() {
+    check(
+        "checksum_chunking_invariant",
+        Config::default().cases(128),
+        |rng| (bytes(rng, 0..512), vec_of(rng, 0..8, |r| r.gen::<usize>())),
+        |(data, splits)| {
+            let oneshot = checksum(&data);
+            let mut cuts: Vec<usize> = splits.iter().map(|s| s % (data.len() + 1)).collect();
+            cuts.sort_unstable();
+            let mut c = Checksum::new();
+            let mut prev = 0;
+            for cut in cuts {
+                c.add(&data[prev..cut]);
+                prev = cut;
             }
-        }
-        prop_assert_eq!(got.expect("complete"), payload);
-    }
+            c.add(&data[prev..]);
+            prop_assert_eq!(c.finish(), oneshot);
+            Ok(())
+        },
+    );
+}
 
-    /// ARP packets round-trip for arbitrary addresses.
-    #[test]
-    fn arp_roundtrip(sm in any::<[u8; 6]>(), si in any::<u32>(), ti in any::<u32>()) {
-        let p = ArpPacket::request(MacAddr(sm), Ipv4Addr::from(si), Ipv4Addr::from(ti));
-        prop_assert_eq!(ArpPacket::parse(&p.emit()).unwrap(), p);
-    }
+/// A region with its own checksum embedded always verifies, and any
+/// 16-bit word flip is detected.
+#[test]
+fn checksum_verifies_and_detects() {
+    check(
+        "checksum_verifies_and_detects",
+        Config::default().cases(128),
+        |rng| {
+            (
+                bytes(rng, 4..256),
+                rng.gen::<usize>(),
+                rng.gen_range(1u16..=u16::MAX),
+            )
+        },
+        |(mut data, flip_pos, flip_val)| {
+            if data.len() < 2 || flip_val == 0 {
+                return Ok(());
+            }
+            if data.len() % 2 == 1 {
+                data.push(0);
+            }
+            data[0] = 0;
+            data[1] = 0;
+            let c = checksum(&data);
+            data[0] = (c >> 8) as u8;
+            data[1] = (c & 0xFF) as u8;
+            prop_assert!(neat_net::checksum::verify(&data));
+            // Flip one aligned 16-bit word (never produces an equal sum
+            // because one's-complement addition is injective per word flip,
+            // except the 0x0000 <-> 0xFFFF ambiguity — skip that case).
+            let p = (flip_pos % (data.len() / 2)) * 2;
+            let orig = u16::from_be_bytes([data[p], data[p + 1]]);
+            let new = orig ^ flip_val;
+            if orig != 0xFFFF && new != 0xFFFF && orig != new {
+                data[p] = (new >> 8) as u8;
+                data[p + 1] = (new & 0xFF) as u8;
+                prop_assert!(!neat_net::checksum::verify(&data), "flip at {p} undetected");
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// UDP datagrams round-trip and the checksum binds the addresses.
-    #[test]
-    fn udp_roundtrip_and_binding(
-        sp in 1u16..=u16::MAX, dp in 1u16..=u16::MAX,
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        a in any::<u32>(), b in any::<u32>(),
-    ) {
-        let src = Ipv4Addr::from(a);
-        let dst = Ipv4Addr::from(b);
-        let bytes = UdpHeader::emit(sp, dp, &payload, src, dst);
-        let (h, range) = UdpHeader::parse(&bytes, src, dst).unwrap();
-        prop_assert_eq!(h.src_port, sp);
-        prop_assert_eq!(h.dst_port, dp);
-        prop_assert_eq!(&bytes[range], &payload[..]);
-        // A different claimed source address must fail. (Swapping src and
-        // dst would pass — one's-complement addition commutes — so perturb
-        // one address instead.)
-        let other = Ipv4Addr::from(a ^ 1);
-        prop_assert!(UdpHeader::parse(&bytes, other, dst).is_err());
-    }
+/// fragment → reassemble is the identity for any payload and MTU.
+#[test]
+fn fragmentation_roundtrip() {
+    check(
+        "fragmentation_roundtrip",
+        Config::default().cases(64),
+        |rng| {
+            (
+                bytes(rng, 1..6000),
+                rng.gen_range(68usize..1500),
+                rng.gen::<u16>(),
+            )
+        },
+        |(payload, mtu, ident)| {
+            if payload.is_empty() || mtu < 68 {
+                return Ok(());
+            }
+            let mut h = Ipv4Header::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                IpProtocol::Udp,
+                payload.len(),
+            );
+            h.dont_frag = false;
+            h.ident = ident;
+            let frags = fragment(&h, &payload, mtu).unwrap();
+            let mut r = Reassembler::new();
+            let mut got = None;
+            for f in &frags {
+                let (fh, range) = Ipv4Header::parse(f).unwrap();
+                got = r.push(&fh, &f[range], 0);
+            }
+            prop_assert_eq!(got.expect("complete"), payload);
+            Ok(())
+        },
+    );
+}
 
-    /// The Toeplitz hash is a pure function and flow-stable.
-    #[test]
-    fn rss_pure_and_stable(a in any::<u32>(), b in any::<u32>(), sp in any::<u16>(), dp in any::<u16>(), n in 1usize..64) {
-        let h = neat_net::RssHasher::default();
-        let f = neat_net::FlowKey::tcp(Ipv4Addr::from(a), sp, Ipv4Addr::from(b), dp);
-        let q = h.queue_for(&f, n);
-        prop_assert!(q < n);
-        prop_assert_eq!(h.queue_for(&f, n), q);
-        prop_assert_eq!(h.hash(&f), h.hash(&f));
-    }
+/// Reassembly works in any delivery order.
+#[test]
+fn fragmentation_reorder_roundtrip() {
+    check(
+        "fragmentation_reorder_roundtrip",
+        Config::default().cases(64),
+        |rng| (bytes(rng, 1500..5000), rng.gen::<u64>()),
+        |(payload, order_seed)| {
+            if payload.is_empty() {
+                return Ok(());
+            }
+            let mut h = Ipv4Header::new(
+                Ipv4Addr::new(1, 2, 3, 4),
+                Ipv4Addr::new(5, 6, 7, 8),
+                IpProtocol::Tcp,
+                payload.len(),
+            );
+            h.dont_frag = false;
+            h.ident = 99;
+            let mut frags = fragment(&h, &payload, 600).unwrap();
+            // Deterministic shuffle from the generated seed.
+            let mut s = neat_util::Rng::seed_from_u64(order_seed);
+            s.shuffle(&mut frags);
+            let mut r = Reassembler::new();
+            let mut got = None;
+            for f in &frags {
+                let (fh, range) = Ipv4Header::parse(f).unwrap();
+                if let Some(g) = r.push(&fh, &f[range], 0) {
+                    got = Some(g);
+                }
+            }
+            prop_assert_eq!(got.expect("complete"), payload);
+            Ok(())
+        },
+    );
+}
+
+/// ARP packets round-trip for arbitrary addresses.
+#[test]
+fn arp_roundtrip() {
+    check(
+        "arp_roundtrip",
+        Config::default().cases(128),
+        |rng| (rng.gen::<[u8; 6]>(), rng.gen::<u32>(), rng.gen::<u32>()),
+        |(sm, si, ti)| {
+            let p = ArpPacket::request(MacAddr(sm), Ipv4Addr::from(si), Ipv4Addr::from(ti));
+            prop_assert_eq!(ArpPacket::parse(&p.emit()).unwrap(), p);
+            Ok(())
+        },
+    );
+}
+
+/// UDP datagrams round-trip and the checksum binds the addresses.
+#[test]
+fn udp_roundtrip_and_binding() {
+    check(
+        "udp_roundtrip_and_binding",
+        Config::default().cases(128),
+        |rng| {
+            (
+                rng.gen_range(1u16..=u16::MAX),
+                rng.gen_range(1u16..=u16::MAX),
+                bytes(rng, 0..512),
+                rng.gen::<u32>(),
+                rng.gen::<u32>(),
+            )
+        },
+        |(sp, dp, payload, a, b)| {
+            if sp == 0 || dp == 0 {
+                return Ok(());
+            }
+            let src = Ipv4Addr::from(a);
+            let dst = Ipv4Addr::from(b);
+            let bytes = UdpHeader::emit(sp, dp, &payload, src, dst);
+            let (h, range) = UdpHeader::parse(&bytes, src, dst).unwrap();
+            prop_assert_eq!(h.src_port, sp);
+            prop_assert_eq!(h.dst_port, dp);
+            prop_assert_eq!(&bytes[range], &payload[..]);
+            // A different claimed source address must fail. (Swapping src and
+            // dst would pass — one's-complement addition commutes — so perturb
+            // one address instead.)
+            let other = Ipv4Addr::from(a ^ 1);
+            prop_assert!(UdpHeader::parse(&bytes, other, dst).is_err());
+            Ok(())
+        },
+    );
+}
+
+/// The Toeplitz hash is a pure function and flow-stable.
+#[test]
+fn rss_pure_and_stable() {
+    check(
+        "rss_pure_and_stable",
+        Config::default().cases(128),
+        |rng| {
+            (
+                rng.gen::<u32>(),
+                rng.gen::<u32>(),
+                rng.gen::<u16>(),
+                rng.gen::<u16>(),
+                rng.gen_range(1usize..64),
+            )
+        },
+        |(a, b, sp, dp, n)| {
+            if n == 0 {
+                return Ok(());
+            }
+            let h = neat_net::RssHasher::default();
+            let f = neat_net::FlowKey::tcp(Ipv4Addr::from(a), sp, Ipv4Addr::from(b), dp);
+            let q = h.queue_for(&f, n);
+            prop_assert!(q < n);
+            prop_assert_eq!(h.queue_for(&f, n), q);
+            prop_assert_eq!(h.hash(&f), h.hash(&f));
+            Ok(())
+        },
+    );
 }

@@ -3,8 +3,7 @@
 //! token bucket. Used to demonstrate the stack's robustness and to stress
 //! the recovery experiments.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use neat_util::Rng;
 
 /// Fault injection configuration (probabilities in percent, like smoltcp).
 #[derive(Debug, Clone, Default)]
@@ -36,7 +35,7 @@ pub enum FaultOutcome {
 #[derive(Debug)]
 pub struct FaultInjector {
     cfg: FaultConfig,
-    rng: SmallRng,
+    rng: Rng,
     tokens: u32,
     last_refill_ns: u64,
     pub dropped: u64,
@@ -49,7 +48,7 @@ impl FaultInjector {
         let tokens = cfg.rate_tokens;
         FaultInjector {
             cfg,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             tokens,
             last_refill_ns: 0,
             dropped: 0,
@@ -85,17 +84,17 @@ impl FaultInjector {
             self.tokens -= 1;
         }
         // Random drop.
-        if self.cfg.drop_pct > 0 && self.rng.gen_range(0..100) < self.cfg.drop_pct as u32 {
+        if self.cfg.drop_pct > 0 && self.rng.gen_range(0u32..100) < self.cfg.drop_pct as u32 {
             self.dropped += 1;
             return FaultOutcome::Dropped;
         }
         // Random single-octet corruption.
         if self.cfg.corrupt_pct > 0
             && !frame.is_empty()
-            && self.rng.gen_range(0..100) < self.cfg.corrupt_pct as u32
+            && self.rng.gen_range(0u32..100) < self.cfg.corrupt_pct as u32
         {
             let idx = self.rng.gen_range(0..frame.len());
-            let bit = 1u8 << self.rng.gen_range(0..8);
+            let bit = 1u8 << self.rng.gen_range(0u32..8);
             frame[idx] ^= bit;
             self.corrupted += 1;
             return FaultOutcome::Corrupted(frame);
@@ -152,11 +151,7 @@ mod tests {
         let orig = vec![0u8; 64];
         match f.apply(orig.clone(), 0) {
             FaultOutcome::Corrupted(v) => {
-                let flipped: u32 = v
-                    .iter()
-                    .zip(&orig)
-                    .map(|(a, b)| (a ^ b).count_ones())
-                    .sum();
+                let flipped: u32 = v.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
                 assert_eq!(flipped, 1);
             }
             other => panic!("expected corruption, got {other:?}"),

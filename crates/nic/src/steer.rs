@@ -77,7 +77,11 @@ impl Steering {
                 }
                 let src_port = get_u16(l4, 0);
                 let dst_port = get_u16(l4, 2);
-                let flags = if ip.protocol == IpProtocol::Tcp { l4[13] } else { 0 };
+                let flags = if ip.protocol == IpProtocol::Tcp {
+                    l4[13]
+                } else {
+                    0
+                };
                 let is_syn = flags & 0x02 != 0 && flags & 0x10 == 0;
                 let is_rst = flags & 0x04 != 0;
                 Some(ParsedFlow {
@@ -144,7 +148,8 @@ impl Steering {
             if self.filters.len() >= self.max_filters {
                 // Reclaim idle entries (connections long gone).
                 let idle = self.filter_idle_ns;
-                self.filters.retain(|_, (_, seen)| now_ns.saturating_sub(*seen) < idle);
+                self.filters
+                    .retain(|_, (_, seen)| now_ns.saturating_sub(*seen) < idle);
             }
             if self.filters.len() < self.max_filters {
                 self.filters.insert(flow.key, (q, now_ns));
@@ -230,7 +235,11 @@ mod tests {
         let frame = tcp_frame(1234, TcpFlags::SYN);
         let q = s.classify(&frame);
         let frame2 = tcp_frame(1234, TcpFlags::ack());
-        assert_eq!(s.classify(&frame2), q, "every packet of a flow → same queue");
+        assert_eq!(
+            s.classify(&frame2),
+            q,
+            "every packet of a flow → same queue"
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property tests for the NIC model: steering stability, fault-injector
-//! conservation, TSO framing invariants.
+//! conservation, TSO framing invariants. Runs on the in-tree
+//! `neat_util::check` harness.
 
 use neat_net::tcp::{TcpFlags, TcpHeader};
 use neat_net::{EtherType, EthernetFrame, Ipv4Header, MacAddr, SeqNum};
 use neat_nic::{FaultConfig, FaultInjector, Nic, NicConfig, Steering};
-use proptest::prelude::*;
+use neat_util::check::{check, vec_of, Config};
+use neat_util::{prop_assert, prop_assert_eq};
 use std::net::Ipv4Addr;
 
 fn frame(src: u32, sp: u16, dp: u16, flags: TcpFlags, payload: &[u8]) -> Vec<u8> {
@@ -20,106 +22,201 @@ fn frame(src: u32, sp: u16, dp: u16, flags: TcpFlags, payload: &[u8]) -> Vec<u8>
     .emit(&ip)
 }
 
-proptest! {
-    /// Flow affinity: for any sequence of flows and queue counts, every
-    /// packet of a flow is classified to one queue.
-    #[test]
-    fn steering_flow_affinity(
-        flows in proptest::collection::vec((any::<u32>(), 1024u16..65000, 1u16..1024), 1..40),
-        queues in 1usize..16,
-    ) {
-        let mut s = Steering::new(queues);
-        let mut assigned = std::collections::HashMap::new();
-        let mut now = 0u64;
-        for (src, sp, dp) in &flows {
-            // SYN first, then data packets of the same flow interleaved.
-            now += 1_000;
-            let q0 = s.classify_track(&frame(*src, *sp, *dp, TcpFlags::SYN, &[]), now);
-            prop_assert!(q0 < queues);
-            let prev = assigned.insert((*src, *sp, *dp), q0);
-            if let Some(p) = prev {
-                prop_assert_eq!(p, q0, "re-SYN keeps the filter-pinned queue");
+/// Flow affinity: for any sequence of flows and queue counts, every
+/// packet of a flow is classified to one queue.
+#[test]
+fn steering_flow_affinity() {
+    check(
+        "steering_flow_affinity",
+        Config::default().cases(96),
+        |rng| {
+            (
+                vec_of(rng, 1..40, |r| {
+                    (
+                        r.gen::<u32>(),
+                        r.gen_range(1024u16..65000),
+                        r.gen_range(1u16..1024),
+                    )
+                }),
+                rng.gen_range(1usize..16),
+            )
+        },
+        |(flows, queues)| {
+            if queues == 0 {
+                return Ok(());
             }
-            for _ in 0..3 {
+            let mut s = Steering::new(queues);
+            let mut assigned = std::collections::HashMap::new();
+            let mut now = 0u64;
+            for (src, sp, dp) in &flows {
+                // SYN first, then data packets of the same flow interleaved.
                 now += 1_000;
-                let q = s.classify_track(&frame(*src, *sp, *dp, TcpFlags::ack(), b"x"), now);
-                prop_assert_eq!(q, q0, "data follows the SYN's queue");
-            }
-        }
-    }
-
-    /// Fault injector conservation: every frame is exactly one of passed,
-    /// corrupted, or dropped; corrupted frames differ in exactly one bit.
-    #[test]
-    fn fault_injector_conservation(
-        drop_pct in 0u8..=100, corrupt_pct in 0u8..=100, seed in any::<u64>(),
-        n in 1usize..200,
-    ) {
-        let mut inj = FaultInjector::new(
-            FaultConfig { drop_pct, corrupt_pct, ..Default::default() },
-            seed,
-        );
-        let orig = vec![0x5Au8; 64];
-        for i in 0..n {
-            match inj.apply(orig.clone(), i as u64) {
-                neat_nic::faults::FaultOutcome::Pass(f) => prop_assert_eq!(&f, &orig),
-                neat_nic::faults::FaultOutcome::Corrupted(f) => {
-                    let bits: u32 = f.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
-                    prop_assert_eq!(bits, 1);
+                let q0 = s.classify_track(&frame(*src, *sp, *dp, TcpFlags::SYN, &[]), now);
+                prop_assert!(q0 < queues);
+                let prev = assigned.insert((*src, *sp, *dp), q0);
+                if let Some(p) = prev {
+                    prop_assert_eq!(p, q0, "re-SYN keeps the filter-pinned queue");
                 }
-                neat_nic::faults::FaultOutcome::Dropped => {}
+                for _ in 0..3 {
+                    now += 1_000;
+                    let q = s.classify_track(&frame(*src, *sp, *dp, TcpFlags::ack(), b"x"), now);
+                    prop_assert_eq!(q, q0, "data follows the SYN's queue");
+                }
             }
-        }
-        prop_assert_eq!(inj.passed + inj.corrupted + inj.dropped, n as u64);
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// TSO: frames on the wire never exceed MSS+headers, cover the payload
-    /// exactly once, in order.
-    #[test]
-    fn tso_framing_invariants(
-        payload in proptest::collection::vec(any::<u8>(), 1..10_000),
-        mss in 200usize..1460,
-    ) {
-        let f = frame(0x0A00_0001, 9999, 80, TcpFlags::psh_ack(), &payload);
-        let out = neat_nic::tso::tso_split(f, mss);
-        let mut covered = 0usize;
-        let mut expect_seq = SeqNum(1);
-        for w in &out {
-            let (_, off) = EthernetFrame::parse(w).unwrap();
-            let (iph, r) = Ipv4Header::parse(&w[off..]).unwrap();
-            let l4 = &w[off..][r];
-            let (th, pr) = TcpHeader::parse(l4, iph.src, iph.dst).unwrap();
-            let seg = &l4[pr];
-            prop_assert!(seg.len() <= mss);
-            prop_assert_eq!(th.seq, expect_seq);
-            prop_assert_eq!(seg, &payload[covered..covered + seg.len()]);
-            expect_seq = expect_seq + seg.len() as u32;
-            covered += seg.len();
-        }
-        prop_assert_eq!(covered, payload.len());
-    }
-
-    /// Device-level: growing queues never reroutes filtered (existing)
-    /// flows.
-    #[test]
-    fn grow_preserves_existing_flows(
-        ports in proptest::collection::vec(1024u16..60000, 1..30),
-        grow_to in 2usize..12,
-    ) {
-        let mut nic = Nic::new(
-            NicConfig { queue_pairs: 1, ..Default::default() },
-            FaultInjector::disabled(1),
-        );
-        let mut homes = Vec::new();
-        for (i, p) in ports.iter().enumerate() {
-            let q = nic.wire_rx(frame(7, *p, 80, TcpFlags::SYN, &[]), i as u64).unwrap();
-            homes.push(q);
-        }
-        nic.grow_queues(grow_to);
-        for (i, p) in ports.iter().enumerate() {
-            if let Some(q) = nic.wire_rx(frame(7, *p, 80, TcpFlags::ack(), b"d"), 1_000 + i as u64) {
-                prop_assert_eq!(q, homes[i], "existing flow moved after grow");
+/// Fault injector conservation: every frame is exactly one of passed,
+/// corrupted, or dropped; corrupted frames differ in exactly one bit.
+#[test]
+fn fault_injector_conservation() {
+    check(
+        "fault_injector_conservation",
+        Config::default().cases(128),
+        |rng| {
+            (
+                rng.gen_range(0u8..=100),
+                rng.gen_range(0u8..=100),
+                rng.gen::<u64>(),
+                rng.gen_range(1usize..200),
+            )
+        },
+        |(drop_pct, corrupt_pct, seed, n)| {
+            let mut inj = FaultInjector::new(
+                FaultConfig {
+                    drop_pct,
+                    corrupt_pct,
+                    ..Default::default()
+                },
+                seed,
+            );
+            let orig = vec![0x5Au8; 64];
+            for i in 0..n {
+                match inj.apply(orig.clone(), i as u64) {
+                    neat_nic::faults::FaultOutcome::Pass(f) => prop_assert_eq!(&f, &orig),
+                    neat_nic::faults::FaultOutcome::Corrupted(f) => {
+                        let bits: u32 =
+                            f.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
+                        prop_assert_eq!(bits, 1);
+                    }
+                    neat_nic::faults::FaultOutcome::Dropped => {}
+                }
             }
-        }
-    }
+            prop_assert_eq!(inj.passed + inj.corrupted + inj.dropped, n as u64);
+            Ok(())
+        },
+    );
+}
+
+/// Determinism: the same seed yields the same outcome sequence — the
+/// foundation of reproducible fault-injection campaigns (Table 3).
+#[test]
+fn fault_injector_deterministic() {
+    check(
+        "fault_injector_deterministic",
+        Config::default().cases(32),
+        |rng| (rng.gen::<u64>(), rng.gen_range(1usize..100)),
+        |(seed, n)| {
+            let run = |seed: u64| {
+                let mut inj = FaultInjector::new(
+                    FaultConfig {
+                        drop_pct: 30,
+                        corrupt_pct: 30,
+                        ..Default::default()
+                    },
+                    seed,
+                );
+                (0..n)
+                    .map(|i| inj.apply(vec![0xAAu8; 32], i as u64))
+                    .collect::<Vec<_>>()
+            };
+            prop_assert_eq!(run(seed), run(seed));
+            Ok(())
+        },
+    );
+}
+
+/// TSO: frames on the wire never exceed MSS+headers, cover the payload
+/// exactly once, in order.
+#[test]
+fn tso_framing_invariants() {
+    check(
+        "tso_framing_invariants",
+        Config::default().cases(96),
+        |rng| {
+            (
+                neat_util::check::bytes(rng, 1..10_000),
+                rng.gen_range(200usize..1460),
+            )
+        },
+        |(payload, mss)| {
+            if payload.is_empty() || mss == 0 {
+                return Ok(());
+            }
+            let f = frame(0x0A00_0001, 9999, 80, TcpFlags::psh_ack(), &payload);
+            let out = neat_nic::tso::tso_split(f, mss);
+            let mut covered = 0usize;
+            let mut expect_seq = SeqNum(1);
+            for w in &out {
+                let (_, off) = EthernetFrame::parse(w).unwrap();
+                let (iph, r) = Ipv4Header::parse(&w[off..]).unwrap();
+                let l4 = &w[off..][r];
+                let (th, pr) = TcpHeader::parse(l4, iph.src, iph.dst).unwrap();
+                let seg = &l4[pr];
+                prop_assert!(seg.len() <= mss);
+                prop_assert_eq!(th.seq, expect_seq);
+                prop_assert_eq!(seg, &payload[covered..covered + seg.len()]);
+                expect_seq = expect_seq + seg.len() as u32;
+                covered += seg.len();
+            }
+            prop_assert_eq!(covered, payload.len());
+            Ok(())
+        },
+    );
+}
+
+/// Device-level: growing queues never reroutes filtered (existing)
+/// flows.
+#[test]
+fn grow_preserves_existing_flows() {
+    check(
+        "grow_preserves_existing_flows",
+        Config::default().cases(64),
+        |rng| {
+            (
+                vec_of(rng, 1..30, |r| r.gen_range(1024u16..60000)),
+                rng.gen_range(2usize..12),
+            )
+        },
+        |(ports, grow_to)| {
+            if grow_to < 1 {
+                return Ok(());
+            }
+            let mut nic = Nic::new(
+                NicConfig {
+                    queue_pairs: 1,
+                    ..Default::default()
+                },
+                FaultInjector::disabled(1),
+            );
+            let mut homes = Vec::new();
+            for (i, p) in ports.iter().enumerate() {
+                let q = nic
+                    .wire_rx(frame(7, *p, 80, TcpFlags::SYN, &[]), i as u64)
+                    .unwrap();
+                homes.push(q);
+            }
+            nic.grow_queues(grow_to);
+            for (i, p) in ports.iter().enumerate() {
+                if let Some(q) =
+                    nic.wire_rx(frame(7, *p, 80, TcpFlags::ack(), b"d"), 1_000 + i as u64)
+                {
+                    prop_assert_eq!(q, homes[i], "existing flow moved after grow");
+                }
+            }
+            Ok(())
+        },
+    );
 }

@@ -18,8 +18,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use neat_util::Rng;
 
 use crate::calibration;
 use crate::machine::{
@@ -122,7 +121,7 @@ pub struct Sim<M> {
     machines: Vec<Machine>,
     threads: Vec<HwThread>,
     procs: HashMap<ProcId, ProcSlot<M>>,
-    rng: SmallRng,
+    rng: Rng,
     /// `(monitor process, message constructor)` notified on crashes.
     crash_monitor: Option<(ProcId, CrashHook<M>)>,
     events_dispatched: u64,
@@ -143,7 +142,7 @@ impl<M: 'static> Sim<M> {
             machines: Vec::new(),
             threads: Vec::new(),
             procs: HashMap::new(),
-            rng: SmallRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             crash_monitor: None,
             events_dispatched: 0,
             pending: Vec::new(),
@@ -276,7 +275,11 @@ impl<M: 'static> Sim<M> {
 
     /// Register the process to be notified (via a constructed message) when
     /// any other process crashes — the reincarnation-server role.
-    pub fn set_crash_monitor(&mut self, monitor: ProcId, hook: impl Fn(ProcId, &str) -> M + 'static) {
+    pub fn set_crash_monitor(
+        &mut self,
+        monitor: ProcId,
+        hook: impl Fn(ProcId, &str) -> M + 'static,
+    ) {
         self.crash_monitor = Some((monitor, Box::new(hook)));
     }
 
@@ -355,7 +358,9 @@ impl<M: 'static> Sim<M> {
         let HeapEv { time, kind, .. } = ev;
         match kind {
             HeapKind::Deliver { dst, ev } => {
-                let Some(slot) = self.procs.get(&dst) else { return };
+                let Some(slot) = self.procs.get(&dst) else {
+                    return;
+                };
                 if !slot.alive {
                     return;
                 }
@@ -378,11 +383,7 @@ impl<M: 'static> Sim<M> {
                 self.resume_scheduled[tid.0] = false;
                 // Pop queued work until we find a live destination.
                 while let Some((dst, ev)) = self.pending[tid.0].pop_front() {
-                    let alive = self
-                        .procs
-                        .get(&dst)
-                        .map(|s| s.alive)
-                        .unwrap_or(false);
+                    let alive = self.procs.get(&dst).map(|s| s.alive).unwrap_or(false);
                     if !alive {
                         continue; // messages to dead processes vanish
                     }
@@ -475,11 +476,7 @@ impl<M: 'static> Sim<M> {
                     extra_delay,
                 } => {
                     let at = end + calibration::CHANNEL_LATENCY + extra_delay;
-                    self.push(
-                        at,
-                        to,
-                        Event::Message { from: dst, msg },
-                    );
+                    self.push(at, to, Event::Message { from: dst, msg });
                 }
                 Output::Timer { delay, token } => {
                     self.push(end + delay, dst, Event::Timer { token });
@@ -617,12 +614,7 @@ impl<'a, M: 'static> Ctx<'a, M> {
 
     /// Spawn a new process (returns its pid immediately; it starts after
     /// `delay` — process creation is not free, §3.4).
-    pub fn spawn(
-        &mut self,
-        thread: HwThreadId,
-        proc: Box<dyn Process<M>>,
-        delay: Time,
-    ) -> ProcId {
+    pub fn spawn(&mut self, thread: HwThreadId, proc: Box<dyn Process<M>>, delay: Time) -> ProcId {
         let pid = ProcId(self.sim.next_pid);
         self.sim.next_pid += 1;
         self.outputs.push(Output::Spawn {
@@ -651,7 +643,7 @@ impl<'a, M: 'static> Ctx<'a, M> {
     }
 
     /// The simulation-wide deterministic RNG.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut Rng {
         &mut self.sim.rng
     }
 
@@ -726,7 +718,12 @@ mod tests {
         }
     }
 
-    fn two_proc_sim() -> (Sim<TMsg>, ProcId, ProcId, std::rc::Rc<std::cell::RefCell<Vec<u32>>>) {
+    fn two_proc_sim() -> (
+        Sim<TMsg>,
+        ProcId,
+        ProcId,
+        std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+    ) {
         let mut sim = Sim::new(SimConfig::default());
         let m = sim.add_machine(MachineSpec::amd_opteron_6168());
         let t0 = sim.hw_thread(m, 0, 0);

@@ -16,7 +16,7 @@
 
 use crate::calibration;
 use crate::time::{Freq, Time};
-use serde::Serialize;
+use neat_util::{Json, ToJson};
 
 /// Identifies a machine within a [`crate::Sim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,7 +81,7 @@ pub enum ThreadKind {
 }
 
 /// Cumulative activity of one hardware thread (Table 2's columns).
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ThreadStats {
     /// Time spent executing process handlers ("useful processing").
     pub busy_ns: u64,
@@ -129,6 +129,18 @@ impl ThreadStats {
         } else {
             self.poll_ns as f64 / a as f64
         }
+    }
+}
+
+impl ToJson for ThreadStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("busy_ns", self.busy_ns)
+            .field("poll_ns", self.poll_ns)
+            .field("kernel_ns", self.kernel_ns)
+            .field("sleeps", self.sleeps)
+            .field("events", self.events)
+            .field("smt_slow_sum", self.smt_slow_sum)
     }
 }
 

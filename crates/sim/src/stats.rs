@@ -5,11 +5,11 @@
 //! latency — so the experiment binaries can print paper-shaped rows.
 
 use crate::time::Time;
-use serde::Serialize;
+use neat_util::{Json, ToJson};
 
 /// A log-bucketed latency histogram (HdrHistogram-style, power-of-two
 /// buckets with linear sub-buckets), covering 1 ns .. ~17 s.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     /// 64 major buckets x 16 sub-buckets.
     counts: Vec<u64>,
@@ -120,8 +120,31 @@ impl Histogram {
     }
 }
 
+impl ToJson for Histogram {
+    /// Summary form for the machine-readable results files: counts plus
+    /// the latency quantiles the paper's figures quote.
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("count", self.total)
+            .field("mean_ns", self.mean().as_nanos())
+            .field("min_ns", self.min().as_nanos())
+            .field("max_ns", self.max().as_nanos())
+            .field("p50_ns", self.quantile(0.5).as_nanos())
+            .field("p90_ns", self.quantile(0.9).as_nanos())
+            .field("p99_ns", self.quantile(0.99).as_nanos())
+    }
+}
+
+impl ToJson for RateMeter {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("count", self.count)
+            .field("bytes", self.bytes)
+    }
+}
+
 /// Counts discrete completions over a window and reports a rate.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RateMeter {
     pub count: u64,
     pub bytes: u64,
@@ -175,7 +198,10 @@ mod tests {
         assert!(p50 < p99);
         // p50 of uniform 1..1000us should land near 500us (bucket bounds
         // make this approximate).
-        assert!(p50 > Time::from_micros(350) && p50 < Time::from_micros(700), "p50={p50}");
+        assert!(
+            p50 > Time::from_micros(350) && p50 < Time::from_micros(700),
+            "p50={p50}"
+        );
         assert!(h.max() == Time::from_micros(1000));
         assert!(h.min() == Time::from_micros(1));
     }

@@ -1,8 +1,10 @@
 //! Property tests for the discrete-event engine: ordering, determinism,
-//! conservation, and accounting invariants.
+//! conservation, and accounting invariants. Runs on the in-tree
+//! `neat_util::check` harness (seeded generation + shrinking).
 
-use neat_sim::{Ctx, Event, MachineSpec, Process, ProcId, Sim, SimConfig, Time};
-use proptest::prelude::*;
+use neat_sim::{Ctx, Event, MachineSpec, ProcId, Process, Sim, SimConfig, Time};
+use neat_util::check::{check, vec_of, Config};
+use neat_util::{prop_assert, prop_assert_eq};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -21,7 +23,11 @@ impl Process<M> for Recorder {
         "recorder".into()
     }
     fn on_event(&mut self, ctx: &mut Ctx<'_, M>, ev: Event<M>) {
-        if let Event::Message { msg: M::Work { cost, reply_to }, .. } = ev {
+        if let Event::Message {
+            msg: M::Work { cost, reply_to },
+            ..
+        } = ev
+        {
             ctx.charge(cost);
             self.log.borrow_mut().push((ctx.now().as_nanos(), cost));
             if let Some(to) = reply_to {
@@ -31,106 +37,201 @@ impl Process<M> for Recorder {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Per-process handling start times are non-decreasing, and every
-    /// message sent is eventually handled exactly once.
-    #[test]
-    fn fifo_order_and_conservation(costs in proptest::collection::vec(100u64..100_000, 1..60)) {
-        let mut sim: Sim<M> = Sim::new(SimConfig::default());
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t = sim.hw_thread(m, 0, 0);
-        let log = Rc::new(RefCell::new(Vec::new()));
-        let p = sim.spawn(t, Box::new(Recorder { log: log.clone() }));
-        for c in &costs {
-            sim.send_external(p, M::Work { cost: *c, reply_to: None });
-        }
-        sim.run_until(Time::from_secs(10));
-        let log = log.borrow();
-        prop_assert_eq!(log.len(), costs.len(), "every message handled once");
-        // Handling order == send order (FIFO), and start times monotone.
-        for (i, (ts, c)) in log.iter().enumerate() {
-            prop_assert_eq!(*c, costs[i], "FIFO");
-            if i > 0 {
-                prop_assert!(*ts >= log[i - 1].0, "monotone start times");
+/// Per-process handling start times are non-decreasing, and every
+/// message sent is eventually handled exactly once.
+#[test]
+fn fifo_order_and_conservation() {
+    check(
+        "fifo_order_and_conservation",
+        Config::default().cases(48),
+        |rng| vec_of(rng, 1..60, |r| r.gen_range(100u64..100_000)),
+        |costs| {
+            if costs.is_empty() {
+                return Ok(());
             }
-        }
-    }
-
-    /// Identical seeds produce identical histories; different seeds exist
-    /// that produce different interleavings is not asserted (randomness is
-    /// only used by processes, not the engine).
-    #[test]
-    fn determinism(costs in proptest::collection::vec(100u64..50_000, 1..40), seed in any::<u64>()) {
-        let run = |seed: u64| {
-            let mut sim: Sim<M> = Sim::new(SimConfig { seed });
-            let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
-            let t0 = sim.hw_thread(m, 0, 0);
-            let t1 = sim.hw_thread(m, 0, 1);
+            let mut sim: Sim<M> = Sim::new(SimConfig::default());
+            let m = sim.add_machine(MachineSpec::amd_opteron_6168());
+            let t = sim.hw_thread(m, 0, 0);
             let log = Rc::new(RefCell::new(Vec::new()));
-            let a = sim.spawn(t0, Box::new(Recorder { log: log.clone() }));
-            let b = sim.spawn(t1, Box::new(Recorder { log: log.clone() }));
-            for (i, c) in costs.iter().enumerate() {
-                sim.send_external(if i % 2 == 0 { a } else { b },
-                    M::Work { cost: *c, reply_to: None });
+            let p = sim.spawn(t, Box::new(Recorder { log: log.clone() }));
+            for c in &costs {
+                sim.send_external(
+                    p,
+                    M::Work {
+                        cost: *c,
+                        reply_to: None,
+                    },
+                );
             }
-            sim.run_until(Time::from_secs(5));
-            let l = log.borrow().clone();
-            (l, sim.events_dispatched(), sim.now())
-        };
-        prop_assert_eq!(run(seed), run(seed));
-    }
+            sim.run_until(Time::from_secs(10));
+            let log = log.borrow();
+            prop_assert_eq!(log.len(), costs.len(), "every message handled once");
+            // Handling order == send order (FIFO), and start times monotone.
+            for (i, (ts, c)) in log.iter().enumerate() {
+                prop_assert_eq!(*c, costs[i], "FIFO");
+                if i > 0 {
+                    prop_assert!(*ts >= log[i - 1].0, "monotone start times");
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Busy time equals the sum of charged costs (converted at the clock),
-    /// regardless of arrival pattern — no work is lost or double-counted.
-    #[test]
-    fn busy_time_accounting(costs in proptest::collection::vec(1_000u64..200_000, 1..40),
-                            gap_ns in 0u64..50_000) {
-        let mut sim: Sim<M> = Sim::new(SimConfig::default());
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t = sim.hw_thread(m, 0, 0);
-        let log = Rc::new(RefCell::new(Vec::new()));
-        let p = sim.spawn(t, Box::new(Recorder { log }));
-        sim.run_until(Time::from_micros(1));
-        sim.reset_all_stats();
-        let mut at = sim.now();
-        for c in &costs {
-            // Space arrivals; the engine must account identically whether
-            // they queue or arrive at an idle thread.
-            sim.run_until(at);
-            sim.send_external(p, M::Work { cost: *c, reply_to: None });
-            at = at + Time::from_nanos(gap_ns);
-        }
-        sim.run_until(Time::from_secs(10));
-        let st = sim.thread_stats(t);
-        // dispatch cost (MSG_RECV=100) is added per message.
-        let total_cycles: u64 = costs.iter().map(|c| c + 100).sum();
-        let expect_ns = neat_sim::Freq::ghz(1.9).cycles_to_time(total_cycles).as_nanos();
-        let got = st.busy_ns;
-        let tol = expect_ns / 100 + costs.len() as u64 + 10;
-        prop_assert!(
-            got >= expect_ns.saturating_sub(tol) && got <= expect_ns + tol,
-            "busy {got} vs expected {expect_ns}"
-        );
-    }
+/// Identical seeds produce identical histories; randomness is only used
+/// by processes, not the engine, so this pins the engine's determinism.
+#[test]
+fn determinism() {
+    check(
+        "determinism",
+        Config::default().cases(48),
+        |rng| {
+            (
+                vec_of(rng, 1..40, |r| r.gen_range(100u64..50_000)),
+                rng.gen::<u64>(),
+            )
+        },
+        |(costs, seed)| {
+            if costs.is_empty() {
+                return Ok(());
+            }
+            let run = |seed: u64| {
+                let mut sim: Sim<M> = Sim::new(SimConfig { seed });
+                let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
+                let t0 = sim.hw_thread(m, 0, 0);
+                let t1 = sim.hw_thread(m, 0, 1);
+                let log = Rc::new(RefCell::new(Vec::new()));
+                let a = sim.spawn(t0, Box::new(Recorder { log: log.clone() }));
+                let b = sim.spawn(t1, Box::new(Recorder { log: log.clone() }));
+                for (i, c) in costs.iter().enumerate() {
+                    sim.send_external(
+                        if i % 2 == 0 { a } else { b },
+                        M::Work {
+                            cost: *c,
+                            reply_to: None,
+                        },
+                    );
+                }
+                sim.run_until(Time::from_secs(5));
+                let l = log.borrow().clone();
+                (l, sim.events_dispatched(), sim.now())
+            };
+            prop_assert_eq!(run(seed), run(seed));
+            Ok(())
+        },
+    );
+}
 
-    /// Histogram quantiles are monotone in q and bounded by min/max.
-    #[test]
-    fn histogram_quantile_monotone(values in proptest::collection::vec(1u64..10_000_000, 1..200)) {
-        let mut h = neat_sim::Histogram::new();
-        for v in &values {
-            h.record(Time::from_nanos(*v));
-        }
-        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
-        let mut prev = Time::ZERO;
-        for q in qs {
-            let x = h.quantile(q);
-            prop_assert!(x >= prev, "monotone at q={q}");
-            prev = x;
-        }
-        prop_assert!(h.quantile(1.0) <= h.max());
-        prop_assert!(h.mean() <= h.max());
-        prop_assert!(h.mean() >= h.min());
-    }
+/// Busy time equals the sum of charged costs (converted at the clock),
+/// regardless of arrival pattern — no work is lost or double-counted.
+#[test]
+fn busy_time_accounting() {
+    check(
+        "busy_time_accounting",
+        Config::default().cases(48),
+        |rng| {
+            (
+                vec_of(rng, 1..40, |r| r.gen_range(1_000u64..200_000)),
+                rng.gen_range(0u64..50_000),
+            )
+        },
+        |(costs, gap_ns)| {
+            if costs.is_empty() {
+                return Ok(());
+            }
+            let mut sim: Sim<M> = Sim::new(SimConfig::default());
+            let m = sim.add_machine(MachineSpec::amd_opteron_6168());
+            let t = sim.hw_thread(m, 0, 0);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let p = sim.spawn(t, Box::new(Recorder { log }));
+            sim.run_until(Time::from_micros(1));
+            sim.reset_all_stats();
+            let mut at = sim.now();
+            for c in &costs {
+                // Space arrivals; the engine must account identically whether
+                // they queue or arrive at an idle thread.
+                sim.run_until(at);
+                sim.send_external(
+                    p,
+                    M::Work {
+                        cost: *c,
+                        reply_to: None,
+                    },
+                );
+                at = at + Time::from_nanos(gap_ns);
+            }
+            sim.run_until(Time::from_secs(10));
+            let st = sim.thread_stats(t);
+            // dispatch cost (MSG_RECV=100) is added per message.
+            let total_cycles: u64 = costs.iter().map(|c| c + 100).sum();
+            let expect_ns = neat_sim::Freq::ghz(1.9)
+                .cycles_to_time(total_cycles)
+                .as_nanos();
+            let got = st.busy_ns;
+            let tol = expect_ns / 100 + costs.len() as u64 + 10;
+            prop_assert!(
+                got >= expect_ns.saturating_sub(tol) && got <= expect_ns + tol,
+                "busy {got} vs expected {expect_ns}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Histogram quantiles are monotone in q and bounded by min/max.
+#[test]
+fn histogram_quantile_monotone() {
+    check(
+        "histogram_quantile_monotone",
+        Config::default().cases(96),
+        |rng| vec_of(rng, 1..200, |r| r.gen_range(1u64..10_000_000)),
+        |values| {
+            if values.is_empty() {
+                return Ok(());
+            }
+            let mut h = neat_sim::Histogram::new();
+            for v in &values {
+                h.record(Time::from_nanos(*v));
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = Time::ZERO;
+            for q in qs {
+                let x = h.quantile(q);
+                prop_assert!(x >= prev, "monotone at q={q}");
+                prev = x;
+            }
+            prop_assert!(h.quantile(1.0) <= h.max());
+            prop_assert!(h.mean() <= h.max());
+            prop_assert!(h.mean() >= h.min());
+            Ok(())
+        },
+    );
+}
+
+/// JSON summaries of stats are well-formed and carry the right counts —
+/// the machine-readable results path stays consistent with the render.
+#[test]
+fn stats_to_json_consistent() {
+    use neat_util::ToJson;
+    check(
+        "stats_to_json_consistent",
+        Config::default().cases(32),
+        |rng| vec_of(rng, 1..100, |r| r.gen_range(1u64..1_000_000)),
+        |values| {
+            if values.is_empty() {
+                return Ok(());
+            }
+            let mut h = neat_sim::Histogram::new();
+            for v in &values {
+                h.record(Time::from_nanos(*v));
+            }
+            let rendered = h.to_json().render();
+            prop_assert!(
+                rendered.contains(&format!("\"count\":{}", values.len())),
+                "count field: {rendered}"
+            );
+            prop_assert!(rendered.starts_with('{') && rendered.ends_with('}'));
+            Ok(())
+        },
+    );
 }

@@ -292,7 +292,10 @@ mod tests {
         c.on_fast_retransmit(0);
         let after = c.cwnd();
         let ratio = after as f64 / before as f64;
-        assert!((0.6..=0.8).contains(&ratio), "beta=0.7 reduction, got {ratio}");
+        assert!(
+            (0.6..=0.8).contains(&ratio),
+            "beta=0.7 reduction, got {ratio}"
+        );
     }
 
     #[test]

@@ -1,131 +1,185 @@
 //! Property tests for TCP engine internals (buffers, congestion control,
-//! RTO estimation). Cross-socket stream properties live in the
-//! repository-level `tests/protocol_properties.rs`.
+//! RTO estimation), on the in-tree `neat_util::check` harness.
+//! Cross-socket stream properties live in the repository-level
+//! `tests/protocol_properties.rs`.
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::congestion::{CongestionControl, Cubic, Reno};
 use crate::rto::RttEstimator;
 use neat_net::SeqNum;
-use proptest::prelude::*;
+use neat_util::check::{check, vec_of, Config};
+use neat_util::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// SendBuffer: pushes + acks never lose or duplicate bytes; peek at
-    /// any in-range position returns exactly the pushed bytes.
-    #[test]
-    fn send_buffer_conserves_bytes(
-        ops in proptest::collection::vec((any::<bool>(), 1usize..300), 1..50),
-        base in any::<u32>(),
-    ) {
-        let mut buf = SendBuffer::new(SeqNum(base), 4096);
-        let mut model: Vec<u8> = Vec::new(); // unacked bytes
-        let mut next_byte = 0u8;
-        let mut acked = 0usize;
-        for (is_push, n) in ops {
-            if is_push {
-                let data: Vec<u8> = (0..n).map(|_| {
-                    next_byte = next_byte.wrapping_add(1);
-                    next_byte
-                }).collect();
-                let pushed = buf.push(&data);
-                prop_assert!(pushed <= data.len());
-                model.extend_from_slice(&data[..pushed]);
-            } else {
-                let k = n.min(model.len());
-                let freed = buf.ack_to(SeqNum(base) + (acked + k) as u32);
-                prop_assert_eq!(freed, k);
-                model.drain(..k);
-                acked += k;
-            }
-            prop_assert_eq!(buf.len(), model.len());
-            // Peek the entire live region and compare with the model.
-            let got = buf.peek(buf.base(), model.len());
-            prop_assert_eq!(&got, &model);
-        }
-    }
-
-    /// RecvBuffer: FIFO with capacity; what goes in comes out in order.
-    #[test]
-    fn recv_buffer_fifo(chunks in proptest::collection::vec(
-        proptest::collection::vec(any::<u8>(), 1..100), 1..20)) {
-        let mut rb = RecvBuffer::new(512);
-        let mut model: Vec<u8> = Vec::new();
-        for c in &chunks {
-            let n = rb.write(c);
-            model.extend_from_slice(&c[..n]);
-            prop_assert!(rb.len() <= 512);
-            // Read a random-ish prefix back.
-            let mut out = vec![0u8; model.len() / 2 + 1];
-            let r = rb.read(&mut out);
-            prop_assert_eq!(&out[..r], &model[..r]);
-            model.drain(..r);
-        }
-    }
-
-    /// Reno invariants: cwnd stays >= 1 MSS, never exceeds doubling per
-    /// ACK volley, and loss events reduce it.
-    #[test]
-    fn reno_invariants(acks in proptest::collection::vec(any::<bool>(), 1..300)) {
-        let mss = 1460u16;
-        let mut r = Reno::new(mss);
-        for is_loss in acks {
-            let before = r.cwnd();
-            if is_loss {
-                r.on_fast_retransmit(0);
-                prop_assert!(r.cwnd() <= before.max(2 * mss as usize));
-            } else {
-                r.on_ack(mss as usize, 0);
-                prop_assert!(r.cwnd() >= before);
-                prop_assert!(r.cwnd() <= before + mss as usize);
-            }
-            prop_assert!(r.cwnd() >= mss as usize);
-        }
-    }
-
-    /// CUBIC never collapses below 2*MSS on fast retransmit and grows
-    /// under ACK clocking.
-    #[test]
-    fn cubic_invariants(events in proptest::collection::vec(any::<u8>(), 1..200)) {
-        let mss = 1460u16;
-        let mut c = Cubic::new(mss);
-        let mut now = 0u64;
-        for e in events {
-            now += 1_000_000;
-            match e % 8 {
-                0 => {
-                    c.on_fast_retransmit(now);
-                    prop_assert!(c.cwnd() >= 2 * mss as usize);
+/// SendBuffer: pushes + acks never lose or duplicate bytes; peek at
+/// any in-range position returns exactly the pushed bytes.
+#[test]
+fn send_buffer_conserves_bytes() {
+    check(
+        "send_buffer_conserves_bytes",
+        Config::default().cases(128),
+        |rng| {
+            (
+                vec_of(rng, 1..50, |r| (r.gen::<bool>(), r.gen_range(1usize..300))),
+                rng.gen::<u32>(),
+            )
+        },
+        |(ops, base)| {
+            let mut buf = SendBuffer::new(SeqNum(base), 4096);
+            let mut model: Vec<u8> = Vec::new(); // unacked bytes
+            let mut next_byte = 0u8;
+            let mut acked = 0usize;
+            for (is_push, n) in ops {
+                if is_push {
+                    let data: Vec<u8> = (0..n)
+                        .map(|_| {
+                            next_byte = next_byte.wrapping_add(1);
+                            next_byte
+                        })
+                        .collect();
+                    let pushed = buf.push(&data);
+                    prop_assert!(pushed <= data.len());
+                    model.extend_from_slice(&data[..pushed]);
+                } else {
+                    let k = n.min(model.len());
+                    let freed = buf.ack_to(SeqNum(base) + (acked + k) as u32);
+                    prop_assert_eq!(freed, k);
+                    model.drain(..k);
+                    acked += k;
                 }
-                1 => {
-                    c.on_timeout(now);
-                    prop_assert_eq!(c.cwnd(), mss as usize);
+                prop_assert_eq!(buf.len(), model.len());
+                // Peek the entire live region and compare with the model.
+                let got = buf.peek(buf.base(), model.len());
+                prop_assert_eq!(&got, &model);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// RecvBuffer: FIFO with capacity; what goes in comes out in order.
+#[test]
+fn recv_buffer_fifo() {
+    check(
+        "recv_buffer_fifo",
+        Config::default().cases(128),
+        |rng| vec_of(rng, 1..20, |r| neat_util::check::bytes(r, 1..100)),
+        |chunks| {
+            let mut rb = RecvBuffer::new(512);
+            let mut model: Vec<u8> = Vec::new();
+            for c in &chunks {
+                let n = rb.write(c);
+                model.extend_from_slice(&c[..n]);
+                prop_assert!(rb.len() <= 512);
+                // Read a random-ish prefix back.
+                let mut out = vec![0u8; model.len() / 2 + 1];
+                let r = rb.read(&mut out);
+                prop_assert_eq!(&out[..r], &model[..r]);
+                model.drain(..r);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Reno invariants: cwnd stays >= 1 MSS, never exceeds doubling per
+/// ACK volley, and loss events reduce it.
+#[test]
+fn reno_invariants() {
+    check(
+        "reno_invariants",
+        Config::default().cases(128),
+        |rng| vec_of(rng, 1..300, |r| r.gen::<bool>()),
+        |acks| {
+            let mss = 1460u16;
+            let mut r = Reno::new(mss);
+            for is_loss in acks {
+                let before = r.cwnd();
+                if is_loss {
+                    r.on_fast_retransmit(0);
+                    prop_assert!(r.cwnd() <= before.max(2 * mss as usize));
+                } else {
+                    r.on_ack(mss as usize, 0);
+                    prop_assert!(r.cwnd() >= before);
+                    prop_assert!(r.cwnd() <= before + mss as usize);
                 }
-                _ => {
-                    let before = c.cwnd();
-                    c.on_ack(mss as usize, now);
-                    prop_assert!(c.cwnd() >= before);
+                prop_assert!(r.cwnd() >= mss as usize);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// CUBIC never collapses below 2*MSS on fast retransmit and grows
+/// under ACK clocking.
+#[test]
+fn cubic_invariants() {
+    check(
+        "cubic_invariants",
+        Config::default().cases(128),
+        |rng| vec_of(rng, 1..200, |r| r.gen::<u8>()),
+        |events| {
+            let mss = 1460u16;
+            let mut c = Cubic::new(mss);
+            let mut now = 0u64;
+            for e in events {
+                now += 1_000_000;
+                match e % 8 {
+                    0 => {
+                        c.on_fast_retransmit(now);
+                        prop_assert!(c.cwnd() >= 2 * mss as usize);
+                    }
+                    1 => {
+                        c.on_timeout(now);
+                        prop_assert_eq!(c.cwnd(), mss as usize);
+                    }
+                    _ => {
+                        let before = c.cwnd();
+                        c.on_ack(mss as usize, now);
+                        prop_assert!(c.cwnd() >= before);
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// The RTO estimator stays within clamps and backoff monotonically
-    /// increases until the next sample.
-    #[test]
-    fn rto_bounds(samples in proptest::collection::vec(1_000u64..1_000_000_000, 1..100),
-                  backoffs in 0u32..10) {
-        let mut e = RttEstimator::new(200_000_000);
-        for s in &samples {
-            e.sample(*s);
-            prop_assert!(e.rto() >= 1_000_000, "floor: {}", e.rto());
-            prop_assert!(e.rto() <= 60_000_000_000, "ceiling");
-            prop_assert!(e.rto() as f64 >= e.srtt().unwrap() as f64 * 0.99,
-                "rto >= srtt: {} vs {:?}", e.rto(), e.srtt());
-        }
-        let mut prev = e.rto();
-        for _ in 0..backoffs {
-            e.backoff();
-            prop_assert!(e.rto() >= prev);
-            prev = e.rto();
-        }
-    }
+/// The RTO estimator stays within clamps and backoff monotonically
+/// increases until the next sample.
+#[test]
+fn rto_bounds() {
+    check(
+        "rto_bounds",
+        Config::default().cases(128),
+        |rng| {
+            (
+                vec_of(rng, 1..100, |r| r.gen_range(1_000u64..1_000_000_000)),
+                rng.gen_range(0u32..10),
+            )
+        },
+        |(samples, backoffs)| {
+            let mut e = RttEstimator::new(200_000_000);
+            for s in &samples {
+                if *s == 0 {
+                    continue;
+                }
+                e.sample(*s);
+                prop_assert!(e.rto() >= 1_000_000, "floor: {}", e.rto());
+                prop_assert!(e.rto() <= 60_000_000_000, "ceiling");
+                prop_assert!(
+                    e.rto() as f64 >= e.srtt().unwrap() as f64 * 0.99,
+                    "rto >= srtt: {} vs {:?}",
+                    e.rto(),
+                    e.srtt()
+                );
+            }
+            let mut prev = e.rto();
+            for _ in 0..backoffs {
+                e.backoff();
+                prop_assert!(e.rto() >= prev);
+                prev = e.rto();
+            }
+            Ok(())
+        },
+    );
 }

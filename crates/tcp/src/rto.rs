@@ -31,8 +31,8 @@ impl RttEstimator {
             rto_ns: initial_rto_ns,
             base_rto_ns: initial_rto_ns,
             backoffs: 0,
-            min_rto_ns: 1_000_000,        // 1 ms floor (LAN-scale; RFC says 1 s)
-            max_rto_ns: 60_000_000_000,   // 60 s ceiling
+            min_rto_ns: 1_000_000,      // 1 ms floor (LAN-scale; RFC says 1 s)
+            max_rto_ns: 60_000_000_000, // 60 s ceiling
         }
     }
 

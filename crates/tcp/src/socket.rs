@@ -475,8 +475,7 @@ impl TcpSocket {
             if wnd == 0 {
                 return false;
             }
-            let first_ok = (seq - self.rcv_nxt) < wnd as i32
-                && (seq + seg_len - self.rcv_nxt) > 0;
+            let first_ok = (seq - self.rcv_nxt) < wnd as i32 && (seq + seg_len - self.rcv_nxt) > 0;
             first_ok
         }
     }
@@ -537,7 +536,7 @@ impl TcpSocket {
         let snd_end = self.fin_seq.map(|f| f + 1).unwrap_or(self.send_buf.end());
         if h.ack - una_before > 0 && h.ack - snd_end <= 0 {
             // New data acknowledged.
-            let acked = self.send_buf.ack_to(h.ack) ;
+            let acked = self.send_buf.ack_to(h.ack);
             // FIN consumes one sequence number beyond the buffer.
             if let Some(f) = self.fin_seq {
                 if h.ack - f > 0 {
@@ -985,8 +984,14 @@ mod tests {
         pump(&mut c, &mut s, now);
         assert_eq!(c.state(), TcpState::Established);
         assert_eq!(s.state(), TcpState::Established);
-        assert!(c.events.iter().any(|e| matches!(e, SockEvent::Connected(_))));
-        assert!(s.events.iter().any(|e| matches!(e, SockEvent::Connected(_))));
+        assert!(c
+            .events
+            .iter()
+            .any(|e| matches!(e, SockEvent::Connected(_))));
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e, SockEvent::Connected(_))));
         c.events.clear();
         s.events.clear();
         (c, s)
@@ -1053,7 +1058,10 @@ mod tests {
         assert_eq!(c.state(), TcpState::FinWait1);
         pump(&mut c, &mut s, now);
         assert_eq!(s.state(), TcpState::CloseWait);
-        assert!(s.events.iter().any(|e| matches!(e, SockEvent::PeerClosed(_))));
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e, SockEvent::PeerClosed(_))));
         s.close(now);
         pump(&mut c, &mut s, now);
         assert_eq!(c.state(), TcpState::TimeWait);
@@ -1107,7 +1115,11 @@ mod tests {
         while let Some((h, p)) = c.poll_transmit(now) {
             segs.push((h, p));
         }
-        assert!(segs.len() >= 3, "initial cwnd allows >=3 segments, got {}", segs.len());
+        assert!(
+            segs.len() >= 3,
+            "initial cwnd allows >=3 segments, got {}",
+            segs.len()
+        );
         // Deliver all but the first; each generates a dup ACK.
         for (h, p) in segs.iter().skip(1) {
             let bytes = h.emit(p, CLIENT_IP, SERVER_IP);

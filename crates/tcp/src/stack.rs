@@ -255,7 +255,10 @@ impl TcpStack {
     }
 
     pub fn recv_available(&self, id: SocketId) -> usize {
-        self.sockets.get(&id).map(|s| s.recv_available()).unwrap_or(0)
+        self.sockets
+            .get(&id)
+            .map(|s| s.recv_available())
+            .unwrap_or(0)
     }
 
     pub fn send_room(&self, id: SocketId) -> usize {
@@ -443,16 +446,13 @@ impl TcpStack {
             .sockets
             .iter()
             .filter(|(id, s)| {
-                s.state() == TcpState::Closed
-                    && !self.dirty_set.contains(id)
-                    && s.events.is_empty()
+                s.state() == TcpState::Closed && !self.dirty_set.contains(id) && s.events.is_empty()
             })
             .map(|(id, _)| *id)
             .collect();
         for id in dead {
             if let Some(s) = self.sockets.remove(&id) {
-                let flow =
-                    FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+                let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
                 self.conns.remove(&flow);
                 if let Some(port) = self.pending_of.remove(&id) {
                     if let Some(l) = self.listeners.get_mut(&port) {

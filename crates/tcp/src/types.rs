@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn state_capabilities() {
         assert!(TcpState::Established.can_send());
-        assert!(TcpState::CloseWait.can_send(), "peer closed, we can still send");
+        assert!(
+            TcpState::CloseWait.can_send(),
+            "peer closed, we can still send"
+        );
         assert!(!TcpState::FinWait1.can_send(), "we closed, no more sending");
         assert!(TcpState::FinWait1.can_recv());
         assert!(!TcpState::CloseWait.can_recv(), "peer already sent FIN");

@@ -1,0 +1,230 @@
+//! Monotonic-timer micro-benchmark runner with a criterion-shaped API.
+//!
+//! Replaces `criterion` for `crates/bench/benches/micro.rs`: the familiar
+//! `Criterion`/`benchmark_group`/`bench_function`/`Bencher::iter` surface,
+//! `black_box`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is deliberately simple: warm up, size iteration
+//! batches to a wall-clock budget, take the median over several batches,
+//! report ns/iter (and bytes/s when a throughput is declared).
+//!
+//! `NEAT_BENCH_QUICK=1` shrinks budgets for smoke runs, which is what
+//! `cargo test`-adjacent CI wants.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level runner handle (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        if std::env::var("NEAT_BENCH_QUICK").is_ok() {
+            Criterion {
+                warmup: Duration::from_millis(20),
+                measure: Duration::from_millis(60),
+                batches: 3,
+            }
+        } else {
+            Criterion {
+                warmup: Duration::from_millis(150),
+                measure: Duration::from_millis(500),
+                batches: 7,
+            }
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name.as_ref(), None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        run_one(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the routine.
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    /// Median ns/iter across batches, filled in by `iter`.
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.criterion.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Size batches so each takes measure/batches of wall clock.
+        let batch_budget = self.criterion.measure.as_nanos() as f64 / self.criterion.batches as f64;
+        let batch_iters = ((batch_budget / per_iter.max(1.0)) as u64).max(1);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.criterion.batches as usize);
+        for _ in 0..self.criterion.batches {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F>(criterion: &Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        criterion,
+        result_ns: None,
+    };
+    f(&mut b);
+    match b.result_ns {
+        Some(ns) => {
+            let thrpt = match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let gbs = bytes as f64 / ns; // bytes per ns == GB/s
+                    format!("   thrpt: {:>9} ", fmt_rate(gbs * 1e9, "B/s"))
+                }
+                Some(Throughput::Elements(n)) => {
+                    let eps = n as f64 / ns * 1e9;
+                    format!("   thrpt: {:>9} ", fmt_rate(eps, "elem/s"))
+                }
+                None => String::new(),
+            };
+            println!("{name:<44} time: {:>12}{thrpt}", fmt_ns(ns));
+        }
+        None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::bench::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::bench::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("NEAT_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        // Must not panic, and must drive the closure.
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns/iter");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs/iter");
+        assert!(fmt_rate(5.2e9, "B/s").starts_with("5.20 G"));
+        assert!(fmt_rate(7.0e4, "elem/s").starts_with("70.00 K"));
+    }
+}

@@ -1,0 +1,482 @@
+//! A quickcheck-style property-test harness.
+//!
+//! Replaces `proptest` for this workspace. The model:
+//!
+//! * a **generator** closure draws a random input from a seeded [`Rng`];
+//! * a **property** closure returns `Ok(())` or `Err(reason)` (the
+//!   [`prop_assert!`]/[`prop_assert_eq!`] macros produce the `Err`s, and
+//!   panics inside the property are caught and treated as failures);
+//! * on failure the harness **greedily shrinks** the input through
+//!   [`Shrink`] candidates (integers halve toward zero, vectors lose
+//!   chunks and elements, tuples shrink component-wise) and reports the
+//!   minimal failing input together with the seed that reproduces it.
+//!
+//! Seeds are derived from the test name, so runs are deterministic by
+//! default; `NEAT_CHECK_SEED` overrides the seed and `NEAT_CHECK_CASES`
+//! the case count (e.g. for a long soak).
+//!
+//! Shrunk candidates can fall outside the generator's domain (a vector
+//! generated with length `1..50` can shrink to empty). Properties should
+//! early-return `Ok(())` for inputs they consider out of scope.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Property outcome: `Err` carries the failure reason.
+pub type TestResult = Result<(), String>;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run (default 256, like proptest).
+    pub cases: u32,
+    /// Explicit seed; `None` derives one from the test name.
+    pub seed: Option<u64>,
+    /// Cap on property evaluations spent shrinking a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            seed: None,
+            max_shrink_steps: 4096,
+        }
+    }
+}
+
+impl Config {
+    pub fn cases(mut self, cases: u32) -> Config {
+        self.cases = cases;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Config {
+        self.seed = Some(seed);
+        self
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test default seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run a property over `cfg.cases` random inputs; panic with a minimal
+/// counterexample and reproduction instructions on failure.
+pub fn check<T, G, P>(name: &str, cfg: Config, gen: G, prop: P)
+where
+    T: Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(T) -> TestResult,
+{
+    let cases = std::env::var("NEAT_CHECK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(cfg.cases);
+    let seed = std::env::var("NEAT_CHECK_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or(cfg.seed)
+        .unwrap_or_else(|| fnv1a(name));
+
+    let run = |input: T| -> TestResult {
+        match catch_unwind(AssertUnwindSafe(|| prop(input))) {
+            Ok(r) => r,
+            Err(payload) => Err(format!("property panicked: {}", panic_msg(&*payload))),
+        }
+    };
+
+    let mut rng = Rng::seed_from_u64(seed);
+    for case in 0..cases {
+        let input = gen(&mut rng);
+        if let Err(first_err) = run(input.clone()) {
+            // Shrink quietly: candidate probes are *expected* to panic, so
+            // silence the default hook while probing.
+            let hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let (min, err, steps) = shrink_loop(input, first_err, &run, cfg.max_shrink_steps);
+            std::panic::set_hook(hook);
+            panic!(
+                "[{name}] property failed at case {case}/{cases} (seed {seed}, \
+                 {steps} shrink steps)\n  minimal input: {min:?}\n  error: {err}\n  \
+                 reproduce with: NEAT_CHECK_SEED={seed} cargo test {name}"
+            );
+        }
+    }
+}
+
+fn panic_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first failing shrink candidate
+/// until no candidate fails or the step budget runs out.
+fn shrink_loop<T, F>(mut cur: T, mut err: String, run: &F, max_steps: u32) -> (T, String, u32)
+where
+    T: Debug + Clone + Shrink,
+    F: Fn(T) -> TestResult,
+{
+    let mut steps = 0u32;
+    'outer: loop {
+        for cand in cur.shrink() {
+            if steps >= max_steps {
+                break 'outer;
+            }
+            steps += 1;
+            if let Err(e) = run(cand.clone()) {
+                cur = cand;
+                err = e;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (cur, err, steps)
+}
+
+/// Produces *smaller* candidate values for counterexample minimization.
+/// An empty candidate list means the value is already minimal.
+pub trait Shrink: Sized {
+    fn shrink(&self) -> Vec<Self>;
+}
+
+macro_rules! shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                if v / 2 != 0 {
+                    out.push(v / 2);
+                }
+                if v - 1 != 0 && v - 1 != v / 2 {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v == 0 {
+                    return out;
+                }
+                out.push(0);
+                let toward = v / 2; // truncates toward zero
+                if toward != 0 {
+                    out.push(toward);
+                }
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                if step != 0 && step != toward {
+                    out.push(step);
+                }
+                out
+            }
+        }
+    )*};
+}
+shrink_int!(i8, i16, i32, i64, i128, isize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+impl Shrink for char {
+    fn shrink(&self) -> Vec<char> {
+        Vec::new()
+    }
+}
+
+impl<const N: usize> Shrink for [u8; N] {
+    fn shrink(&self) -> Vec<[u8; N]> {
+        Vec::new()
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Vec<T>> {
+        let n = self.len();
+        let mut out: Vec<Vec<T>> = Vec::new();
+        if n == 0 {
+            return out;
+        }
+        out.push(Vec::new());
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        // Remove single elements at up to 8 evenly spaced positions.
+        let stride = (n / 8).max(1);
+        for i in (0..n).step_by(stride) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Shrink individual elements in place (at up to 8 positions) —
+        // this is what drives e.g. `vec![255]` down to `vec![0]`.
+        for i in (0..n).step_by(stride) {
+            for cand in self[i].shrink() {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! shrink_tuple {
+    ($(($($name:ident : $idx:tt),+);)+) => {$(
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<($($name,)+)> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+shrink_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+    (A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+/// Assert inside a property body; produces an `Err` return, which the
+/// harness shrinks and reports (mirrors `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                format!($($fmt)*),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property body (mirrors
+/// `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {}\n  left: {:?}\n right: {:?}\n  at {}:{}",
+                format!($($fmt)*),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Convenience: generate a `Vec` with a length drawn from `len`, elements
+/// drawn by `elem`.
+pub fn vec_of<T>(
+    rng: &mut Rng,
+    len: core::ops::Range<usize>,
+    mut elem: impl FnMut(&mut Rng) -> T,
+) -> Vec<T> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| elem(rng)).collect()
+}
+
+/// Convenience: a `Vec<u8>` of length drawn from `len`.
+pub fn bytes(rng: &mut Rng, len: core::ops::Range<usize>) -> Vec<u8> {
+    let n = rng.gen_range(len);
+    let mut v = vec![0u8; n];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u32);
+        check(
+            "passing_property_runs_all_cases",
+            Config::default().cases(64),
+            |rng| rng.gen_range(0u64..1000),
+            |x| {
+                counted.set(counted.get() + 1);
+                prop_assert!(x < 1000);
+                Ok(())
+            },
+        );
+        assert_eq!(counted.get(), 64);
+    }
+
+    #[test]
+    fn shrinker_reaches_known_minimal_counterexample() {
+        // Property: all values < 100. The minimal counterexample is
+        // exactly 100, and greedy integer shrinking must land on it.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "shrinker_minimal_int",
+                Config::default().cases(256),
+                |rng| rng.gen_range(0u64..10_000),
+                |x| {
+                    prop_assert!(x < 100, "x = {x}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_msg(&*result.expect_err("property must fail"));
+        assert!(
+            msg.contains("minimal input: 100"),
+            "shrinker should reach exactly 100:\n{msg}"
+        );
+        assert!(
+            msg.contains("NEAT_CHECK_SEED="),
+            "reproduction seed reported"
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_vectors() {
+        // Property: no vector contains an element >= 50. Minimal failing
+        // input is the single-element vector [50].
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "shrinker_minimal_vec",
+                Config::default().cases(256),
+                |rng| vec_of(rng, 1..40, |r| r.gen_range(0u32..1000)),
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 50), "v = {v:?}");
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_msg(&*result.expect_err("property must fail"));
+        assert!(
+            msg.contains("minimal input: [50]"),
+            "shrinker should reach [50]:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn panics_are_treated_as_failures_and_shrunk() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check(
+                "panic_is_failure",
+                Config::default().cases(128),
+                |rng| rng.gen_range(0u32..1000),
+                |x| {
+                    // An out-of-domain index panic, as real code would.
+                    let v = [0u8; 200];
+                    let _ = v[x as usize];
+                    Ok(())
+                },
+            );
+        }));
+        let msg = panic_msg(&*result.expect_err("property must fail"));
+        assert!(msg.contains("minimal input: 200"), "{msg}");
+        assert!(msg.contains("property panicked"), "{msg}");
+    }
+
+    #[test]
+    fn same_name_same_cases_is_deterministic() {
+        let collect = || {
+            let seen = std::cell::RefCell::new(Vec::new());
+            check(
+                "determinism_probe",
+                Config::default().cases(32),
+                |rng| rng.gen::<u64>(),
+                |x| {
+                    seen.borrow_mut().push(x);
+                    Ok(())
+                },
+            );
+            seen.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn tuple_shrinking_is_componentwise() {
+        let t = (4u32, true, vec![7u8]);
+        let cands = t.shrink();
+        assert!(cands.contains(&(0, true, vec![7])));
+        assert!(cands.contains(&(4, false, vec![7])));
+        assert!(cands.contains(&(4, true, vec![])));
+    }
+}

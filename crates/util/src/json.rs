@@ -1,0 +1,304 @@
+//! A small JSON value model and writer (serialize only).
+//!
+//! The workspace only ever *emits* JSON — machine-readable copies of the
+//! paper tables under `results/` — so this is a writer, not a parser.
+//! Object fields keep insertion order, floats use Rust's shortest
+//! round-trip formatting, and non-finite floats serialize as `null`
+//! (matching `serde_json`'s default behaviour).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Start an empty object (insertion-ordered).
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Add a field to an object (builder style). Panics on non-objects.
+    pub fn field(mut self, key: impl Into<String>, value: impl ToJson) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.into(), value.to_json())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Serialize to a compact string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Append the serialization of `self` to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let mut buf = itoa_buf();
+                out.push_str(write_display(&mut buf, i));
+            }
+            Json::UInt(u) => {
+                let mut buf = itoa_buf();
+                out.push_str(write_display(&mut buf, u));
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let mut buf = itoa_buf();
+                    let s = write_display(&mut buf, f);
+                    out.push_str(s);
+                    // `{}` prints integral floats without a dot; keep the
+                    // value unambiguously a float on the wire.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn itoa_buf() -> String {
+    String::with_capacity(24)
+}
+
+fn write_display<'a>(buf: &'a mut String, v: &impl fmt::Display) -> &'a str {
+    use fmt::Write as _;
+    buf.clear();
+    let _ = write!(buf, "{v}");
+    buf.as_str()
+}
+
+/// JSON string escaping per RFC 8259: `"`/`\`, the C0 controls, and the
+/// common short escapes.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value — the crate-local stand-in for
+/// `serde::Serialize`.
+pub trait ToJson {
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+macro_rules! to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+to_json_int!(i8, i16, i32, i64, isize);
+
+macro_rules! to_json_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+to_json_uint!(u8, u16, u32, u64, usize);
+
+impl ToJson for u128 {
+    fn to_json(&self) -> Json {
+        // Counts can exceed u64 in theory; clamp rather than wrap.
+        Json::UInt((*self).min(u64::MAX as u128) as u64)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (*self).to_json()
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::UInt(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(3.0).render(), "3.0");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn string_escaping_exact() {
+        assert_eq!(Json::Str("hello".into()).render(), r#""hello""#);
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\te".into()).render(),
+            r#""a\"b\\c\nd\te""#
+        );
+        assert_eq!(Json::Str("\u{0001}".into()).render(), "\"\\u0001\"");
+        assert_eq!(
+            Json::Str("naïve — ünïcode".into()).render(),
+            "\"naïve — ünïcode\""
+        );
+    }
+
+    #[test]
+    fn nested_structure_exact() {
+        let v = Json::object()
+            .field("name", "fig7")
+            .field("krps", 302.4f64)
+            .field("replicas", 3u64)
+            .field("rows", vec![1u64, 2, 3])
+            .field("missing", Option::<u64>::None);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"fig7","krps":302.4,"replicas":3,"rows":[1,2,3],"missing":null}"#
+        );
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        // Rust's `{}` float formatting is shortest-round-trip; parsing the
+        // rendered text recovers the exact value.
+        for x in [0.1f64, 1.0 / 3.0, 1e-12, 123456.789, f64::MIN_POSITIVE] {
+            let s = Json::Float(x).render();
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let v = Json::Array(vec![Json::Int(1), Json::Str("x".into())]);
+        assert_eq!(format!("{v}"), v.render());
+    }
+}

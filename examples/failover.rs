@@ -45,7 +45,11 @@ fn crash_and_report(role: Role) {
         "   crash detected: {}   restarted: {}   TCP state lost: {}",
         stats.crashes_seen,
         stats.recoveries,
-        if stats.stateful_losses > 0 { "yes" } else { "no" }
+        if stats.stateful_losses > 0 {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!(
         "   connections lost: {}   client errors: {}",

@@ -66,7 +66,7 @@ fn main() -> std::io::Result<()> {
 
     for _round in 0..200 {
         now += 50_000; // 50 us per round
-        // client -> server
+                       // client -> server
         for f in client.pump_out(now) {
             pcap.write_frame(now, &f)?;
             frames_written += 1;

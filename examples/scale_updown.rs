@@ -42,7 +42,8 @@ fn main() {
 
     println!("→ load drops; scale down with lazy termination…");
     let errs_before = tb.total_errors();
-    tb.sim.send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
     let mut waited = Time::ZERO;
     loop {
         tb.sim.run_until(tb.sim.now() + Time::from_millis(100));

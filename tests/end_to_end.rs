@@ -21,7 +21,11 @@ fn single_component_serves_http() {
     spec.workload = small_workload();
     let mut tb = Testbed::build(spec);
     let r = tb.measure(Time::from_millis(100), Time::from_millis(200));
-    assert!(r.requests > 1_000, "throughput flows: {} requests", r.requests);
+    assert!(
+        r.requests > 1_000,
+        "throughput flows: {} requests",
+        r.requests
+    );
     assert_eq!(r.conn_errors, 0, "no errors under moderate load");
     // 20-byte files: bytes per request match.
     assert!(
@@ -77,7 +81,8 @@ fn replicas_scale_throughput() {
             ..Workload::default()
         };
         let mut tb = Testbed::build(spec);
-        tb.measure(Time::from_millis(150), Time::from_millis(250)).krps
+        tb.measure(Time::from_millis(150), Time::from_millis(250))
+            .krps
     };
     let one = rate(1, 2);
     let three = rate(3, 6);
@@ -114,7 +119,10 @@ fn latency_reasonable_at_low_load() {
         "single-connection RTT should be tens of microseconds, got {}",
         r.mean_latency
     );
-    assert!(r.mean_latency > Time::from_micros(5), "but not magically fast");
+    assert!(
+        r.mean_latency > Time::from_micros(5),
+        "but not magically fast"
+    );
 }
 
 #[test]
@@ -156,13 +164,15 @@ fn neat_beats_tuned_monolith_on_amd() {
         let mut spec = TestbedSpec::amd(NeatConfig::single(3), 6);
         spec.workload = load.clone();
         let mut tb = Testbed::build(spec);
-        tb.measure(Time::from_millis(150), Time::from_millis(250)).krps
+        tb.measure(Time::from_millis(150), Time::from_millis(250))
+            .krps
     };
     let linux_krps = {
         let mut spec = MonoTestbedSpec::amd(neat_monolith::MonoTuning::best());
         spec.workload = load;
         let mut tb = MonoTestbed::build(spec);
-        tb.measure(Time::from_millis(150), Time::from_millis(250)).krps
+        tb.measure(Time::from_millis(150), Time::from_millis(250))
+            .krps
     };
     let gain = neat_krps / linux_krps - 1.0;
     assert!(

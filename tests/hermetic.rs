@@ -1,0 +1,206 @@
+//! CI guard: the workspace must stay hermetic. Every dependency in every
+//! `Cargo.toml` has to be an in-tree `path` dependency — no registry, no
+//! git, no version-only entries. This is what makes
+//! `cargo build --offline` work from a bare checkout with no network and
+//! no registry cache, and it keeps the determinism contract (DESIGN.md)
+//! honest: no upstream crate bump can silently change simulation results.
+//!
+//! The parser is deliberately simple (line-oriented, no TOML crate — that
+//! would itself be a dependency) but strict: anything it cannot positively
+//! identify as a path dependency is an error.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Sections whose entries must all be path dependencies.
+const DEP_SECTIONS: &[&str] = &[
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+fn workspace_root() -> PathBuf {
+    // crates/harness -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn find_manifests(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("read_dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Skip build output and VCS metadata; everything else is fair game.
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            find_manifests(&path, out);
+        } else if name == "Cargo.toml" {
+            out.push(path);
+        }
+    }
+}
+
+/// Returns the section name if the line opens a TOML table, e.g.
+/// `[dev-dependencies]` -> `dev-dependencies`,
+/// `[target.'cfg(unix)'.dependencies]` -> kept verbatim for matching.
+fn section_header(line: &str) -> Option<&str> {
+    let t = line.trim();
+    if t.starts_with('[') && t.ends_with(']') {
+        Some(t[1..t.len() - 1].trim())
+    } else {
+        None
+    }
+}
+
+fn is_dep_section(section: &str) -> bool {
+    DEP_SECTIONS.iter().any(|s| {
+        section == *s
+            // [dependencies.foo] style and target-specific tables.
+            || section.starts_with(&format!("{s}."))
+            || (section.starts_with("target.") && section.ends_with(s))
+    })
+}
+
+/// A dependency line is acceptable iff it is a pure path dependency
+/// (inline table with `path = ...` and no `version`/`git`/`registry`)
+/// or a `foo.workspace = true` redirect to the root manifest (which is
+/// itself checked by this test).
+fn check_dep_line(line: &str) -> Result<(), String> {
+    let t = line.trim();
+    let (name, rhs) = match t.split_once('=') {
+        Some((n, r)) => (n.trim(), r.trim()),
+        None => return Err(format!("unparseable dependency line: `{t}`")),
+    };
+    if name.ends_with(".workspace") && rhs == "true" {
+        return Ok(());
+    }
+    if rhs.starts_with('{') {
+        let banned = ["git", "registry", "version", "branch", "rev", "tag"];
+        for key in banned {
+            // Match ` key =` or `{key =` inside the inline table.
+            if rhs
+                .split(|c| c == '{' || c == ',' || c == '}')
+                .any(|kv| kv.trim().starts_with(key) && kv.contains('='))
+            {
+                return Err(format!("`{name}` uses forbidden key `{key}`: `{t}`"));
+            }
+        }
+        if !rhs.contains("path") {
+            return Err(format!("`{name}` is not a path dependency: `{t}`"));
+        }
+        return Ok(());
+    }
+    // `foo = "1.2"` — a bare registry version. Never acceptable.
+    Err(format!("`{name}` is a registry dependency: `{t}`"))
+}
+
+#[test]
+fn workspace_has_no_external_dependencies() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").exists(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let mut manifests = Vec::new();
+    find_manifests(&root, &mut manifests);
+    assert!(
+        manifests.len() >= 10,
+        "expected all crate manifests, found {}",
+        manifests.len()
+    );
+
+    let mut violations = Vec::new();
+    for manifest in &manifests {
+        let text = fs::read_to_string(manifest).expect("read manifest");
+        let mut in_dep_section = false;
+        let mut multiline_table = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("");
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            if let Some(section) = section_header(t) {
+                in_dep_section = is_dep_section(section);
+                // `[dependencies.foo]` multi-line tables: the keys that
+                // follow belong to one dependency.
+                multiline_table = in_dep_section && section.contains('.');
+                if multiline_table {
+                    // Nothing to check on the header line itself.
+                }
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let verdict = if multiline_table {
+                // Inside [dependencies.foo]: forbid version/git keys.
+                let key = t.split('=').next().unwrap_or("").trim();
+                if ["version", "git", "registry", "branch", "rev", "tag"].contains(&key) {
+                    Err(format!("forbidden key `{key}` in multi-line dep table"))
+                } else {
+                    Ok(())
+                }
+            } else {
+                check_dep_line(t)
+            };
+            if let Err(e) = verdict {
+                violations.push(format!(
+                    "{}:{}: {}",
+                    manifest.strip_prefix(&root).unwrap_or(manifest).display(),
+                    lineno + 1,
+                    e
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (every dep must be an in-tree \
+         `path` dependency — see DESIGN.md \"Determinism contract\"):\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+/// The flip side: the path dependencies that are declared must actually
+/// resolve inside the repository, so `--offline` builds cannot escape it.
+#[test]
+fn path_dependencies_stay_in_tree() {
+    let root = workspace_root();
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let root_canon = root.canonicalize().expect("canonicalize root");
+    let mut checked = 0;
+    for line in text.lines() {
+        let t = line.split('#').next().unwrap_or("").trim();
+        if let Some(idx) = t.find("path =") {
+            let rest = &t[idx + "path =".len()..];
+            if let Some(p) = rest.split('"').nth(1) {
+                let full = root.join(p);
+                let canon = full
+                    .canonicalize()
+                    .unwrap_or_else(|_| panic!("path dep `{p}` does not exist"));
+                assert!(
+                    canon.starts_with(&root_canon),
+                    "path dep `{p}` escapes the repository"
+                );
+                assert!(
+                    canon.join("Cargo.toml").exists(),
+                    "path dep `{p}` has no Cargo.toml"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked >= 8,
+        "expected >=8 path deps in root manifest, found {checked}"
+    );
+}

@@ -14,8 +14,7 @@ const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 100);
 const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 1);
 
 fn tcp_frame(src_port: u16, dst_port: u16, flags: TcpFlags) -> Vec<u8> {
-    let tcp =
-        TcpHeader::new(src_port, dst_port, SeqNum(1), SeqNum(0), flags).emit(&[], SRC, DST);
+    let tcp = TcpHeader::new(src_port, dst_port, SeqNum(1), SeqNum(0), flags).emit(&[], SRC, DST);
     let ip = Ipv4Header::new(SRC, DST, neat_net::ipv4::IpProtocol::Tcp, tcp.len()).emit(&tcp);
     EthernetFrame {
         dst: MacAddr::local(1),
@@ -38,7 +37,9 @@ fn every_packet_of_a_flow_takes_the_same_path() {
     );
     for port in 1024..1074u16 {
         let q_syn = nic.wire_rx(tcp_frame(port, 80, TcpFlags::SYN), 0).unwrap();
-        let q_ack = nic.wire_rx(tcp_frame(port, 80, TcpFlags::ack()), 0).unwrap();
+        let q_ack = nic
+            .wire_rx(tcp_frame(port, 80, TcpFlags::ack()), 0)
+            .unwrap();
         let q_psh = nic
             .wire_rx(tcp_frame(port, 80, TcpFlags::psh_ack()), 0)
             .unwrap();

@@ -42,7 +42,10 @@ fn single_replica_crash_recovers_and_service_continues() {
     let stats = tb.deployment.sup_stats.borrow().clone();
     assert_eq!(stats.crashes_seen, 1);
     assert_eq!(stats.recoveries, 1);
-    assert_eq!(stats.stateful_losses, 1, "single-component crash loses TCP state");
+    assert_eq!(
+        stats.stateful_losses, 1,
+        "single-component crash loses TCP state"
+    );
 
     // Service continued: new connections flow after recovery.
     assert!(
@@ -182,15 +185,14 @@ fn repeated_crashes_keep_recovering() {
 #[test]
 fn aslr_layouts_differ_across_replicas_and_restarts() {
     use neat::security::AslrObserver;
-    use rand::Rng;
+    use neat_util::Rng;
     // Replica layout tokens are fresh random values per (re)start; model
     // the observer over the simulated assignment stream.
     let mut obs = AslrObserver::new();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-    use rand::SeedableRng;
+    let mut rng = Rng::seed_from_u64(1);
     let layouts: Vec<u64> = (0..3).map(|_| rng.gen()).collect();
     for _ in 0..3_000 {
-        obs.record(layouts[rng.gen_range(0..3)]);
+        obs.record(layouts[rng.gen_range(0usize..3)]);
     }
     assert_eq!(obs.distinct_layouts(), 3);
     assert!(obs.entropy_bits() > 1.5, "~log2(3) bits of layout entropy");

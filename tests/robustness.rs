@@ -97,7 +97,11 @@ fn random_assignment_measured_on_live_connections() {
             obs.record(*pid);
         }
     }
-    assert!(obs.len() > 200, "enough connections observed: {}", obs.len());
+    assert!(
+        obs.len() > 200,
+        "enough connections observed: {}",
+        obs.len()
+    );
     assert_eq!(obs.distinct_layouts(), 3, "all three replicas serve");
     assert!(
         obs.entropy_bits() > 1.2,

@@ -26,8 +26,7 @@ fn scale_up_adds_serving_replica() {
     let before = tb.measure(Time::from_millis(150), Time::from_millis(250));
     assert!(before.requests > 1_000);
 
-    tb.sim
-        .send_external(tb.deployment.supervisor, Msg::ScaleUp);
+    tb.sim.send_external(tb.deployment.supervisor, Msg::ScaleUp);
     tb.sim.run_until(tb.sim.now() + Time::from_millis(100));
     assert_eq!(tb.deployment.sup_stats.borrow().scale_ups, 1);
 
@@ -102,8 +101,7 @@ fn scale_down_refuses_to_kill_last_replica() {
 fn scale_up_then_down_round_trip() {
     let mut tb = testbed_with_spare_cores();
     tb.sim.run_until(Time::from_millis(150));
-    tb.sim
-        .send_external(tb.deployment.supervisor, Msg::ScaleUp);
+    tb.sim.send_external(tb.deployment.supervisor, Msg::ScaleUp);
     tb.sim.run_until(tb.sim.now() + Time::from_millis(200));
     tb.sim
         .send_external(tb.deployment.supervisor, Msg::ScaleDown);
