@@ -108,6 +108,25 @@ pub struct HttperfProc {
     conns: HashMap<SocketId, ConnRun>,
     armed: Option<u64>,
     pub metrics: Rc<RefCell<ClientMetrics>>,
+    obs: ClientObs,
+}
+
+/// Metrics-registry handles mirroring the hot-path [`ClientMetrics`] counters.
+#[derive(Clone, Copy)]
+struct ClientObs {
+    completed: neat_obs::Counter,
+    conn_errors: neat_obs::Counter,
+    latency: neat_obs::HistogramHandle,
+}
+
+impl ClientObs {
+    fn new() -> ClientObs {
+        ClientObs {
+            completed: neat_obs::counter("client.responses"),
+            conn_errors: neat_obs::counter("client.conn_errors"),
+            latency: neat_obs::histogram("client.latency_ns"),
+        }
+    }
 }
 
 impl HttperfProc {
@@ -144,6 +163,7 @@ impl HttperfProc {
             conns: HashMap::new(),
             armed: None,
             metrics,
+            obs: ClientObs::new(),
         }
     }
 
@@ -184,6 +204,7 @@ impl HttperfProc {
             m.conn_errors += 1;
             m.requests_on_error_conns += run.counted;
             drop(m);
+            self.obs.conn_errors.inc();
             let _ = self.stack.abort(sock);
             // Replace the connection to hold the offered load constant.
             self.open_conn(ctx);
@@ -219,11 +240,14 @@ impl HttperfProc {
                     while let Some(resp) = run.parser.next_response() {
                         let mut m = self.metrics.borrow_mut();
                         if let Some(t0) = run.sent_at.take() {
-                            m.latency.record(Time::from_nanos(now.saturating_sub(t0)));
+                            let d = now.saturating_sub(t0);
+                            m.latency.record(Time::from_nanos(d));
+                            self.obs.latency.observe(d);
                         }
                         m.completed += 1;
                         m.response_bytes += resp.body.len() as u64;
                         drop(m);
+                        self.obs.completed.inc();
                         run.counted += 1;
                         run.requests_done += 1;
                         if run.requests_done >= self.cfg.requests_per_conn {
@@ -348,16 +372,13 @@ impl Process<Msg> for HttperfProc {
             Event::Message { msg, .. } => {
                 if let Msg::NetRx(frame) = msg {
                     let now = ctx.now().as_nanos();
-                    match self.io.classify_rx(&frame, now) {
-                        RxClass::Tcp { src, seg } => {
-                            ctx.charge(calibration::TCP_RX_SEG / 2);
-                            if let Ok((h, range)) =
-                                neat_net::TcpHeader::parse(&seg, src, self.stack.local_ip)
-                            {
-                                self.stack.handle_segment(src, &h, &seg[range], now);
-                            }
+                    if let RxClass::Tcp { src, seg } = self.io.classify_rx(&frame, now) {
+                        ctx.charge(calibration::TCP_RX_SEG / 2);
+                        if let Ok((h, range)) =
+                            neat_net::TcpHeader::parse(&seg, src, self.stack.local_ip)
+                        {
+                            self.stack.handle_segment(src, &h, &seg[range], now);
                         }
-                        _ => {}
                     }
                     self.drain(ctx);
                 }

@@ -329,9 +329,15 @@ impl Testbed {
         let bytes0 = self.total_bytes();
         let err0 = self.total_errors();
         self.sim.reset_all_stats();
+        // Metric values (counters, gauges, histograms) restart with the
+        // window; registrations and handles survive.
+        neat_obs::reset();
         let start = self.sim.now();
         self.sim.run_until(start + window);
         let duration = self.sim.now().since(start);
+        // Publish engine-side gauges (per-thread utilisation, queue
+        // high-water marks) into the registry for this window.
+        self.sim.export_obs();
         let requests = self.total_reported().saturating_sub(req0);
         let bytes = self.total_bytes().saturating_sub(bytes0);
         let lat = self.merged_latency();
@@ -664,9 +670,15 @@ impl MonoTestbed {
         let bytes0 = self.total_bytes();
         let err0 = self.total_errors();
         self.sim.reset_all_stats();
+        // Metric values (counters, gauges, histograms) restart with the
+        // window; registrations and handles survive.
+        neat_obs::reset();
         let start = self.sim.now();
         self.sim.run_until(start + window);
         let duration = self.sim.now().since(start);
+        // Publish engine-side gauges (per-thread utilisation, queue
+        // high-water marks) into the registry for this window.
+        self.sim.export_obs();
         let requests = self.total_reported().saturating_sub(req0);
         let bytes = self.total_bytes().saturating_sub(bytes0);
         let lat = self.merged_latency();

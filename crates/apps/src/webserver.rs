@@ -83,6 +83,25 @@ pub struct WebServerProc {
     max_requests_per_conn: u32,
     conns: HashMap<Fd, ConnState>,
     pub metrics: Rc<RefCell<WebMetrics>>,
+    obs: WebObs,
+}
+
+/// Metrics-registry handles mirroring the hot-path [`WebMetrics`] counters.
+#[derive(Clone, Copy)]
+struct WebObs {
+    requests_served: neat_obs::Counter,
+    conns_accepted: neat_obs::Counter,
+    conns_lost: neat_obs::Counter,
+}
+
+impl WebObs {
+    fn new() -> WebObs {
+        WebObs {
+            requests_served: neat_obs::counter("web.requests_served"),
+            conns_accepted: neat_obs::counter("web.conns_accepted"),
+            conns_lost: neat_obs::counter("web.conns_lost_to_crash"),
+        }
+    }
 }
 
 impl WebServerProc {
@@ -102,6 +121,7 @@ impl WebServerProc {
             max_requests_per_conn,
             conns: HashMap::new(),
             metrics,
+            obs: WebObs::new(),
         }
     }
 
@@ -120,6 +140,7 @@ impl WebServerProc {
         m.requests_served += 1;
         m.bytes_sent += body.len() as u64;
         drop(m);
+        self.obs.requests_served.inc();
         let st = self.conns.get_mut(&fd).expect("request on live conn");
         st.requests_served += 1;
         let closing = !req.keep_alive || st.requests_served >= self.max_requests_per_conn;
@@ -154,8 +175,12 @@ impl Process<Msg> for WebServerProc {
                             ctx.charge(calibration::WEB_ACCEPT);
                             let mut m = self.metrics.borrow_mut();
                             m.conns_accepted += 1;
+                            self.obs.conns_accepted.inc();
                             if let Some(pid) = self.lib.replica_of(fd) {
                                 m.served_by.push(pid.0);
+                                // Per-replica accept counts (cold path: one
+                                // registry name lookup per accepted conn).
+                                neat_obs::counter_add(&format!("web.accepted.r{}", pid.0), 1);
                             }
                             drop(m);
                             self.conns.insert(
@@ -177,10 +202,7 @@ impl Process<Msg> for WebServerProc {
                             }
                             st.parser.push(&data);
                             // Serve every complete pipelined request.
-                            loop {
-                                let Some(st) = self.conns.get_mut(&fd) else {
-                                    break;
-                                };
+                            while let Some(st) = self.conns.get_mut(&fd) {
                                 if st.closing {
                                     break;
                                 }
@@ -203,6 +225,7 @@ impl Process<Msg> for WebServerProc {
                 let lost = self.lib.lost_to_crash - before_lost;
                 if lost > 0 {
                     self.metrics.borrow_mut().conns_lost_to_crash += lost;
+                    self.obs.conns_lost.add(lost);
                 }
             }
         }

@@ -82,7 +82,7 @@ fn bench_assembler(c: &mut Criterion) {
             }
             let mut rcv = base;
             while let Some(run) = asm.take_contiguous(rcv) {
-                rcv = rcv + run.len() as u32;
+                rcv += run.len() as u32;
             }
             rcv
         })

@@ -13,12 +13,12 @@ use neat::config::NeatConfig;
 use neat::msg::Msg;
 use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Testbed, TestbedSpec, Workload};
 use neat_apps::FileStore;
-use neat_bench::{windows, Table};
+use neat_bench::{windows, BenchReport, Table};
 use neat_sim::Time;
 use neat_tcp::CongestionAlgo;
 
 /// 1. Scale-down with vs without connection tracking in the NIC.
-fn ablate_tracking() {
+fn ablate_tracking(report: &mut BenchReport) {
     let mut t = Table::new(
         "Ablation 1 — NIC flow tracking during scale-down",
         &["tracking filters", "connections broken", "drained cleanly"],
@@ -48,17 +48,20 @@ fn ablate_tracking() {
                 break;
             }
         }
+        if tracking {
+            report.metric("tracking_conns_broken", (tb.total_errors() - errs0) as f64);
+        }
         t.row(&[
             tracking.to_string(),
             (tb.total_errors() - errs0).to_string(),
             drained.to_string(),
         ]);
     }
-    t.emit("ablations");
+    report.table(&t);
 }
 
 /// 2. TSO on/off at a large file size (1 MB).
-fn ablate_tso() {
+fn ablate_tso(report: &mut BenchReport) {
     let mut t = Table::new(
         "Ablation 2 — TSO/GSO at 1MB responses (Linux baseline)",
         &["tso", "MB/s", "krps", "avg kernel-ctx CPU"],
@@ -84,6 +87,9 @@ fn ablate_tso() {
             .map(|t| tb.sim.thread_stats(*t).load(r.duration))
             .sum::<f64>()
             / tb.web_threads.len() as f64;
+        if tso {
+            report.metric("tso_on_mbps", r.mbps);
+        }
         t.row(&[
             tso.to_string(),
             format!("{:.1}", r.mbps),
@@ -91,11 +97,11 @@ fn ablate_tso() {
             format!("{:.0}%", avg_load * 100.0),
         ]);
     }
-    t.emit("ablations");
+    report.table(&t);
 }
 
 /// 3. Reno vs CUBIC on the standard benchmark.
-fn ablate_congestion() {
+fn ablate_congestion(report: &mut BenchReport) {
     let mut t = Table::new(
         "Ablation 3 — congestion control (NEaT 2x, AMD)",
         &["algorithm", "krps", "mean latency"],
@@ -115,18 +121,21 @@ fn ablate_congestion() {
         let (warm, win) = windows();
         let mut tb = Testbed::build(spec);
         let r = tb.measure(warm, win);
+        if name == "CUBIC" {
+            report.metric("cubic_krps", r.krps);
+        }
         t.row(&[
             name.into(),
             format!("{:.1}", r.krps),
             format!("{}", r.mean_latency),
         ]);
     }
-    t.emit("ablations");
+    report.table(&t);
 }
 
-/// 4. Low-load latency vs driver CPU across replica counts — the Figure
-/// 12 trade-off summarized.
-fn ablate_low_load() {
+/// 4. Low-load latency vs driver CPU across replica counts — the
+///    Figure 12 trade-off summarized.
+fn ablate_low_load(report: &mut BenchReport) {
     let mut t = Table::new(
         "Ablation 4 — low-load (8 conns, 1 req/conn) latency vs replica count",
         &["config", "krps", "mean latency", "driver load"],
@@ -155,12 +164,14 @@ fn ablate_low_load() {
             format!("{:.0}%", drv * 100.0),
         ]);
     }
-    t.emit("ablations");
+    report.table(&t);
 }
 
 fn main() {
-    ablate_tracking();
-    ablate_tso();
-    ablate_congestion();
-    ablate_low_load();
+    let mut report = BenchReport::new("ablations");
+    ablate_tracking(&mut report);
+    ablate_tso(&mut report);
+    ablate_congestion(&mut report);
+    ablate_low_load(&mut report);
+    report.finish();
 }

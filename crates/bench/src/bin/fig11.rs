@@ -7,7 +7,7 @@ use neat::config::NeatConfig;
 use neat_apps::scenario::{
     MonoTestbed, MonoTestbedSpec, PlacementPlan, Testbed, TestbedSpec, Workload,
 };
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 
 fn load() -> Workload {
     Workload {
@@ -63,24 +63,32 @@ Figure 10 — best single-component Xeon configuration (fully exploiting HT):
         ("NEaT 2x HT", 2, PlacementPlan::HtColocated),
         ("NEaT 4x HT", 4, PlacementPlan::HtColocated),
     ];
+    let mut report = BenchReport::new("fig11");
     for (name, replicas, plan) in curves {
         let mut cells = vec![name.to_string()];
         for webs in instances {
             match measure(*replicas, webs, *plan) {
-                Some(v) => cells.push(krps(v)),
+                Some(v) => {
+                    if *name == "NEaT 4x HT" && webs == 9 {
+                        report.metric("neat4ht_webs9_krps", v);
+                    }
+                    cells.push(krps(v));
+                }
                 None => cells.push("-".into()),
             }
         }
         t.row(&cells);
     }
-    t.emit("fig11");
+    report.table(&t);
     let linux = linux_reference();
+    report.metric("linux_best_krps", linux);
     let mut t2 = Table::new(
         "Figure 11 reference — best Linux on the Xeon (16 lighttpd / 16 threads)",
         &["system", "paper krps", "measured krps"],
     );
     t2.row(&["Linux best".into(), "328.0".into(), krps(linux)]);
     t2.row(&["NEaT 4x HT".into(), "372.0".into(), "see fig11 row".into()]);
-    t2.emit("fig11");
+    report.table(&t2);
+    report.finish();
     println!("Paper: NEaT 4x HT = 372 krps, +13.4% over Linux's 328 krps.");
 }

@@ -10,7 +10,7 @@
 
 use neat::config::NeatConfig;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 
 struct Point {
     servers: usize,
@@ -70,14 +70,20 @@ fn main() {
         "Figure 12 — AMD: 1-request/connection workload, request rate (krps)",
         &["config", "8", "16", "32", "64", "2srv,32", "4srv,64"],
     );
+    let mut report = BenchReport::new("fig12");
     for (name, cfg) in configs {
         let mut cells = vec![name.to_string()];
         for p in &points {
-            cells.push(krps(measure(cfg.clone(), p)));
+            let v = measure(cfg.clone(), p);
+            if *name == "NEaT 3x" && p.servers == 1 && p.total_conns == 64 {
+                report.metric("neat3_conns64_krps", v);
+            }
+            cells.push(krps(v));
         }
         t.row(&cells);
     }
-    t.emit("fig12");
+    report.table(&t);
+    report.finish();
     println!(
         "Paper shape: at 8 connections Multi 1x beats Multi 2x (sleep/wake\n\
          latency dominates lightly-loaded replicas); replicas win at high load."

@@ -11,7 +11,7 @@ use neat::config::{NeatConfig, StackMode};
 use neat::fault::CodeSizes;
 use neat::reliability::expected_state_preserved;
 use neat_apps::scenario::{PlacementPlan, Testbed, TestbedSpec, Workload};
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 
 struct Config {
     label: &'static str,
@@ -108,6 +108,7 @@ fn main() {
             "state preserved",
         ],
     );
+    let mut report = BenchReport::new("fig13");
     for c in &configs {
         let preserved = expected_state_preserved(
             &sizes,
@@ -118,6 +119,15 @@ fn main() {
             c.cfg.replicas,
         );
         let max = peak(c);
+        match c.label {
+            "NEaT 1x" => {
+                if let Some(v) = max {
+                    report.metric("neat1_max_krps", v);
+                }
+            }
+            "Multi 2x" => report.metric("multi2_state_pct", preserved * 100.0),
+            _ => {}
+        }
         t.row(&[
             c.label.into(),
             c.cores.to_string(),
@@ -126,7 +136,8 @@ fn main() {
             format!("{:.1}%", preserved * 100.0),
         ]);
     }
-    t.emit("fig13");
+    report.table(&t);
+    report.finish();
     println!(
         "Paper shape: performance and reliability both increase with the\n\
          number of replicas; multi-component preserves more state than\n\

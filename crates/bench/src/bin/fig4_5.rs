@@ -8,15 +8,19 @@
 
 use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Workload};
 use neat_apps::FileStore;
-use neat_bench::{windows, Table};
+use neat_bench::{quick, windows, BenchReport, Table};
 use neat_monolith::MonoTuning;
 #[allow(unused_imports)]
 use neat_sim::Time;
 
 fn main() {
-    let sizes: &[usize] = &[
+    let all_sizes: &[usize] = &[
         1, 10, 100, 1_000, 7_000, 10_000, 100_000, 1_000_000, 10_000_000,
     ];
+    // The >=1MB rows need multi-second windows to complete whole
+    // responses; the smoke run stops at 100K to stay CI-sized.
+    let sizes: &[usize] = if quick() { &all_sizes[..7] } else { all_sizes };
+    let mut report = BenchReport::new("fig4_5");
     let mut t = Table::new(
         "Figures 4-5 — Linux optimal config: latency, requests, throughput vs file size",
         &[
@@ -30,7 +34,7 @@ fn main() {
     );
     for &sz in sizes {
         let mut spec = MonoTestbedSpec::amd(MonoTuning::best());
-        spec.files = FileStore::size_sweep(sizes);
+        spec.files = FileStore::size_sweep(all_sizes);
         // Large transfers need fewer, longer-lived connections and a
         // window long enough to complete whole responses (the paper ran
         // 1000 requests per connection over minutes).
@@ -55,6 +59,12 @@ fn main() {
         };
         let mut tb = MonoTestbed::build(spec);
         let r = tb.measure(warm, win);
+        match sz {
+            100 => report.metric("krps_100b", r.krps),
+            10_000 => report.metric("mbps_10k", r.mbps),
+            100_000 => report.metric("mbps_100k", r.mbps),
+            _ => {}
+        }
         t.row(&[
             human_size(sz),
             format!("{:.1}", r.krps),
@@ -64,7 +74,8 @@ fn main() {
             format!("{}", r.conn_errors),
         ]);
     }
-    t.emit("fig4_5");
+    report.table(&t);
+    report.finish();
     println!(
         "Expected shape: flat krps for tiny files; link saturates (~1050 MB/s payload)\n\
          past ~7KB; latency grows sharply with file size (paper Figure 4-5)."

@@ -7,7 +7,7 @@
 
 use neat::config::NeatConfig;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 
 fn measure(cfg: NeatConfig, webs: usize) -> f64 {
     let mut spec = TestbedSpec::amd(cfg, webs);
@@ -47,18 +47,28 @@ fn main() {
         ("NEaT 2x", NeatConfig::single(2), 6),
         ("NEaT 3x", NeatConfig::single(3), 6),
     ];
+    let mut report = BenchReport::new("fig7");
     for (name, cfg, max_webs) in curves {
         let mut cells = vec![name.to_string()];
         for webs in 1..=6usize {
             if webs > *max_webs {
                 cells.push("-".into());
             } else {
-                cells.push(krps(measure(cfg.clone(), webs)));
+                let v = measure(cfg.clone(), webs);
+                if webs == *max_webs {
+                    match *name {
+                        "NEaT 3x" => report.metric("neat3_webs6_krps", v),
+                        "Multi 2x" => report.metric("multi2_webs5_krps", v),
+                        _ => {}
+                    }
+                }
+                cells.push(krps(v));
             }
         }
         t.row(&cells);
     }
-    t.emit("fig7");
+    report.table(&t);
+    report.finish();
     println!(
         "Paper shape: Multi 1x linear to 4 instances then saturated; NEaT 3x\n\
          scales to 6 instances (302 krps vs Linux 224 = +34.8%)."

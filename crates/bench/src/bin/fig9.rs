@@ -6,7 +6,7 @@
 
 use neat::config::NeatConfig;
 use neat_apps::scenario::{PlacementPlan, Testbed, TestbedSpec, Workload};
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 
 fn measure(cfg: NeatConfig, webs: usize, plan: PlacementPlan) -> Option<f64> {
     let mut spec = TestbedSpec::xeon(cfg, webs);
@@ -53,17 +53,24 @@ fn main() {
             PlacementPlan::HtColocated,
         ),
     ];
+    let mut report = BenchReport::new("fig9");
     for (name, cfg, plan) in curves {
         let mut cells = vec![name.to_string()];
         for webs in instances {
             match measure(cfg.clone(), webs, *plan) {
-                Some(v) => cells.push(krps(v)),
+                Some(v) => {
+                    if *name == "Multi 2x HT" && webs == 8 {
+                        report.metric("multi2ht_webs8_krps", v);
+                    }
+                    cells.push(krps(v));
+                }
                 None => cells.push("-".into()), // layout doesn't fit
             }
         }
         t.row(&cells);
     }
-    t.emit("fig9");
+    report.table(&t);
+    report.finish();
     println!(
         "Paper shape: throughput peaks at 4 instances per replica capacity;\n\
          HT colocation reaches ~322 krps at 8 instances."

@@ -1,12 +1,17 @@
 //! Run the complete evaluation: every table and figure of §6, writing
-//! paper-shaped output to stdout and `results/*.txt`.
+//! paper-shaped output to stdout and `results/*.txt`, plus one unified
+//! `results/BENCH_<name>.json` per experiment.
 //!
-//! `NEAT_BENCH_QUICK=1` shortens measurement windows for a fast pass;
-//! `NEAT_TABLE3_RUNS=N` controls the fault-injection campaign size.
+//! `--quick` (or `NEAT_BENCH_QUICK=1`) runs the deterministic smoke
+//! configuration the CI regression gate compares against
+//! `baselines/bench_baselines.json`: shorter measurement windows, the
+//! file-size sweep capped at 100K, and a 10-run fault campaign.
+//! `NEAT_TABLE3_RUNS=N` still overrides the fault-injection campaign size.
 
 use std::process::Command;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick") || neat_bench::quick();
     let bins = [
         "table1",
         "fig4_5",
@@ -25,7 +30,11 @@ fn main() {
     let dir = exe.parent().expect("bin dir");
     for b in bins {
         println!("\n=== {b} ===");
-        let status = Command::new(dir.join(b))
+        let mut cmd = Command::new(dir.join(b));
+        if quick {
+            cmd.env("NEAT_BENCH_QUICK", "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {b}: {e}"));
         assert!(status.success(), "{b} failed");

@@ -14,7 +14,7 @@ use neat::config::NeatConfig;
 use neat::msg::Msg;
 use neat::security::AslrObserver;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
-use neat_bench::Table;
+use neat_bench::{BenchReport, Table};
 use neat_sim::Time;
 
 fn observe(replicas: usize, crash_one: bool) -> (AslrObserver, usize) {
@@ -53,6 +53,7 @@ fn main() {
             "P(same layout twice)",
         ],
     );
+    let mut report = BenchReport::new("security");
     for (label, replicas, crash) in [
         ("NEaT 1x", 1usize, false),
         ("NEaT 2x", 2, false),
@@ -60,6 +61,9 @@ fn main() {
         ("NEaT 3x + crash", 3, true),
     ] {
         let (obs, n) = observe(replicas, crash);
+        if label == "NEaT 3x" {
+            report.metric("neat3_entropy_bits", obs.entropy_bits().max(0.0));
+        }
         t.row(&[
             label.into(),
             n.to_string(),
@@ -68,7 +72,8 @@ fn main() {
             format!("{:.2}", obs.consecutive_same_fraction()),
         ]);
     }
-    t.emit("security");
+    report.table(&t);
+    report.finish();
     println!(
         "A monolithic stack is one process: zero bits of layout entropy and\n\
          P(same)=1. With N replicas the attacker faces ~log2(N) bits per\n\

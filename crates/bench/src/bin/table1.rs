@@ -6,7 +6,7 @@
 //! 186.667 | +serv 223.987 krps.
 
 use neat_apps::scenario::{MonoTestbed, MonoTestbedSpec, Workload};
-use neat_bench::{krps, windows, Table};
+use neat_bench::{krps, windows, BenchReport, Table};
 use neat_monolith::MonoTuning;
 
 fn run_row(tuning: MonoTuning) -> f64 {
@@ -22,18 +22,21 @@ fn run_row(tuning: MonoTuning) -> f64 {
 }
 
 fn main() {
+    let mut report = BenchReport::new("table1");
     let mut t = Table::new(
         "Table 1 — Linux request rate per tuning option (AMD, 12 cores)",
         &["Option Tuned", "paper krps", "measured krps"],
     );
-    for (tuning, paper) in [
-        (MonoTuning::defaults(), 184.118),
-        (MonoTuning::affinities(), 186.667),
-        (MonoTuning::best(), 223.987),
+    for (key, tuning, paper) in [
+        ("defaults_krps", MonoTuning::defaults(), 184.118),
+        ("affinities_krps", MonoTuning::affinities(), 186.667),
+        ("best_krps", MonoTuning::best(), 223.987),
     ] {
         let name = tuning.name.clone();
         let measured = run_row(tuning);
+        report.metric(key, measured);
         t.row(&[name, format!("{paper:.3}"), krps(measured)]);
     }
-    t.emit("table1");
+    report.table(&t);
+    report.finish();
 }

@@ -14,7 +14,7 @@
 
 use neat::config::NeatConfig;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
-use neat_bench::{windows, Table};
+use neat_bench::{windows, BenchReport, Table};
 
 fn main() {
     // Drive the 3-replica Xeon stack at rising offered loads:
@@ -25,6 +25,7 @@ fn main() {
         "Table 2 — 10G driver CPU usage breakdown on Xeon (3 replicas)",
         &["CPU load", "Active in kernel", "Polling", "Web krps"],
     );
+    let mut report = BenchReport::new("table2");
     for (clients, conns, think_us) in loads {
         let mut spec = TestbedSpec::xeon(NeatConfig::single(3), 6);
         spec.clients = *clients;
@@ -38,6 +39,10 @@ fn main() {
         let mut tb = Testbed::build(spec);
         let r = tb.measure(warm, win);
         let st = tb.sim.thread_stats(tb.driver_thread);
+        if *think_us == 0 {
+            report.metric("peak_krps", r.krps);
+            report.metric("drv_load_peak_pct", st.load(r.duration) * 100.0);
+        }
         t.row(&[
             format!("{:.0}%", st.load(r.duration) * 100.0),
             format!("{:.1}%", st.kernel_share() * 100.0),
@@ -45,7 +50,8 @@ fn main() {
             format!("{:.0}", r.krps),
         ]);
     }
-    t.emit("table2");
+    report.table(&t);
+    report.finish();
     println!(
         "Paper trend: as load rises, kernel (suspend/resume) and polling\n\
          shares of the driver's active time fall toward zero — the driver\n\

@@ -19,7 +19,7 @@ use neat::config::NeatConfig;
 use neat::fault::{pick_target, CodeSizes};
 use neat::msg::Msg;
 use neat_apps::scenario::{Testbed, TestbedSpec, Workload};
-use neat_bench::Table;
+use neat_bench::{quick, BenchReport, Table};
 use neat_sim::Time;
 use neat_util::Rng;
 
@@ -71,7 +71,7 @@ fn main() {
     let runs: usize = std::env::var("NEAT_TABLE3_RUNS")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+        .unwrap_or(if quick() { 10 } else { 100 });
     let sizes = CodeSizes::measured();
     println!(
         "component code sizes (lines): tcp={} ip={} udp={} pf={} driver={} (tcp fraction {:.1}%)",
@@ -108,7 +108,9 @@ fn main() {
         "46.2%".into(),
         format!("{:.1}%", lost as f64 / runs as f64 * 100.0),
     ]);
-    t.emit("table3");
+    let mut report = BenchReport::new("table3");
+    report.metric("transparent_pct", transparent as f64 / runs as f64 * 100.0);
+    report.table(&t);
 
     let mut t2 = Table::new(
         "Table 3 detail — injections and transparent recoveries per component",
@@ -120,7 +122,8 @@ fn main() {
         let (inj, transp) = by_target[&k];
         t2.row(&[k, inj.to_string(), transp.to_string()]);
     }
-    t2.emit("table3");
+    report.table(&t2);
+    report.finish();
     println!(
         "Expected split tracks the measured TCP code fraction ({:.1}%);\n\
          the paper's stack measured 46.2%. In all runs the server was\n\

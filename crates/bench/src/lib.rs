@@ -108,6 +108,68 @@ impl Table {
     }
 }
 
+/// Accumulates everything one experiment binary produces — paper-shaped
+/// tables plus named headline metrics — and writes a single unified
+/// `results/BENCH_<name>.json` with the observability snapshot attached.
+///
+/// The headline metrics are the values the CI regression gate compares
+/// against `baselines/bench_baselines.json`, so every binary should
+/// register at least one via [`BenchReport::metric`].
+pub struct BenchReport {
+    name: String,
+    tables: Vec<Json>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    pub fn new(name: impl Into<String>) -> BenchReport {
+        BenchReport {
+            name: name.into(),
+            tables: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Print a table, append it to `results/<name>.txt`, and include it in
+    /// the unified JSON written by [`BenchReport::finish`].
+    pub fn table(&mut self, t: &Table) {
+        let text = t.render();
+        println!("{text}");
+        let _ = std::fs::create_dir_all("results");
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(format!("results/{}.txt", self.name))
+        {
+            let _ = f.write_all(text.as_bytes());
+        }
+        self.tables.push(t.to_json());
+    }
+
+    /// Register a headline metric (gated by CI against the committed
+    /// baselines). Keys should be stable, e.g. `"neat3_krps"`.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Write `results/BENCH_<name>.json`: headline metrics, all tables,
+    /// and the current metrics-registry snapshot.
+    pub fn finish(self) {
+        let mut metrics = Json::object();
+        for (k, v) in &self.metrics {
+            metrics = metrics.field(k.clone(), *v);
+        }
+        let json = Json::object()
+            .field("bench", self.name.as_str())
+            .field("quick", quick())
+            .field("metrics", metrics)
+            .field("tables", Json::Array(self.tables))
+            .field("obs", neat_obs::snapshot());
+        let _ = std::fs::create_dir_all("results");
+        let _ = std::fs::write(format!("results/BENCH_{}.json", self.name), json.render());
+    }
+}
+
 /// Format a krps value the way the paper quotes them.
 pub fn krps(v: f64) -> String {
     format!("{v:.1}")
@@ -117,11 +179,18 @@ pub fn pct(v: f64) -> String {
     format!("{:.1}%", v * 100.0)
 }
 
+/// True when running in quick/smoke mode (`NEAT_BENCH_QUICK` set): shorter
+/// windows and reduced sweeps, deterministic with fixed seeds — the mode
+/// the CI regression gate runs and baselines are recorded in.
+pub fn quick() -> bool {
+    std::env::var("NEAT_BENCH_QUICK").is_ok()
+}
+
 /// Shared measurement windows: long enough for steady state, short enough
 /// to keep the full suite tractable. Honours `NEAT_BENCH_QUICK` for smoke
 /// runs.
 pub fn windows() -> (neat_sim::Time, neat_sim::Time) {
-    if std::env::var("NEAT_BENCH_QUICK").is_ok() {
+    if quick() {
         (
             neat_sim::Time::from_millis(100),
             neat_sim::Time::from_millis(150),

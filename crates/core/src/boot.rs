@@ -140,7 +140,9 @@ pub fn boot_neat(
     // --- replicas ---
     let mut sockets_heads = Vec::new();
     let mut comp_pids: Vec<Vec<(Role, ProcId)>> = Vec::new();
-    let mut registry: Vec<(usize, Vec<(Role, ProcId, HwThreadId)>)> = Vec::new();
+    // Per-queue component registry handed to the supervisor.
+    type QueueComps = Vec<(Role, ProcId, HwThreadId)>;
+    let mut registry: Vec<(usize, QueueComps)> = Vec::new();
     for (q, rslot) in slots.replicas.iter().enumerate() {
         match (*rslot, cfg.mode) {
             (ReplicaSlots::Single(t), StackMode::Single) => {

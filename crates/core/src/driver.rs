@@ -24,6 +24,24 @@ pub struct DriverProc {
     pub tx_forwarded: u64,
     /// End of the last descriptor operation (batch amortization).
     last_op_ns: u64,
+    obs: DriverObs,
+}
+
+/// Metrics-registry handles for the driver's forwarding counters.
+struct DriverObs {
+    rx_forwarded: neat_obs::Counter,
+    tx_forwarded: neat_obs::Counter,
+    held_dropped: neat_obs::Counter,
+}
+
+impl DriverObs {
+    fn new() -> DriverObs {
+        DriverObs {
+            rx_forwarded: neat_obs::counter("driver.rx_forwarded"),
+            tx_forwarded: neat_obs::counter("driver.tx_forwarded"),
+            held_dropped: neat_obs::counter("driver.held_dropped"),
+        }
+    }
 }
 
 impl DriverProc {
@@ -36,6 +54,7 @@ impl DriverProc {
             rx_forwarded: 0,
             tx_forwarded: 0,
             last_op_ns: 0,
+            obs: DriverObs::new(),
         }
     }
 
@@ -74,12 +93,14 @@ impl Process<Msg> for DriverProc {
                 match self.heads.get(queue).copied().flatten() {
                     Some(head) if ctx.is_alive(head) => {
                         self.rx_forwarded += 1;
+                        self.obs.rx_forwarded.inc();
                         ctx.send(head, Msg::NetRx(frame));
                     }
                     _ => {
                         // Replica down: hold (drop) until it re-announces.
                         // TCP retransmission absorbs the gap (§3.6).
                         self.held_dropped += 1;
+                        self.obs.held_dropped.inc();
                     }
                 }
             }
@@ -93,6 +114,7 @@ impl Process<Msg> for DriverProc {
                 );
                 ctx.charge(cost);
                 self.tx_forwarded += 1;
+                self.obs.tx_forwarded.inc();
                 ctx.send(self.nic, Msg::HostTx(frame));
             }
             // --- Replica lifecycle.

@@ -120,9 +120,7 @@ impl Process<Msg> for NicProc {
                 }
                 Msg::Announce { head, .. } => {
                     // Client-hub registration (first becomes ARP handler).
-                    if self.default_owner.is_none() {
-                        self.default_owner = Some(head);
-                    }
+                    self.default_owner.get_or_insert(head);
                 }
                 Msg::SetNeighbor { role, pid } => match role {
                     crate::msg::NeighborRole::PeerNic => self.peer = Some(pid),

@@ -196,6 +196,15 @@ impl Supervisor {
             thread,
         } = job;
         self.stats.borrow_mut().recoveries += 1;
+        neat_obs::counter_add("sup.recoveries", 1);
+        if neat_obs::tracing() {
+            neat_obs::trace::instant(
+                0,
+                format!("recover: {role:?}.{queue:?}"),
+                "lifecycle",
+                ctx.now().as_nanos(),
+            );
+        }
         let delay = Time::from_nanos(self.cfg.spawn_delay_ns);
         match role {
             Role::Driver => {
@@ -240,7 +249,6 @@ impl Supervisor {
                         }
                     }
                 }
-                return;
             }
             Role::Single => {
                 let q = queue.unwrap();
@@ -257,6 +265,7 @@ impl Supervisor {
                 let new = ctx.spawn(thread, Box::new(proc), delay);
                 self.replicas[q].comps.insert(Role::Single, (new, thread));
                 self.stats.borrow_mut().stateful_losses += 1;
+                neat_obs::counter_add("sup.stateful_losses", 1);
                 self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
             }
             Role::Tcp => {
@@ -282,6 +291,7 @@ impl Supervisor {
                     );
                 }
                 self.stats.borrow_mut().stateful_losses += 1;
+                neat_obs::counter_add("sup.stateful_losses", 1);
                 self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
             }
             Role::Ip => {
@@ -449,6 +459,10 @@ impl Supervisor {
             }
         }
         self.stats.borrow_mut().scale_ups += 1;
+        neat_obs::counter_add("sup.scale_ups", 1);
+        if neat_obs::tracing() {
+            neat_obs::trace::instant(0, "scale-up", "lifecycle", ctx.now().as_nanos());
+        }
     }
 
     fn scale_down(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -505,6 +519,10 @@ impl Supervisor {
             self.notify_apps(ctx, || Msg::ReplicaRemoved { stack: h });
         }
         self.stats.borrow_mut().scale_downs_completed += 1;
+        neat_obs::counter_add("sup.scale_downs", 1);
+        if neat_obs::tracing() {
+            neat_obs::trace::instant(0, "scale-down", "lifecycle", ctx.now().as_nanos());
+        }
     }
 }
 
@@ -524,6 +542,7 @@ impl Process<Msg> for Supervisor {
             Event::Message { msg, .. } => match msg {
                 Msg::Crashed { pid, .. } => {
                     self.stats.borrow_mut().crashes_seen += 1;
+                    neat_obs::counter_add("sup.crashes_seen", 1);
                     if let Some((queue, role, thread)) = self.find_crashed(pid) {
                         // If the pipeline head died, tell the driver to
                         // hold (drop) that queue's packets meanwhile.
@@ -535,10 +554,8 @@ impl Process<Msg> for Supervisor {
                         self.schedule_respawn(ctx, queue, role, pid, thread);
                     }
                 }
-                Msg::RegisterApp { app } => {
-                    if !self.apps.contains(&app) {
-                        self.apps.push(app);
-                    }
+                Msg::RegisterApp { app } if !self.apps.contains(&app) => {
+                    self.apps.push(app);
                 }
                 Msg::ScaleUp => self.scale_up(ctx),
                 Msg::ScaleDown => self.scale_down(ctx),

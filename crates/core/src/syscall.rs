@@ -45,6 +45,7 @@ impl Process<Msg> for SyscallProc {
             Msg::SysListen { port, app } => {
                 ctx.charge(calibration::SYSCALL_SERVER);
                 self.calls_served += 1;
+                neat_obs::counter_add("sys.calls_served", 1);
                 // Replicate the listening socket across all replicas: the
                 // library creates "a socket per each replica of the stack,
                 // they all listen at the same address" (§3.3).
@@ -66,6 +67,7 @@ impl Process<Msg> for SyscallProc {
             Msg::SysCall { token } => {
                 ctx.charge(calibration::SYSCALL_SERVER);
                 self.calls_served += 1;
+                neat_obs::counter_add("sys.calls_served", 1);
                 ctx.send(from, Msg::SysReply { token });
             }
             Msg::ReplicaRestarted { old, new } => {

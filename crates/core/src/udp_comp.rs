@@ -109,10 +109,11 @@ impl Process<Msg> for UdpProc {
                     );
                 }
             }
-            Msg::SetNeighbor { role, pid } => {
-                if role == NeighborRole::Ip {
-                    self.ip_comp = Some(pid);
-                }
+            Msg::SetNeighbor {
+                role: NeighborRole::Ip,
+                pid,
+            } => {
+                self.ip_comp = Some(pid);
             }
             Msg::Poison => ctx.crash_self(),
             _ => {}

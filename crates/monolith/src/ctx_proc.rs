@@ -24,6 +24,24 @@ pub struct KernelCtxProc {
     io: Rc<RefCell<neat::netcode::FrameIo>>,
     nic: ProcId,
     armed: Option<u64>,
+    obs: MonoObs,
+}
+
+/// Metrics-registry handles for the monolith's kernel-context work. All
+/// contexts share the same registry entries (aggregate view across cores).
+#[derive(Clone, Copy)]
+struct MonoObs {
+    softirq_rx: neat_obs::Counter,
+    syscalls: neat_obs::Counter,
+}
+
+impl MonoObs {
+    fn new() -> MonoObs {
+        MonoObs {
+            softirq_rx: neat_obs::counter("mono.softirq_rx"),
+            syscalls: neat_obs::counter("mono.syscalls"),
+        }
+    }
 }
 
 impl KernelCtxProc {
@@ -41,6 +59,7 @@ impl KernelCtxProc {
             io,
             nic,
             armed: None,
+            obs: MonoObs::new(),
         }
     }
 
@@ -101,6 +120,7 @@ impl Process<Msg> for KernelCtxProc {
             }
             Event::Message { from, msg } => match msg {
                 Msg::NetRx(frame) => {
+                    self.obs.softirq_rx.inc();
                     let now = ctx.now().as_nanos();
                     let (tax, skb) = {
                         let mut sh = self.shared.borrow_mut();
@@ -112,22 +132,18 @@ impl Process<Msg> for KernelCtxProc {
                     };
                     ctx.charge(tax + skb + calibration::IP_RX_PKT);
                     let class = self.io.borrow_mut().classify_rx(&frame, now);
-                    match class {
-                        RxClass::Tcp { src, seg } => {
-                            let vfs = self.shared.borrow().scaled(MONO_VFS_PER_OP / 2);
-                            ctx.charge(calibration::TCP_RX_SEG + vfs);
-                            let local_ip = self.shared.borrow().sock.stack.local_ip;
-                            if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, local_ip)
-                            {
-                                self.shared.borrow_mut().sock.stack.handle_segment(
-                                    src,
-                                    &h,
-                                    &seg[range],
-                                    now,
-                                );
-                            }
+                    if let RxClass::Tcp { src, seg } = class {
+                        let vfs = self.shared.borrow().scaled(MONO_VFS_PER_OP / 2);
+                        ctx.charge(calibration::TCP_RX_SEG + vfs);
+                        let local_ip = self.shared.borrow().sock.stack.local_ip;
+                        if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, local_ip) {
+                            self.shared.borrow_mut().sock.stack.handle_segment(
+                                src,
+                                &h,
+                                &seg[range],
+                                now,
+                            );
                         }
-                        _ => {}
                     }
                     self.flush(ctx);
                 }
@@ -135,6 +151,7 @@ impl Process<Msg> for KernelCtxProc {
                 | Msg::Connect { .. }
                 | Msg::ConnSend { .. }
                 | Msg::ConnClose { .. }) => {
+                    self.obs.syscalls.inc();
                     let now = ctx.now().as_nanos();
                     // Syscall path: boundary crossing + VFS + locks.
                     let mut sh = self.shared.borrow_mut();

@@ -265,7 +265,7 @@ impl TcpHeader {
         if let Some(ws) = self.window_scale {
             opts.extend_from_slice(&[3, 3, ws, 1]); // +NOP pad to 4
         }
-        while opts.len() % 4 != 0 {
+        while !opts.len().is_multiple_of(4) {
             opts.push(1);
         }
         let data_off = TCP_HEADER_LEN + opts.len();

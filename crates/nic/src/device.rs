@@ -46,6 +46,27 @@ pub struct NicStats {
     pub tso_splits: u64,
 }
 
+/// Metrics-registry handles mirroring [`NicStats`]. All NIC instances in a
+/// simulation share the same registry entries (aggregate view).
+#[derive(Debug, Clone, Copy)]
+struct NicObs {
+    rx_frames: neat_obs::Counter,
+    tx_frames: neat_obs::Counter,
+    rx_dropped_ring: neat_obs::Counter,
+    ring_depth_max: neat_obs::Gauge,
+}
+
+impl NicObs {
+    fn new() -> NicObs {
+        NicObs {
+            rx_frames: neat_obs::counter("nic.rx_frames"),
+            tx_frames: neat_obs::counter("nic.tx_frames"),
+            rx_dropped_ring: neat_obs::counter("nic.rx_dropped_ring"),
+            ring_depth_max: neat_obs::gauge("nic.rx_ring_depth_max"),
+        }
+    }
+}
+
 /// The simulated 82599. RX path: wire → faults → steering → per-queue ring.
 /// TX path: host frame → TSO → wire frames (with serialization times).
 #[derive(Debug)]
@@ -55,6 +76,7 @@ pub struct Nic {
     rx_rings: Vec<DescRing>,
     rx_faults: FaultInjector,
     pub stats: NicStats,
+    obs: NicObs,
 }
 
 impl Nic {
@@ -69,6 +91,7 @@ impl Nic {
             rx_rings,
             rx_faults,
             stats: NicStats::default(),
+            obs: NicObs::new(),
         }
     }
 
@@ -88,12 +111,18 @@ impl Nic {
             FaultOutcome::Dropped => return None,
         };
         self.stats.rx_frames += 1;
+        self.obs.rx_frames.inc();
         self.stats.rx_bytes += frame.len() as u64;
         let q = self.steering.classify_track(&frame, now_ns);
         if self.rx_rings[q].push(frame) {
+            let depth = self.rx_rings[q].len() as f64;
+            if depth > self.obs.ring_depth_max.get() {
+                self.obs.ring_depth_max.set(depth);
+            }
             Some(q)
         } else {
             self.stats.rx_dropped_ring += 1;
+            self.obs.rx_dropped_ring.inc();
             None
         }
     }
@@ -123,6 +152,7 @@ impl Nic {
             .into_iter()
             .map(|f| {
                 self.stats.tx_frames += 1;
+                self.obs.tx_frames.inc();
                 self.stats.tx_bytes += f.len() as u64;
                 let t = self.cfg.link.tx_time(f.len());
                 (f, t)

@@ -106,7 +106,7 @@ mod tests {
             assert!(h.flags.ack);
             let last = i == out.len() - 1;
             assert_eq!(h.flags.psh, last, "PSH only on the last segment");
-            expect_seq = expect_seq + p.len() as u32;
+            expect_seq += p.len() as u32;
             reassembled.extend_from_slice(&p);
         }
         assert_eq!(reassembled, payload);

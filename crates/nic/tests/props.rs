@@ -168,7 +168,7 @@ fn tso_framing_invariants() {
                 prop_assert!(seg.len() <= mss);
                 prop_assert_eq!(th.seq, expect_seq);
                 prop_assert_eq!(seg, &payload[covered..covered + seg.len()]);
-                expect_seq = expect_seq + seg.len() as u32;
+                expect_seq += seg.len() as u32;
                 covered += seg.len();
             }
             prop_assert_eq!(covered, payload.len());

@@ -1,0 +1,275 @@
+//! Value-space measurement primitives: log-bucketed histograms and rate
+//! meters.
+//!
+//! These used to live in `neat_sim::stats`, keyed to simulated `Time`;
+//! the bucket logic moved here (value space: plain `u64`, conventionally
+//! nanoseconds) so that every layer of the system — including ones below
+//! the simulator — can record into the same histogram type. `neat_sim`
+//! re-exports thin `Time`-typed wrappers on top.
+
+use neat_util::{Json, ToJson};
+
+/// A log-bucketed histogram (HdrHistogram-style, power-of-two buckets
+/// with linear sub-buckets), covering 1 .. ~2^43 (≈17 s in nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// 40 major buckets x 16 sub-buckets.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const SUB: usize = 16;
+const BUCKETS: usize = 40 * SUB;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let major = 63 - v.leading_zeros() as usize; // floor(log2)
+        let shift = major - 4; // keep 4 bits of sub-bucket precision
+        let sub = ((v >> shift) & (SUB as u64 - 1)) as usize;
+        let bucket = (major - 3) * SUB + sub;
+        bucket.min(BUCKETS - 1)
+    }
+
+    /// Bucket lower bound for an index (inverse of `index`, approximate).
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUB {
+            return idx as u64;
+        }
+        let major = idx / SUB + 3;
+        let sub = (idx % SUB) as u64;
+        let shift = major - 4;
+        ((SUB as u64) << shift) | (sub << shift)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.sum / self.total as u128) as u64
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Quantile in `[0, 1]`, e.g. `0.99` for p99. Returns the lower bound
+    /// of the bucket containing the quantile; exact recorded values above
+    /// the bucket range saturate into the last bucket, so `max()` bounds
+    /// the answer.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((self.total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Self::value_of(i);
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+        }
+    }
+}
+
+impl ToJson for Histogram {
+    /// Summary form for the machine-readable results files: counts plus
+    /// the quantiles the paper's figures quote (field names assume the
+    /// conventional nanosecond value space).
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("count", self.total)
+            .field("mean_ns", self.mean())
+            .field("min_ns", self.min())
+            .field("max_ns", self.max())
+            .field("p50_ns", self.quantile(0.5))
+            .field("p90_ns", self.quantile(0.9))
+            .field("p99_ns", self.quantile(0.99))
+    }
+}
+
+/// Counts discrete completions over a window and reports a rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RateMeter {
+    pub count: u64,
+    pub bytes: u64,
+}
+
+impl RateMeter {
+    pub fn add(&mut self, bytes: u64) {
+        self.count += 1;
+        self.bytes += bytes;
+    }
+
+    /// Completions per second over an elapsed window in seconds.
+    pub fn per_sec(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.count as f64 / elapsed_secs
+        }
+    }
+
+    /// Kilo-completions per second (the paper's krps unit).
+    pub fn krps(&self, elapsed_secs: f64) -> f64 {
+        self.per_sec(elapsed_secs) / 1e3
+    }
+
+    /// Payload megabytes per second.
+    pub fn mbps(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes as f64 / 1e6 / elapsed_secs
+        }
+    }
+}
+
+impl ToJson for RateMeter {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("count", self.count)
+            .field("bytes", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn single_sample_all_quantiles_agree() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            // One sample: every quantile lands in its bucket.
+            assert!((12_288..=12_345).contains(&v), "q={q} v={v}");
+        }
+        assert_eq!(h.mean(), 12_345);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(1_000_000);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before, "merging an empty histogram changes nothing");
+        let mut e = Histogram::new();
+        e.merge(&before);
+        assert_eq!(e, before, "merging into an empty histogram copies");
+        assert_eq!(
+            e.min(),
+            10,
+            "min survives the merge (not poisoned by empty)"
+        );
+    }
+
+    #[test]
+    fn bucket_saturation_clamps_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        // Both land in the final bucket rather than indexing out of range.
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        // The quantile reports the last bucket's lower bound, bounded by max.
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.5) == h.quantile(1.0), "same saturated bucket");
+    }
+
+    #[test]
+    fn rate_meter_zero_elapsed_is_zero_not_nan() {
+        let mut r = RateMeter::default();
+        r.add(1000);
+        assert_eq!(r.per_sec(0.0), 0.0);
+        assert_eq!(r.krps(0.0), 0.0);
+        assert_eq!(r.mbps(0.0), 0.0);
+        assert_eq!(r.per_sec(-1.0), 0.0, "negative elapsed treated as empty");
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let mut h = Histogram::new();
+        h.record(100);
+        let s = h.to_json().render();
+        for key in ["count", "mean_ns", "p50_ns", "p99_ns"] {
+            assert!(s.contains(key), "{s} missing {key}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Structured event tracer with a bounded ring buffer, exportable as
+//! chrome://tracing-compatible JSON.
+//!
+//! Tracing is **off by default** and zero-cost when disabled: hot paths
+//! guard on [`tracing`], which reads a thread-local `Cell<bool>` —
+//! no allocation, no registry borrow, no string formatting. Because the
+//! tracer only ever *observes* (it never feeds back into simulation
+//! decisions or the RNG), enabling it cannot perturb deterministic
+//! replay; a test in `tests/observability.rs` asserts exactly that.
+//!
+//! Timestamps are supplied by the caller in simulated nanoseconds, so
+//! exported traces line up with the simulator's clock, not the host's.
+
+use neat_util::{Json, ToJson};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+/// Default ring capacity when [`enable`] is called without an explicit one.
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Chrome trace-event phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// `"B"` — span begin (paired with a later `End` of the same name/tid).
+    Begin,
+    /// `"E"` — span end.
+    End,
+    /// `"i"` — instant event (crash, restart, scale transition).
+    Instant,
+    /// `"X"` — complete event with an explicit duration.
+    Complete,
+}
+
+impl Phase {
+    fn code(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+            Phase::Complete => "X",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub ts_ns: u64,
+    /// Only meaningful for `Phase::Complete`.
+    pub dur_ns: u64,
+    pub ph: Phase,
+    pub name: String,
+    /// Category, e.g. `"dispatch"`, `"net"`, `"tcp"`, `"supervisor"`.
+    pub cat: &'static str,
+    /// Track id — by convention the hardware-thread index.
+    pub tid: u64,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        // chrome://tracing expects microsecond timestamps; fractional
+        // microseconds keep full nanosecond precision.
+        let mut o = Json::object()
+            .field("name", self.name.as_str())
+            .field("cat", self.cat)
+            .field("ph", self.ph.code())
+            .field("pid", 0u64)
+            .field("tid", self.tid)
+            .field("ts", self.ts_ns as f64 / 1e3);
+        if self.ph == Phase::Complete {
+            o = o.field("dur", self.dur_ns as f64 / 1e3);
+        }
+        if self.ph == Phase::Instant {
+            o = o.field("s", "t"); // thread-scoped instant
+        }
+        o
+    }
+}
+
+#[derive(Default)]
+struct Tracer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static TRACER: RefCell<Tracer> = RefCell::new(Tracer::default());
+}
+
+/// Is tracing currently enabled? The only check hot paths need.
+#[inline]
+pub fn tracing() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Enable tracing into a ring of `capacity` events (oldest evicted first).
+pub fn enable(capacity: usize) {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        t.capacity = capacity.max(1);
+        t.events.clear();
+        t.dropped = 0;
+    });
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Disable tracing, keeping whatever the ring currently holds.
+pub fn disable() {
+    ENABLED.with(|e| e.set(false));
+}
+
+/// Drop all recorded events (and the drop counter), keeping enablement.
+pub fn clear() {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        t.events.clear();
+        t.dropped = 0;
+    });
+}
+
+fn push(ev: TraceEvent) {
+    if !tracing() {
+        return;
+    }
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.capacity == 0 {
+            t.capacity = DEFAULT_CAPACITY;
+        }
+        if t.events.len() == t.capacity {
+            t.events.pop_front();
+            t.dropped += 1;
+        }
+        t.events.push_back(ev);
+    });
+}
+
+/// Record a complete span `[start_ns, end_ns)` on track `tid`.
+pub fn complete(tid: u64, name: impl Into<String>, cat: &'static str, start_ns: u64, end_ns: u64) {
+    push(TraceEvent {
+        ts_ns: start_ns,
+        dur_ns: end_ns.saturating_sub(start_ns),
+        ph: Phase::Complete,
+        name: name.into(),
+        cat,
+        tid,
+    });
+}
+
+/// Record a span begin; pair with [`end`] of the same name and track.
+pub fn begin(tid: u64, name: impl Into<String>, cat: &'static str, ts_ns: u64) {
+    push(TraceEvent {
+        ts_ns,
+        dur_ns: 0,
+        ph: Phase::Begin,
+        name: name.into(),
+        cat,
+        tid,
+    });
+}
+
+/// Record a span end.
+pub fn end(tid: u64, name: impl Into<String>, cat: &'static str, ts_ns: u64) {
+    push(TraceEvent {
+        ts_ns,
+        dur_ns: 0,
+        ph: Phase::End,
+        name: name.into(),
+        cat,
+        tid,
+    });
+}
+
+/// Record an instant event (crash, restart, drop, scale transition).
+pub fn instant(tid: u64, name: impl Into<String>, cat: &'static str, ts_ns: u64) {
+    push(TraceEvent {
+        ts_ns,
+        dur_ns: 0,
+        ph: Phase::Instant,
+        name: name.into(),
+        cat,
+        tid,
+    });
+}
+
+/// Number of events currently held in the ring.
+pub fn len() -> usize {
+    TRACER.with(|t| t.borrow().events.len())
+}
+
+/// Number of events evicted because the ring was full.
+pub fn dropped() -> u64 {
+    TRACER.with(|t| t.borrow().dropped)
+}
+
+/// Export the ring as a chrome://tracing JSON object
+/// (`{"traceEvents": [...], ...}`) — load it via the Perfetto UI or
+/// chrome://tracing "Load" button.
+pub fn export() -> Json {
+    TRACER.with(|t| {
+        let t = t.borrow();
+        let events: Vec<Json> = t.events.iter().map(ToJson::to_json).collect();
+        Json::object()
+            .field("traceEvents", Json::Array(events))
+            .field("displayTimeUnit", "ns")
+            .field("droppedEvents", t.dropped)
+    })
+}
+
+/// Export and write to `path`; returns the number of events written.
+pub fn export_to_file(path: &str) -> std::io::Result<usize> {
+    let n = len();
+    std::fs::write(path, export().render())?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        disable();
+        clear();
+        complete(0, "x", "test", 0, 10);
+        instant(0, "y", "test", 5);
+        assert_eq!(len(), 0);
+    }
+
+    #[test]
+    fn ring_caps_and_counts_drops() {
+        enable(4);
+        for i in 0..10u64 {
+            instant(0, format!("e{i}"), "test", i);
+        }
+        assert_eq!(len(), 4);
+        assert_eq!(dropped(), 6);
+        // Oldest evicted: the survivors are e6..e9.
+        let json = export().render();
+        assert!(!json.contains("\"e5\""), "{json}");
+        assert!(json.contains("\"e9\""), "{json}");
+        disable();
+        clear();
+    }
+
+    #[test]
+    fn chrome_shape() {
+        enable(16);
+        begin(3, "span", "test", 1_000);
+        end(3, "span", "test", 2_500);
+        complete(3, "xspan", "test", 2_000, 4_000);
+        let s = export().render();
+        assert!(s.contains(r#""traceEvents":["#), "{s}");
+        assert!(
+            s.contains(r#""ph":"B""#) && s.contains(r#""ph":"E""#),
+            "{s}"
+        );
+        assert!(
+            s.contains(r#""ph":"X""#) && s.contains(r#""dur":2.0"#),
+            "{s}"
+        );
+        assert!(s.contains(r#""ts":1.0"#), "begin at 1us: {s}");
+        disable();
+        clear();
+    }
+}

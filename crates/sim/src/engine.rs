@@ -246,6 +246,7 @@ impl<M: 'static> Sim<M> {
         let pid = ProcId(self.next_pid);
         self.next_pid += 1;
         let name = proc.name();
+        neat_obs::counter_add("sim.spawns", 1);
         self.procs.insert(
             pid,
             ProcSlot {
@@ -314,6 +315,34 @@ impl<M: 'static> Sim<M> {
         }
     }
 
+    /// Export per-hardware-thread activity and engine totals into the
+    /// `neat_obs` metrics registry as gauges (`cpu.t<idx>.*`, `sim.*`).
+    /// Called by the harness at the end of a measurement window so the
+    /// bench reports carry the paper's Table-2-style CPU breakdowns.
+    pub fn export_obs(&self) {
+        for (idx, t) in self.threads.iter().enumerate() {
+            if t.stats.events == 0 && t.stats.active_ns() == 0 {
+                continue; // unused thread: keep the snapshot compact
+            }
+            let elapsed = self.now.since(t.stats_since);
+            let p = |what: &str| format!("cpu.t{idx}.{what}");
+            neat_obs::gauge_set(&p("load"), t.stats.load(elapsed));
+            neat_obs::gauge_set(&p("busy_ns"), t.stats.busy_ns as f64);
+            neat_obs::gauge_set(&p("poll_ns"), t.stats.poll_ns as f64);
+            neat_obs::gauge_set(&p("kernel_ns"), t.stats.kernel_ns as f64);
+            neat_obs::gauge_set(&p("events"), t.stats.events as f64);
+            neat_obs::gauge_set(&p("sleeps"), t.stats.sleeps as f64);
+            neat_obs::gauge_set(&p("max_queue"), t.stats.max_queue as f64);
+        }
+        neat_obs::gauge_set("sim.now_ns", self.now.as_nanos() as f64);
+        neat_obs::gauge_set("sim.events_dispatched", self.events_dispatched as f64);
+        neat_obs::gauge_set("sim.heap_len", self.queue.len() as f64);
+        neat_obs::gauge_set(
+            "sim.live_procs",
+            self.procs.values().filter(|s| s.alive).count() as f64,
+        );
+    }
+
     fn push(&mut self, time: Time, dst: ProcId, ev: Event<M>) {
         let seq = self.seq;
         self.seq += 1;
@@ -371,6 +400,11 @@ impl<M: 'static> Sim<M> {
                 let busy_until = self.threads[tid.0].busy_until;
                 if busy_until > time || !self.pending[tid.0].is_empty() {
                     self.pending[tid.0].push_back((dst, ev));
+                    // Queue-depth high-water mark (per-thread backlog; a
+                    // compare+store, cheap enough to keep always-on).
+                    let depth = self.pending[tid.0].len() as u64;
+                    let st = &mut self.threads[tid.0].stats;
+                    st.max_queue = st.max_queue.max(depth);
                     if !self.resume_scheduled[tid.0] {
                         self.resume_scheduled[tid.0] = true;
                         self.push_resume(busy_until.max(time), tid);
@@ -402,6 +436,14 @@ impl<M: 'static> Sim<M> {
 
     /// Run one handler on a free thread at `time` (>= thread.busy_until).
     fn execute(&mut self, thread_id: HwThreadId, dst: ProcId, ev: Event<M>, time: Time) {
+        // Tracing hook: name the span before the event is consumed. Guarded
+        // so the disabled path pays one thread-local bool read, no format.
+        let span_name = if neat_obs::tracing() {
+            let pname = self.procs.get(&dst).map(|s| s.name.as_str()).unwrap_or("?");
+            Some(format!("{pname} [{}]", ev.label()))
+        } else {
+            None
+        };
         let mut proc = match self.procs.get_mut(&dst) {
             Some(slot) if slot.alive => match slot.proc.take() {
                 Some(p) => p,
@@ -466,6 +508,15 @@ impl<M: 'static> Sim<M> {
             th.stats.smt_slow_sum += smt_slow;
             th.record_busy(start, end);
         }
+        if let Some(name) = span_name {
+            neat_obs::trace::complete(
+                thread_id.0 as u64,
+                name,
+                "dispatch",
+                start.as_nanos(),
+                end.as_nanos(),
+            );
+        }
 
         // --- Apply outputs at completion time.
         for out in outputs {
@@ -488,6 +539,7 @@ impl<M: 'static> Sim<M> {
                     delay,
                 } => {
                     let name = proc.name();
+                    neat_obs::counter_add("sim.spawns", 1);
                     self.procs.insert(
                         pid,
                         ProcSlot {
@@ -523,14 +575,30 @@ impl<M: 'static> Sim<M> {
     }
 
     fn reap(&mut self, pid: ProcId, mode: DieMode, at: Time) {
-        let name = match self.procs.get_mut(&pid) {
+        let (name, thread) = match self.procs.get_mut(&pid) {
             Some(slot) if slot.alive => {
                 slot.alive = false;
                 slot.proc = None; // all state dropped — stateless recovery
-                slot.name.clone()
+                (slot.name.clone(), slot.thread)
             }
             _ => return,
         };
+        match mode {
+            DieMode::Crash => neat_obs::counter_add("sim.crashes", 1),
+            DieMode::Exit => neat_obs::counter_add("sim.exits", 1),
+        }
+        if neat_obs::tracing() {
+            let what = match mode {
+                DieMode::Crash => "crash",
+                DieMode::Exit => "exit",
+            };
+            neat_obs::trace::instant(
+                thread.0 as u64,
+                format!("{what}: {name}"),
+                "lifecycle",
+                at.as_nanos(),
+            );
+        }
         if mode == DieMode::Crash {
             if let Some((monitor, hook)) = &self.crash_monitor {
                 let msg = hook(pid, &name);

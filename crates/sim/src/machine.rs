@@ -95,6 +95,8 @@ pub struct ThreadStats {
     pub events: u64,
     /// Sum of SMT slowdown factors applied (diagnostics: avg = /events).
     pub smt_slow_sum: f64,
+    /// High-water mark of the thread's FIFO backlog (queue depth).
+    pub max_queue: u64,
 }
 
 impl ThreadStats {
@@ -141,6 +143,7 @@ impl ToJson for ThreadStats {
             .field("sleeps", self.sleeps)
             .field("events", self.events)
             .field("smt_slow_sum", self.smt_slow_sum)
+            .field("max_queue", self.max_queue)
     }
 }
 
@@ -324,6 +327,7 @@ mod tests {
             sleeps: 1,
             events: 2,
             smt_slow_sum: 0.0,
+            max_queue: 0,
         };
         assert_eq!(s.active_ns(), 100);
         assert!((s.kernel_share() - 0.2).abs() < 1e-9);

@@ -28,6 +28,17 @@ pub enum Event<M> {
     Timer { token: u64 },
 }
 
+impl<M> Event<M> {
+    /// Short label for trace spans ("what kind of event ran here").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::Start => "start",
+            Event::Message { .. } => "msg",
+            Event::Timer { .. } => "timer",
+        }
+    }
+}
+
 /// A single-threaded, event-driven, hardware-isolated process.
 ///
 /// Implementations must be `'static` because a crash-and-restart cycle can

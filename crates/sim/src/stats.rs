@@ -3,120 +3,63 @@
 //! The benchmark harness reports the same quantities httperf does in the
 //! paper: successful request rate (krps), throughput (MB/s), and response
 //! latency — so the experiment binaries can print paper-shaped rows.
+//!
+//! The bucket/merge/quantile machinery lives in [`neat_obs::stats`] so
+//! that every layer of the workspace shares one histogram implementation;
+//! these are thin [`Time`]-typed wrappers preserving the original
+//! simulator-facing API.
 
 use crate::time::Time;
 use neat_util::{Json, ToJson};
 
 /// A log-bucketed latency histogram (HdrHistogram-style, power-of-two
 /// buckets with linear sub-buckets), covering 1 ns .. ~17 s.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Histogram {
-    /// 64 major buckets x 16 sub-buckets.
-    counts: Vec<u64>,
-    total: u64,
-    sum_ns: u128,
-    max_ns: u64,
-    min_ns: u64,
-}
-
-const SUB: usize = 16;
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: neat_obs::Histogram,
 }
 
 impl Histogram {
     pub fn new() -> Histogram {
         Histogram {
-            counts: vec![0; 40 * SUB],
-            total: 0,
-            sum_ns: 0,
-            max_ns: 0,
-            min_ns: u64::MAX,
+            inner: neat_obs::Histogram::new(),
         }
-    }
-
-    fn index(ns: u64) -> usize {
-        if ns < SUB as u64 {
-            return ns as usize;
-        }
-        let major = 63 - ns.leading_zeros() as usize; // floor(log2)
-        let shift = major - 4; // keep 4 bits of sub-bucket precision
-        let sub = ((ns >> shift) & (SUB as u64 - 1)) as usize;
-        let bucket = (major - 3) * SUB + sub;
-        bucket.min(40 * SUB - 1)
-    }
-
-    /// Bucket lower bound for an index (inverse of `index`, approximate).
-    fn value_of(idx: usize) -> u64 {
-        if idx < SUB {
-            return idx as u64;
-        }
-        let major = idx / SUB + 3;
-        let sub = (idx % SUB) as u64;
-        let shift = major - 4;
-        ((SUB as u64) << shift) | (sub << shift)
     }
 
     pub fn record(&mut self, t: Time) {
-        let ns = t.as_nanos();
-        self.counts[Self::index(ns)] += 1;
-        self.total += 1;
-        self.sum_ns += ns as u128;
-        self.max_ns = self.max_ns.max(ns);
-        self.min_ns = self.min_ns.min(ns);
+        self.inner.record(t.as_nanos());
     }
 
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     pub fn mean(&self) -> Time {
-        if self.total == 0 {
-            return Time::ZERO;
-        }
-        Time((self.sum_ns / self.total as u128) as u64)
+        Time(self.inner.mean())
     }
 
     pub fn max(&self) -> Time {
-        Time(self.max_ns)
+        Time(self.inner.max())
     }
 
     pub fn min(&self) -> Time {
-        if self.total == 0 {
-            Time::ZERO
-        } else {
-            Time(self.min_ns)
-        }
+        Time(self.inner.min())
     }
 
     /// Quantile in `[0, 1]`, e.g. `0.99` for p99. Returns the lower bound of
     /// the bucket containing the quantile.
     pub fn quantile(&self, q: f64) -> Time {
-        if self.total == 0 {
-            return Time::ZERO;
-        }
-        let target = ((self.total as f64) * q).ceil() as u64;
-        let mut seen = 0;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target.max(1) {
-                return Time(Self::value_of(i));
-            }
-        }
-        Time(self.max_ns)
+        Time(self.inner.quantile(q))
     }
 
     pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_ns += other.sum_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-        self.min_ns = self.min_ns.min(other.min_ns);
+        self.inner.merge(&other.inner);
+    }
+
+    /// The value-space histogram underneath (e.g. to register a merged
+    /// copy into the `neat_obs` metrics registry).
+    pub fn inner(&self) -> &neat_obs::Histogram {
+        &self.inner
     }
 }
 
@@ -124,22 +67,7 @@ impl ToJson for Histogram {
     /// Summary form for the machine-readable results files: counts plus
     /// the latency quantiles the paper's figures quote.
     fn to_json(&self) -> Json {
-        Json::object()
-            .field("count", self.total)
-            .field("mean_ns", self.mean().as_nanos())
-            .field("min_ns", self.min().as_nanos())
-            .field("max_ns", self.max().as_nanos())
-            .field("p50_ns", self.quantile(0.5).as_nanos())
-            .field("p90_ns", self.quantile(0.9).as_nanos())
-            .field("p99_ns", self.quantile(0.99).as_nanos())
-    }
-}
-
-impl ToJson for RateMeter {
-    fn to_json(&self) -> Json {
-        Json::object()
-            .field("count", self.count)
-            .field("bytes", self.bytes)
+        self.inner.to_json()
     }
 }
 
@@ -156,29 +84,32 @@ impl RateMeter {
         self.bytes += bytes;
     }
 
+    fn inner(&self) -> neat_obs::RateMeter {
+        neat_obs::RateMeter {
+            count: self.count,
+            bytes: self.bytes,
+        }
+    }
+
     /// Completions per second over `elapsed`.
     pub fn per_sec(&self, elapsed: Time) -> f64 {
-        let s = elapsed.as_secs_f64();
-        if s <= 0.0 {
-            0.0
-        } else {
-            self.count as f64 / s
-        }
+        self.inner().per_sec(elapsed.as_secs_f64())
     }
 
     /// Kilo-completions per second (the paper's krps unit).
     pub fn krps(&self, elapsed: Time) -> f64 {
-        self.per_sec(elapsed) / 1e3
+        self.inner().krps(elapsed.as_secs_f64())
     }
 
     /// Payload megabytes per second.
     pub fn mbps(&self, elapsed: Time) -> f64 {
-        let s = elapsed.as_secs_f64();
-        if s <= 0.0 {
-            0.0
-        } else {
-            self.bytes as f64 / 1e6 / s
-        }
+        self.inner().mbps(elapsed.as_secs_f64())
+    }
+}
+
+impl ToJson for RateMeter {
+    fn to_json(&self) -> Json {
+        self.inner().to_json()
     }
 }
 
@@ -250,5 +181,55 @@ mod tests {
         assert_eq!(h.mean(), Time::ZERO);
         assert_eq!(h.quantile(0.99), Time::ZERO);
         assert_eq!(h.min(), Time::ZERO);
+    }
+
+    #[test]
+    fn empty_and_single_sample_edge_cases() {
+        // Quantiles and merge behave on empty and one-sample histograms.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), Time::ZERO);
+        assert_eq!(empty.quantile(1.0), Time::ZERO);
+
+        let mut single = Histogram::new();
+        single.record(Time::from_micros(42));
+        for q in [0.0, 0.5, 1.0] {
+            let v = single.quantile(q);
+            // Bucket lower bound for 42 us is 40.96 us (4 sub-bucket bits).
+            assert!(
+                v <= Time::from_micros(42) && v >= Time::from_nanos(40_960),
+                "q={q} v={v}"
+            );
+        }
+
+        // empty.merge(single) copies; single.merge(empty) is identity.
+        let mut e = Histogram::new();
+        e.merge(&single);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.min(), single.min());
+        let before = (single.count(), single.min(), single.max());
+        let mut s = single.clone();
+        s.merge(&empty);
+        assert_eq!((s.count(), s.min(), s.max()), before);
+    }
+
+    #[test]
+    fn bucket_saturation_is_safe() {
+        // Values beyond the last bucket (≈17 s in ns) clamp instead of
+        // indexing out of bounds, and max() still reports exactly.
+        let mut h = Histogram::new();
+        let huge = Time::from_secs(40_000);
+        h.record(huge);
+        assert_eq!(h.max(), huge);
+        assert!(h.quantile(1.0) <= huge);
+        assert!(h.quantile(0.5) > Time::ZERO);
+    }
+
+    #[test]
+    fn rate_meter_zero_elapsed() {
+        let mut r = RateMeter::default();
+        r.add(100);
+        assert_eq!(r.per_sec(Time::ZERO), 0.0);
+        assert_eq!(r.krps(Time::ZERO), 0.0);
+        assert_eq!(r.mbps(Time::ZERO), 0.0);
     }
 }

@@ -158,7 +158,7 @@ fn busy_time_accounting() {
                         reply_to: None,
                     },
                 );
-                at = at + Time::from_nanos(gap_ns);
+                at += Time::from_nanos(gap_ns);
             }
             sim.run_until(Time::from_secs(10));
             let st = sim.thread_stats(t);

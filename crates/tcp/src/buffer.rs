@@ -62,7 +62,7 @@ impl SendBuffer {
         let n = (ack - self.base).max(0) as usize;
         let n = n.min(self.data.len());
         self.data.drain(..n);
-        self.base = self.base + n as u32;
+        self.base += n as u32;
         n
     }
 

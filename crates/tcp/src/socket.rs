@@ -379,6 +379,7 @@ impl TcpSocket {
             return;
         }
         self.retransmits += 1;
+        neat_obs::counter_add("tcp.rto_retransmits", 1);
         self.rtt.backoff();
         self.rtt_sample = None; // Karn: no sampling across retransmits
         self.cc.on_timeout(now);
@@ -475,8 +476,7 @@ impl TcpSocket {
             if wnd == 0 {
                 return false;
             }
-            let first_ok = (seq - self.rcv_nxt) < wnd as i32 && (seq + seg_len - self.rcv_nxt) > 0;
-            first_ok
+            (seq - self.rcv_nxt) < wnd as i32 && (seq + seg_len - self.rcv_nxt) > 0
         }
     }
 
@@ -583,6 +583,7 @@ impl TcpSocket {
                     self.cc.on_fast_retransmit(now);
                     self.rtx_now = true;
                     self.retransmits += 1;
+                    neat_obs::counter_add("tcp.fast_retransmits", 1);
                     self.rtt_sample = None;
                 }
             }
@@ -1178,7 +1179,7 @@ mod tests {
         }
         assert!(s.recv_available() <= 2048);
         assert!(
-            c.bytes_in_flight() == 0 || c.send_buf.len() > 0,
+            c.bytes_in_flight() == 0 || !c.send_buf.is_empty(),
             "sender must hold back data beyond the advertised window"
         );
         // Application reads, window reopens, transfer resumes.

@@ -35,6 +35,26 @@ pub struct StackStats {
     pub demux_misses: u64,
 }
 
+/// Handles into the global `neat_obs` registry, mirroring the per-stack
+/// [`StackStats`] as process-wide aggregates (all stack instances of the
+/// simulation sum into the same named counters).
+#[derive(Debug, Clone, Copy)]
+struct StackObs {
+    rx_segments: neat_obs::Counter,
+    tx_segments: neat_obs::Counter,
+    conns_accepted: neat_obs::Counter,
+}
+
+impl StackObs {
+    fn new() -> StackObs {
+        StackObs {
+            rx_segments: neat_obs::counter("tcp.rx_segments"),
+            tx_segments: neat_obs::counter("tcp.tx_segments"),
+            conns_accepted: neat_obs::counter("tcp.conns_accepted"),
+        }
+    }
+}
+
 /// One isolated TCP stack instance.
 #[derive(Debug)]
 pub struct TcpStack {
@@ -61,6 +81,7 @@ pub struct TcpStack {
     /// Timer heap: (deadline, socket), lazily validated.
     timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
     pub stats: StackStats,
+    obs: StackObs,
 }
 
 impl TcpStack {
@@ -83,6 +104,7 @@ impl TcpStack {
             events: VecDeque::new(),
             timers: BinaryHeap::new(),
             stats: StackStats::default(),
+            obs: StackObs::new(),
         }
     }
 
@@ -205,6 +227,7 @@ impl TcpStack {
         let id = l.accept_q.pop_front().ok_or(TcpError::WouldBlock)?;
         self.pending_of.remove(&id);
         self.stats.conns_accepted += 1;
+        self.obs.conns_accepted.inc();
         Ok(id)
     }
 
@@ -283,6 +306,7 @@ impl TcpStack {
     /// from the IP header; the caller has already validated those.
     pub fn handle_segment(&mut self, src: Ipv4Addr, h: &TcpHeader, payload: &[u8], now: u64) {
         self.stats.rx_segments += 1;
+        self.obs.rx_segments.inc();
         let flow = FlowKey::tcp(src, h.src_port, self.local_ip, h.dst_port);
         if let Some(&id) = self.conns.get(&flow) {
             self.deliver(id, h, payload, now);
@@ -294,6 +318,7 @@ impl TcpStack {
                 if l.syn_backlog + l.accept_q.len() >= self.cfg.backlog {
                     // Backlog overflow: drop the SYN (retry will come).
                     self.stats.demux_misses += 1;
+                    neat_obs::counter_add("tcp.syn_dropped", 1);
                     return;
                 }
                 let lid = l.id;
@@ -386,6 +411,7 @@ impl TcpStack {
     pub fn poll_transmit(&mut self, now: u64) -> Option<(Ipv4Addr, TcpHeader, Vec<u8>)> {
         if let Some(raw) = self.raw_out.pop_front() {
             self.stats.tx_segments += 1;
+            self.obs.tx_segments.inc();
             return Some(raw);
         }
         while let Some(id) = self.dirty.front().copied() {
@@ -393,6 +419,7 @@ impl TcpStack {
                 if let Some((h, payload)) = s.poll_transmit(now) {
                     let dst = s.remote_ip;
                     self.stats.tx_segments += 1;
+                    self.obs.tx_segments.inc();
                     self.arm_timer(id);
                     return Some((dst, h, payload));
                 }

@@ -27,4 +27,19 @@ else
     echo "==> cargo fmt not available; skipping format check"
 fi
 
+# Lints are a hard gate when clippy is installed; toolchains without the
+# component skip it rather than failing spuriously.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not available; skipping lint gate"
+fi
+
+# Performance-regression gate: run the deterministic quick bench suite
+# and compare headline metrics against the committed baselines.
+echo "==> quick bench suite + regression gate"
+./target/release/run_all --quick
+./target/release/check_bench
+
 echo "==> CI gate passed"

@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
 """Inject the measured tables from results/ into EXPERIMENTS.md at the
-<!-- FILLED-FROM-RESULTS --> marker, with paper-reference annotations."""
+<!-- FILLED-FROM-RESULTS --> marker, with paper-reference annotations.
 
+Each bench also emits a unified results/BENCH_<name>.json report (tables +
+headline metrics + an observability snapshot); when present, its headline
+metrics are rendered beneath the tables."""
+
+import json
 import pathlib
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -22,6 +27,22 @@ ORDER = [
     ("ablations", "Not in the paper: isolating the design choices (tracking filters, TSO, congestion control, wake latency)."),
 ]
 
+def headline_metrics(name):
+    """The bench's gated headline metrics, from its BENCH_<name>.json."""
+    f = RESULTS / f"BENCH_{name}.json"
+    if not f.exists():
+        return None
+    try:
+        report = json.loads(f.read_text())
+    except json.JSONDecodeError:
+        return None
+    metrics = report.get("metrics") or {}
+    if not metrics:
+        return None
+    pairs = ", ".join(f"`{k}` = {v:g}" for k, v in metrics.items())
+    return f"*Headline metrics (CI-gated):* {pairs}\n"
+
+
 def main():
     parts = []
     for name, paper_note in ORDER:
@@ -30,12 +51,16 @@ def main():
             continue
         parts.append(f"*Paper reference:* {paper_note}\n")
         parts.append(f.read_text().strip() + "\n")
+        metrics = headline_metrics(name)
+        if metrics:
+            parts.append(metrics)
+    sections = sum(1 for p in parts if p.startswith("*Paper reference:*"))
     body = "\n".join(parts)
     text = EXP.read_text()
     marker = "<!-- FILLED-FROM-RESULTS -->"
     assert marker in text, "marker missing"
     EXP.write_text(text.replace(marker, body))
-    print(f"wrote {len(parts)//2} experiment sections into EXPERIMENTS.md")
+    print(f"wrote {sections} experiment sections into EXPERIMENTS.md")
 
 if __name__ == "__main__":
     main()

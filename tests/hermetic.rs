@@ -86,7 +86,7 @@ fn check_dep_line(line: &str) -> Result<(), String> {
         for key in banned {
             // Match ` key =` or `{key =` inside the inline table.
             if rhs
-                .split(|c| c == '{' || c == ',' || c == '}')
+                .split(['{', ',', '}'])
                 .any(|kv| kv.trim().starts_with(key) && kv.contains('='))
             {
                 return Err(format!("`{name}` uses forbidden key `{key}`: `{t}`"));

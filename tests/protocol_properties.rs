@@ -202,7 +202,7 @@ fn assembler_reconstructs_stream() {
             )
         },
         |(data, cuts, order_seed, dup)| {
-            if data.is_empty() || cuts.is_empty() || cuts.iter().any(|&c| c == 0) {
+            if data.is_empty() || cuts.is_empty() || cuts.contains(&0) {
                 return Ok(());
             }
             // Chop into segments.
@@ -231,7 +231,7 @@ fn assembler_reconstructs_stream() {
                 let (o, seg) = &segs[idx];
                 prop_assert!(asm.insert(base + *o, seg, rcv));
                 while let Some(run) = asm.take_contiguous(rcv) {
-                    rcv = rcv + run.len() as u32;
+                    rcv += run.len() as u32;
                     out.extend_from_slice(&run);
                 }
             }
@@ -363,7 +363,7 @@ fn tso_split_preserves_stream() {
                 let (th, pr) = TcpHeader::parse(l4, iph.src, iph.dst).unwrap();
                 prop_assert!(asm.insert(th.seq, &l4[pr], rcv));
                 while let Some(run) = asm.take_contiguous(rcv) {
-                    rcv = rcv + run.len() as u32;
+                    rcv += run.len() as u32;
                     out.extend_from_slice(&run);
                 }
             }

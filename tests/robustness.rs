@@ -120,9 +120,11 @@ fn udp_datagrams_flow_end_to_end() {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    type Received = Rc<RefCell<Vec<(u16, Vec<u8>)>>>;
+
     struct UdpEcho {
         stack: ProcId,
-        got: Rc<RefCell<Vec<(u16, Vec<u8>)>>>,
+        got: Received,
     }
     impl Process<Msg> for UdpEcho {
         fn name(&self) -> String {
