@@ -77,6 +77,13 @@ pub struct TestbedSpec {
     /// Link-level fault injection at the server NIC's RX path
     /// (drop/corrupt percentages, smoltcp-style).
     pub wire_faults: neat_nic::FaultConfig,
+    /// Per-link message-coalescing horizon in nanoseconds (§3.4 batching;
+    /// 0 disables — the `nobatch` ablation axis).
+    pub batch_ns: u64,
+    /// Override the web servers' per-request application cost in cycles
+    /// (`None` = calibrated lighttpd). Benches set a small value to model
+    /// a lightweight app and expose the stack's own throughput ceiling.
+    pub web_request_cycles: Option<u64>,
 }
 
 impl TestbedSpec {
@@ -93,6 +100,8 @@ impl TestbedSpec {
             files: FileStore::paper_default(),
             seed: 0xCA5E,
             wire_faults: neat_nic::FaultConfig::default(),
+            batch_ns: 2_000,
+            web_request_cycles: None,
         }
     }
 
@@ -148,7 +157,11 @@ impl Testbed {
     /// boot phase (listeners replicated, ARP settled) before the load
     /// generators start.
     pub fn build(spec: TestbedSpec) -> Testbed {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig { seed: spec.seed });
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: spec.seed,
+            batch_ns: spec.batch_ns,
+            ..SimConfig::default()
+        });
         let server_machine = sim.add_machine(spec.server.clone());
         let client_machine = sim.add_machine(MachineSpec::load_generator());
 
@@ -226,7 +239,7 @@ impl Testbed {
                 Some(deployment.supervisor),
             );
             let metrics = Rc::new(RefCell::new(WebMetrics::default()));
-            let proc = WebServerProc::new(
+            let mut proc = WebServerProc::new(
                 format!("web.{i}"),
                 lib,
                 spec.files.clone(),
@@ -234,6 +247,9 @@ impl Testbed {
                 spec.server_max_reqs_per_conn,
                 metrics.clone(),
             );
+            if let Some(c) = spec.web_request_cycles {
+                proc = proc.with_request_cycles(c);
+            }
             let t = resolve(&sim, server_machine, *slot);
             web_threads.push(t);
             webs.push(sim.spawn(t, Box::new(proc)));
@@ -336,8 +352,10 @@ impl Testbed {
         self.sim.run_until(start + window);
         let duration = self.sim.now().since(start);
         // Publish engine-side gauges (per-thread utilisation, queue
-        // high-water marks) into the registry for this window.
+        // high-water marks) into the registry for this window, plus the
+        // packet-pool and link-coalescing counters.
         self.sim.export_obs();
+        neat_net::pktbuf::export_obs();
         let requests = self.total_reported().saturating_sub(req0);
         let bytes = self.total_bytes().saturating_sub(bytes0);
         let lat = self.merged_latency();
@@ -477,6 +495,9 @@ pub struct MonoTestbedSpec {
     pub seed: u64,
     /// Shared-memory cost factor of the machine (see `MonoShared`).
     pub hw_factor: f64,
+    /// Per-link message-coalescing horizon (0 disables). The baseline
+    /// keeps it too: it models NAPI-style interrupt moderation.
+    pub batch_ns: u64,
 }
 
 impl MonoTestbedSpec {
@@ -491,6 +512,7 @@ impl MonoTestbedSpec {
             files: FileStore::paper_default(),
             seed: 0x11_u64,
             hw_factor: 1.0,
+            batch_ns: 2_000,
         }
     }
 
@@ -520,7 +542,11 @@ pub struct MonoTestbed {
 
 impl MonoTestbed {
     pub fn build(spec: MonoTestbedSpec) -> MonoTestbed {
-        let mut sim: Sim<Msg> = Sim::new(SimConfig { seed: spec.seed });
+        let mut sim: Sim<Msg> = Sim::new(SimConfig {
+            seed: spec.seed,
+            batch_ns: spec.batch_ns,
+            ..SimConfig::default()
+        });
         let server_machine = sim.add_machine(spec.server.clone());
         let client_machine = sim.add_machine(MachineSpec::load_generator());
 
@@ -677,8 +703,10 @@ impl MonoTestbed {
         self.sim.run_until(start + window);
         let duration = self.sim.now().since(start);
         // Publish engine-side gauges (per-thread utilisation, queue
-        // high-water marks) into the registry for this window.
+        // high-water marks) into the registry for this window, plus the
+        // packet-pool and link-coalescing counters.
         self.sim.export_obs();
+        neat_net::pktbuf::export_obs();
         let requests = self.total_reported().saturating_sub(req0);
         let bytes = self.total_bytes().saturating_sub(bytes0);
         let lat = self.merged_latency();

@@ -7,7 +7,7 @@
 
 use crate::http;
 use neat::msg::Msg;
-use neat::sockets::{Fd, LibEvent, SocketLib};
+use neat::sockets::{Fd, LibEvent, SockErr, SocketLib};
 use neat_sim::{calibration, Ctx, Event, Process};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -82,6 +82,10 @@ pub struct WebServerProc {
     /// `max-keep-alive-requests`; the paper sets 1000, tests use less).
     max_requests_per_conn: u32,
     conns: HashMap<Fd, ConnState>,
+    /// CPU cycles of application work per served request. Defaults to the
+    /// calibrated lighttpd cost; benches lower it to model a lightweight
+    /// app (null-RPC style) when measuring the stack's own ceiling.
+    pub request_cycles: u64,
     pub metrics: Rc<RefCell<WebMetrics>>,
     obs: WebObs,
 }
@@ -120,15 +124,22 @@ impl WebServerProc {
             port,
             max_requests_per_conn,
             conns: HashMap::new(),
+            request_cycles: calibration::WEB_REQUEST,
             metrics,
             obs: WebObs::new(),
         }
     }
 
+    /// Override the per-request application cost (stack-ceiling benches).
+    pub fn with_request_cycles(mut self, cycles: u64) -> WebServerProc {
+        self.request_cycles = cycles;
+        self
+    }
+
     fn handle_request(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd, req: http::Request) {
         // The calibrated per-request application work (parse, file lookup,
         // header build, logging, bookkeeping).
-        ctx.charge(calibration::WEB_REQUEST);
+        ctx.charge(self.request_cycles);
         let mut m = self.metrics.borrow_mut();
         let (status, body) = match self.files.get(&req.path) {
             Some(b) => (200, b.clone()),
@@ -147,9 +158,55 @@ impl WebServerProc {
         st.closing = closing;
         let resp = http::format_response(status, &body, !closing);
         ctx.charge(calibration::copy_cost(resp.len()));
-        self.lib.send(ctx, fd, resp);
+        if self.lib.send(ctx, fd, resp).is_err() {
+            // Connection raced away (reset/replica crash): stop serving it.
+            if let Some(st) = self.conns.get_mut(&fd) {
+                st.closing = true;
+            }
+            return;
+        }
         if closing {
-            self.lib.close(ctx, fd);
+            let _ = self.lib.close(ctx, fd);
+        }
+    }
+
+    /// Drain everything readable on `fd` through the pull API and serve
+    /// every complete pipelined request.
+    fn service_readable(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) {
+        loop {
+            match self.lib.recv(ctx, fd) {
+                Ok(data) if data.is_empty() => {
+                    // EOF: client is done with this connection.
+                    let _ = self.lib.close(ctx, fd);
+                    return;
+                }
+                Ok(data) => {
+                    let Some(st) = self.conns.get_mut(&fd) else {
+                        return;
+                    };
+                    if st.closing {
+                        continue;
+                    }
+                    st.parser.push(&data);
+                    while let Some(st) = self.conns.get_mut(&fd) {
+                        if st.closing {
+                            break;
+                        }
+                        match st.parser.next_request() {
+                            Some(req) => self.handle_request(ctx, fd, req),
+                            None => break,
+                        }
+                    }
+                }
+                Err(SockErr::WouldBlock) => break,
+                Err(_) => return, // NotConnected / reset: Closed will clean up
+            }
+            if !self.lib.poll(fd).readable {
+                break;
+            }
+        }
+        if self.lib.poll(fd).hup {
+            let _ = self.lib.close(ctx, fd);
         }
     }
 }
@@ -161,9 +218,18 @@ impl Process<Msg> for WebServerProc {
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
+            // Delivered via `on_batch` in practice; unroll defensively if a
+            // batch ever reaches the scalar path.
+            Event::Batch { from, msgs } => {
+                for msg in msgs {
+                    self.on_event(ctx, Event::Message { from, msg });
+                }
+            }
             Event::Start => {
                 self.lib.init(ctx);
-                self.lib.listen(ctx, self.port);
+                self.lib
+                    .listen(ctx, self.port)
+                    .expect("web server port is free at boot");
             }
             Event::Timer { .. } => {}
             Event::Message { msg, .. } => {
@@ -192,29 +258,10 @@ impl Process<Msg> for WebServerProc {
                                 },
                             );
                         }
-                        LibEvent::Data { fd, data } => {
-                            ctx.charge(calibration::copy_cost(data.len()));
-                            let Some(st) = self.conns.get_mut(&fd) else {
-                                continue;
-                            };
-                            if st.closing {
-                                continue;
+                        LibEvent::Readable { fd } => {
+                            if self.conns.contains_key(&fd) {
+                                self.service_readable(ctx, fd);
                             }
-                            st.parser.push(&data);
-                            // Serve every complete pipelined request.
-                            while let Some(st) = self.conns.get_mut(&fd) {
-                                if st.closing {
-                                    break;
-                                }
-                                match st.parser.next_request() {
-                                    Some(req) => self.handle_request(ctx, fd, req),
-                                    None => break,
-                                }
-                            }
-                        }
-                        LibEvent::Eof { fd } => {
-                            // Client is done with this connection.
-                            self.lib.close(ctx, fd);
                         }
                         LibEvent::Closed { fd, .. } => {
                             self.conns.remove(&fd);

@@ -8,6 +8,8 @@
 //! 3. **Congestion control** — Reno vs CUBIC on the benchmark workload.
 //! 4. **MWAIT spin window** — the §4 fast-channel trade-off: longer
 //!    spinning lowers low-load latency but burns idle CPU.
+//! 5. **Batching × zero-copy pool** (§3.4) — per-link message coalescing
+//!    and the refcounted `PktBuf` pool, on/off in all four combinations.
 
 use neat::config::NeatConfig;
 use neat::msg::Msg;
@@ -133,6 +135,104 @@ fn ablate_congestion(report: &mut BenchReport) {
     report.table(&t);
 }
 
+/// 5. Batched zero-copy message path (§3.4) — per-link coalescing × the
+///    refcounted packet-buffer pool, at the replica count where per-message
+///    wakeups dominate (NEaT 8x HT on the Xeon). The `batching off, pool
+///    off` row is the scalar-dispatch, copy-everywhere ablation the
+///    headline speedup is measured against.
+fn ablate_batching(report: &mut BenchReport) {
+    let mut t = Table::new(
+        "Ablation 5 — batching x zero-copy pool (NEaT 8x HT, Xeon, 5 webs)",
+        &[
+            "batching",
+            "pool",
+            "krps",
+            "batch occupancy",
+            "copies avoided",
+        ],
+    );
+    let mut on_krps = 0.0;
+    let mut off_krps = 0.0;
+    for (batch, pool) in [(true, true), (true, false), (false, true), (false, false)] {
+        neat_net::pktbuf::reset();
+        neat_net::pktbuf::set_pooling(pool);
+        let mut spec = TestbedSpec::xeon(NeatConfig::single(8), 5);
+        spec.batch_ns = if batch { 2_000 } else { 0 };
+        // Stack-ceiling mode: a lightweight application (null-RPC style)
+        // instead of the calibrated lighttpd cost, so the message path —
+        // the thing batching and the pool amortize — is the contended
+        // resource rather than the web instances. This isolates the fig7
+        // asymptote: the throughput the 8-replica stack fabric itself
+        // sustains.
+        spec.web_request_cycles = Some(6_000);
+        // 200-byte responses keep the 10GbE link far from saturation
+        // (which would mask the message path), and 64 connections per
+        // client keep enough requests in flight that the closed loop is
+        // throughput-bound, not latency-bound.
+        let size: usize = 200;
+        spec.files = FileStore::size_sweep(&[size]);
+        spec.workload = Workload {
+            conns_per_client: 64,
+            requests_per_conn: 100,
+            path: format!("/file{size}"),
+            ..Workload::default()
+        };
+        let (warm, win) = windows();
+        let mut tb = Testbed::build(spec);
+        let r = tb.measure(warm, win);
+        let occupancy = tb.sim.batch_stats().occupancy();
+        let copies = neat_net::pktbuf::stats().copies_avoided;
+        if std::env::var("NEAT_ABLATION_LOADS").is_ok() {
+            // Busy fraction excluding spin-poll: the true utilization.
+            let load = |t: neat_sim::HwThreadId| {
+                tb.sim.thread_stats(t).busy_ns as f64 / r.duration.as_nanos() as f64
+            };
+            let rep: Vec<String> = tb
+                .replica_threads
+                .iter()
+                .map(|t| format!("{:.0}%", load(*t) * 100.0))
+                .collect();
+            let web: Vec<String> = tb
+                .web_threads
+                .iter()
+                .map(|t| format!("{:.0}%", load(*t) * 100.0))
+                .collect();
+            let cli: Vec<String> = (0..4)
+                .map(|c| {
+                    let t = tb.sim.hw_thread(tb.client_machine, c, 0);
+                    format!("{:.0}%", load(t) * 100.0)
+                })
+                .collect();
+            eprintln!(
+                "batch={batch} pool={pool}: krps {:.1} lat {} occ {occupancy:.2} driver {:.0}% replicas {rep:?} webs {web:?} clients[0..4] {cli:?} errors {}",
+                r.krps,
+                r.mean_latency,
+                load(tb.driver_thread) * 100.0,
+                r.conn_errors
+            );
+        }
+        if batch && pool {
+            on_krps = r.krps;
+            report.metric("batch_on_krps", r.krps);
+            report.metric("batch_occupancy", occupancy);
+            report.metric("copies_avoided", copies as f64);
+        } else if !batch && !pool {
+            off_krps = r.krps;
+            report.metric("batch_off_krps", r.krps);
+        }
+        t.row(&[
+            (if batch { "on" } else { "off" }).into(),
+            (if pool { "on" } else { "off" }).into(),
+            format!("{:.1}", r.krps),
+            format!("{occupancy:.2}"),
+            copies.to_string(),
+        ]);
+    }
+    neat_net::pktbuf::set_pooling(true);
+    report.metric("batch_speedup", on_krps / off_krps);
+    report.table(&t);
+}
+
 /// 4. Low-load latency vs driver CPU across replica counts — the
 ///    Figure 12 trade-off summarized.
 fn ablate_low_load(report: &mut BenchReport) {
@@ -169,9 +269,15 @@ fn ablate_low_load(report: &mut BenchReport) {
 
 fn main() {
     let mut report = BenchReport::new("ablations");
+    if std::env::var("NEAT_ABLATION_ONLY_BATCHING").is_ok() {
+        ablate_batching(&mut report);
+        report.finish();
+        return;
+    }
     ablate_tracking(&mut report);
     ablate_tso(&mut report);
     ablate_congestion(&mut report);
     ablate_low_load(&mut report);
+    ablate_batching(&mut report);
     report.finish();
 }

@@ -69,11 +69,95 @@ impl DriverProc {
         self.last_op_ns = now;
         cost
     }
+
+    /// RX forward: NIC queue -> replica pipeline head, at the given
+    /// descriptor cost.
+    fn rx_frame(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        queue: usize,
+        frame: neat_net::PktBuf,
+        cost: u64,
+    ) {
+        ctx.charge(cost);
+        match self.heads.get(queue).copied().flatten() {
+            Some(head) if ctx.is_alive(head) => {
+                self.rx_forwarded += 1;
+                self.obs.rx_forwarded.inc();
+                if !neat_net::pktbuf::pooling() {
+                    // Pool ablation: the pre-pool path deep-copied the
+                    // frame into the replica's channel here.
+                    ctx.charge(calibration::copy_cost(frame.len()));
+                }
+                ctx.send(head, Msg::NetRx(frame));
+            }
+            _ => {
+                // Replica down: hold (drop) until it re-announces.
+                // TCP retransmission absorbs the gap (§3.6).
+                self.held_dropped += 1;
+                self.obs.held_dropped.inc();
+            }
+        }
+    }
+
+    /// TX forward: stack component -> NIC, at the given descriptor cost.
+    fn tx_frame(&mut self, ctx: &mut Ctx<'_, Msg>, frame: neat_net::PktBuf, cost: u64) {
+        ctx.charge(cost);
+        self.tx_forwarded += 1;
+        self.obs.tx_forwarded.inc();
+        if !neat_net::pktbuf::pooling() {
+            ctx.charge(calibration::copy_cost(frame.len()));
+        }
+        ctx.send(self.nic, Msg::HostTx(frame));
+    }
 }
 
 impl Process<Msg> for DriverProc {
     fn name(&self) -> String {
         self.name.clone()
+    }
+
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcId, msgs: Vec<Msg>) {
+        // A coalesced run of frames is one vectored ring pass: the first
+        // frame pays the usual (possibly cold) descriptor cost, the rest
+        // pay the bulk vectored rate (§3.4; rx_pop_batch on the device
+        // side is the matching NIC-facing drain).
+        let mut in_run = false;
+        for msg in msgs {
+            match msg {
+                Msg::RxFrame { queue, frame } => {
+                    let now = ctx.now().as_nanos();
+                    let cost = if in_run {
+                        self.last_op_ns = now;
+                        calibration::DRV_RX_PKT_VECTORED
+                    } else {
+                        self.desc_cost(
+                            now,
+                            calibration::DRV_RX_PKT,
+                            calibration::DRV_RX_PKT_BATCHED,
+                        )
+                    };
+                    self.rx_frame(ctx, queue, frame, cost);
+                    in_run = true;
+                }
+                Msg::NetTx(frame) => {
+                    let now = ctx.now().as_nanos();
+                    let cost = if in_run {
+                        self.last_op_ns = now;
+                        calibration::DRV_TX_PKT_VECTORED
+                    } else {
+                        self.desc_cost(
+                            now,
+                            calibration::DRV_TX_PKT,
+                            calibration::DRV_TX_PKT_BATCHED,
+                        )
+                    };
+                    self.tx_frame(ctx, frame, cost);
+                    in_run = true;
+                }
+                other => self.on_event(ctx, Event::Message { from, msg: other }),
+            }
+        }
     }
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
@@ -89,20 +173,7 @@ impl Process<Msg> for DriverProc {
                     calibration::DRV_RX_PKT,
                     calibration::DRV_RX_PKT_BATCHED,
                 );
-                ctx.charge(cost);
-                match self.heads.get(queue).copied().flatten() {
-                    Some(head) if ctx.is_alive(head) => {
-                        self.rx_forwarded += 1;
-                        self.obs.rx_forwarded.inc();
-                        ctx.send(head, Msg::NetRx(frame));
-                    }
-                    _ => {
-                        // Replica down: hold (drop) until it re-announces.
-                        // TCP retransmission absorbs the gap (§3.6).
-                        self.held_dropped += 1;
-                        self.obs.held_dropped.inc();
-                    }
-                }
+                self.rx_frame(ctx, queue, frame, cost);
             }
             // --- TX path: any stack component -> NIC.
             Msg::NetTx(frame) => {
@@ -112,10 +183,7 @@ impl Process<Msg> for DriverProc {
                     calibration::DRV_TX_PKT,
                     calibration::DRV_TX_PKT_BATCHED,
                 );
-                ctx.charge(cost);
-                self.tx_forwarded += 1;
-                self.obs.tx_forwarded.inc();
-                ctx.send(self.nic, Msg::HostTx(frame));
+                self.tx_frame(ctx, frame, cost);
             }
             // --- Replica lifecycle.
             Msg::Announce { queue, head } => {

@@ -61,10 +61,22 @@ impl Process<Msg> for IpProc {
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
+            // Delivered via `on_batch` in practice; unroll defensively if a
+            // batch ever reaches the scalar path.
+            Event::Batch { from, msgs } => {
+                for msg in msgs {
+                    self.on_event(ctx, Event::Message { from, msg });
+                }
+            }
             Event::Start | Event::Timer { .. } => {}
             Event::Message { msg, .. } => match msg {
                 Msg::PfPass(frame) | Msg::NetRx(frame) => {
                     ctx.charge(calibration::IP_RX_PKT);
+                    if !neat_net::pktbuf::pooling() {
+                        // Pool ablation: the pre-pool header strip copied
+                        // the L4 payload instead of taking a window.
+                        ctx.charge(calibration::copy_cost(frame.len()));
+                    }
                     let now = ctx.now().as_nanos();
                     match self.io.classify_rx(&frame, now) {
                         RxClass::Tcp { src, seg } => {

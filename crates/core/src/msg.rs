@@ -6,6 +6,7 @@
 //! There is deliberately no other channel: this enum *is* the attack
 //! surface, the failure surface, and the performance surface of the system.
 
+use neat_net::PktBuf;
 use neat_sim::ProcId;
 use std::net::Ipv4Addr;
 
@@ -29,11 +30,11 @@ pub enum Msg {
     // Wire and device plane
     // ------------------------------------------------------------------
     /// An Ethernet frame travelling on the link between the two NICs.
-    WireFrame(Vec<u8>),
+    WireFrame(PktBuf),
     /// NIC → driver: a received frame, already steered to a queue.
-    RxFrame { queue: usize, frame: Vec<u8> },
+    RxFrame { queue: usize, frame: PktBuf },
     /// Driver → NIC: transmit this frame (NIC applies TSO).
-    HostTx(Vec<u8>),
+    HostTx(PktBuf),
     /// Driver → NIC control plane: add an exact-match steering filter.
     NicAddFilter {
         flow: neat_net::FlowKey,
@@ -51,9 +52,12 @@ pub enum Msg {
     // Driver ↔ stack components
     // ------------------------------------------------------------------
     /// Driver → first stack component of a replica: an inbound frame.
-    NetRx(Vec<u8>),
-    /// Stack component → driver: an outbound frame.
-    NetTx(Vec<u8>),
+    /// Carries a refcounted [`PktBuf`] handle, not a copy (§3.2: packets
+    /// traverse the pipeline by reference through shared pools).
+    NetRx(PktBuf),
+    /// Stack component → driver: an outbound frame (same zero-copy handle
+    /// discipline).
+    NetTx(PktBuf),
     /// A (re)started replica announces itself to the driver: frames for
     /// `queue` may flow again (§3.6: the driver withholds packets until the
     /// recovering replica "announces itself again").
@@ -63,12 +67,13 @@ pub enum Msg {
     // Multi-component pipeline (PF → IP → TCP/UDP)
     // ------------------------------------------------------------------
     /// Packet filter → IP: an accepted inbound frame.
-    PfPass(Vec<u8>),
-    /// IP → TCP: a validated TCP segment (payload bytes after the IP
-    /// header) with the source address.
-    IpRxTcp { src: Ipv4Addr, seg: Vec<u8> },
-    /// IP → UDP: a validated UDP datagram.
-    IpRxUdp { src: Ipv4Addr, dgram: Vec<u8> },
+    PfPass(PktBuf),
+    /// IP → TCP: a validated TCP segment with the source address. The
+    /// segment is a zero-copy window into the original frame buffer (the
+    /// IP header is stripped by narrowing the handle, not by copying).
+    IpRxTcp { src: Ipv4Addr, seg: PktBuf },
+    /// IP → UDP: a validated UDP datagram (same windowed handle).
+    IpRxUdp { src: Ipv4Addr, dgram: PktBuf },
     /// TCP/UDP → IP: emit this transport payload to `dst`.
     IpTx {
         dst: Ipv4Addr,

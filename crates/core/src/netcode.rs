@@ -9,16 +9,18 @@ use neat_net::arp::{ArpCache, ArpOp, ArpPacket};
 use neat_net::ethernet::{EtherType, EthernetFrame, MacAddr};
 use neat_net::icmp::IcmpMessage;
 use neat_net::ipv4::{IpProtocol, Ipv4Header};
+use neat_net::PktBuf;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// What an inbound frame turned out to be.
 #[derive(Debug)]
 pub enum RxClass {
-    /// A TCP segment for us: (source ip, raw TCP bytes).
-    Tcp { src: Ipv4Addr, seg: Vec<u8> },
-    /// A UDP datagram for us: (source ip, raw UDP bytes).
-    Udp { src: Ipv4Addr, dgram: Vec<u8> },
+    /// A TCP segment for us: (source ip, raw TCP bytes). The segment is a
+    /// zero-copy window into the received frame's buffer.
+    Tcp { src: Ipv4Addr, seg: PktBuf },
+    /// A UDP datagram for us: (source ip, raw UDP bytes), windowed too.
+    Udp { src: Ipv4Addr, dgram: PktBuf },
     /// An ICMP message for us (echo handled internally; surfaced for
     /// accounting).
     Icmp { src: Ipv4Addr },
@@ -36,8 +38,8 @@ pub struct FrameIo {
     arp: ArpCache,
     /// Packets awaiting ARP resolution, keyed by next-hop IP.
     pending: HashMap<Ipv4Addr, Vec<Vec<u8>>>,
-    /// Frames ready to go out on the wire.
-    out: Vec<Vec<u8>>,
+    /// Frames ready to go out on the wire (pooled handles from birth).
+    out: Vec<PktBuf>,
     /// Last time an ARP request was sent per destination (rate limit).
     last_arp_req: HashMap<Ipv4Addr, u64>,
     pub rx_bad_checksum: u64,
@@ -68,7 +70,7 @@ impl FrameIo {
 
     /// Classify one inbound Ethernet frame, handling ARP and ICMP echo
     /// internally. Any generated replies are queued for [`Self::drain`].
-    pub fn classify_rx(&mut self, frame: &[u8], now_ns: u64) -> RxClass {
+    pub fn classify_rx(&mut self, frame: &PktBuf, now_ns: u64) -> RxClass {
         let Ok((eth, off)) = EthernetFrame::parse(frame) else {
             self.rx_not_for_us += 1;
             return RxClass::Dropped;
@@ -92,7 +94,7 @@ impl FrameIo {
                         ethertype: EtherType::Arp,
                     }
                     .emit(&reply.emit());
-                    self.out.push(f);
+                    self.out.push(PktBuf::from_vec(f));
                 }
                 RxClass::Arp
             }
@@ -105,7 +107,9 @@ impl FrameIo {
                     self.rx_not_for_us += 1;
                     return RxClass::Dropped;
                 }
-                let l4 = frame[off..][payload].to_vec();
+                // Strip headers by narrowing the refcounted handle — no
+                // payload copy on the RX fast path.
+                let l4 = frame.slice(off + payload.start, payload.len());
                 match ip.protocol {
                     IpProtocol::Tcp => RxClass::Tcp {
                         src: ip.src,
@@ -142,7 +146,7 @@ impl FrameIo {
                     ethertype: EtherType::Ipv4,
                 }
                 .emit(&pkt);
-                self.out.push(f);
+                self.out.push(PktBuf::from_vec(f));
             }
             None => {
                 self.pending.entry(dst).or_default().push(pkt);
@@ -162,7 +166,7 @@ impl FrameIo {
                         ethertype: EtherType::Arp,
                     }
                     .emit(&req.emit());
-                    self.out.push(f);
+                    self.out.push(PktBuf::from_vec(f));
                 }
             }
         }
@@ -178,14 +182,14 @@ impl FrameIo {
                         ethertype: EtherType::Ipv4,
                     }
                     .emit(&pkt);
-                    self.out.push(f);
+                    self.out.push(PktBuf::from_vec(f));
                 }
             }
         }
     }
 
     /// Take all frames queued for transmission.
-    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+    pub fn drain(&mut self) -> Vec<PktBuf> {
         std::mem::take(&mut self.out)
     }
 
@@ -230,7 +234,7 @@ mod tests {
         match b.classify_rx(&flushed[0], 20) {
             RxClass::Tcp { src, seg } => {
                 assert_eq!(src, A_IP);
-                assert_eq!(seg, b"segment");
+                assert_eq!(&seg[..], b"segment");
             }
             other => panic!("expected TCP, got {other:?}"),
         }
@@ -287,8 +291,9 @@ mod tests {
         let mut b = b();
         b.seed_arp(A_IP, MacAddr::local(1));
         b.send_ip(A_IP, IpProtocol::Tcp, b"data", 0);
-        let mut f = b.drain().remove(0);
-        f[16] ^= 0xFF; // corrupt an IP header byte
+        let mut bytes = b.drain().remove(0).to_vec();
+        bytes[16] ^= 0xFF; // corrupt an IP header byte
+        let f = PktBuf::from_vec(bytes);
         assert!(matches!(a.classify_rx(&f, 0), RxClass::Dropped));
         assert_eq!(a.rx_bad_checksum, 1);
     }

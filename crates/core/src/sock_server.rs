@@ -197,13 +197,24 @@ impl SockServer {
         let Some(app) = self.owners.get(&sock).copied() else {
             return;
         };
-        let mut buf = [0u8; 4096];
+        // Vectored drain: pull the whole receive buffer through one
+        // iovec-style call per 16 KiB rather than looping 4 KiB at a time.
+        let mut buf = [0u8; 16384];
         let mut data = Vec::new();
-        while let Ok(n) = self.stack.recv(sock, &mut buf) {
-            if n == 0 {
-                break;
+        loop {
+            let (a, rest) = buf.split_at_mut(4096);
+            let (b, rest) = rest.split_at_mut(4096);
+            let (c, d) = rest.split_at_mut(4096);
+            match self.stack.recv_vectored(sock, &mut [a, b, c, d]) {
+                Ok(0) => break,
+                Ok(n) => {
+                    data.extend_from_slice(&buf[..n]);
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                Err(_) => break,
             }
-            data.extend_from_slice(&buf[..n]);
         }
         if !data.is_empty() {
             self.to_app.push((

@@ -6,15 +6,73 @@
 //! via the SYSCALL server, picks a *random* replica for every active open
 //! (the load-balancing-cum-security property of §3.8), and heals its
 //! bookkeeping when the supervisor reports replica restarts.
+//!
+//! The API is errno-shaped: every fallible operation returns
+//! `Result<_, SockErr>`, and readiness is queried through the unified
+//! non-blocking `poll(fd) -> Readiness` surface shared with
+//! [`neat_tcp::TcpStack::poll`]. Incoming bytes are buffered per fd and
+//! pulled with [`SocketLib::recv`] — [`LibEvent`] is only the wakeup
+//! channel, it never carries payload.
 
 use crate::msg::{ConnHandle, Msg};
 use neat_sim::{Ctx, ProcId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+
+pub use neat_tcp::Readiness;
 
 /// An application-level file descriptor.
 pub type Fd = u32;
 
-/// Events the library surfaces to application logic.
+/// Errno-like error type for every socket-library operation. `TcpError`
+/// from the in-stack engine maps into this at the stack boundary so
+/// applications see exactly one error vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockErr {
+    /// The operation cannot make progress now (no data, no buffer room).
+    WouldBlock,
+    /// The fd is unknown or not (yet) bound to a connection.
+    NotConnected,
+    /// The connection was reset/aborted by the peer or the stack.
+    ConnReset,
+    /// The remote end refused the connection.
+    ConnRefused,
+    /// The replica owning the socket crashed with the operation in flight.
+    ReplicaLost,
+    /// The local address/port is already in use.
+    AddrInUse,
+    /// No ephemeral ports left.
+    NoPorts,
+    /// The operation is invalid in the socket's current state.
+    BadState,
+    /// The connection timed out (retransmission limit).
+    TimedOut,
+}
+
+impl From<neat_tcp::TcpError> for SockErr {
+    fn from(e: neat_tcp::TcpError) -> SockErr {
+        use neat_tcp::TcpError as T;
+        match e {
+            T::NoSocket => SockErr::NotConnected,
+            T::BadState => SockErr::BadState,
+            T::AddrInUse => SockErr::AddrInUse,
+            T::NoPorts => SockErr::NoPorts,
+            T::WouldBlock => SockErr::WouldBlock,
+            T::Reset => SockErr::ConnReset,
+            T::TimedOut => SockErr::TimedOut,
+        }
+    }
+}
+
+impl std::fmt::Display for SockErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for SockErr {}
+
+/// Events the library surfaces to application logic. Pure notifications:
+/// data itself is pulled with [`SocketLib::recv`] after a `Readable`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LibEvent {
     /// `listen()` completed on all replicas.
@@ -23,14 +81,22 @@ pub enum LibEvent {
     Accepted { fd: Fd, port: u16 },
     /// An active open completed.
     Connected { fd: Fd },
-    /// An active open failed.
-    ConnectFailed { fd: Fd },
-    /// Data arrived.
-    Data { fd: Fd, data: Vec<u8> },
-    /// Peer closed its direction (EOF).
-    Eof { fd: Fd },
-    /// Fully closed (`aborted` covers RST/timeout/replica loss).
-    Closed { fd: Fd, aborted: bool },
+    /// An active open failed (`ReplicaLost` when the chosen replica
+    /// crashed between SYN and completion).
+    ConnectFailed { fd: Fd, err: SockErr },
+    /// Readiness changed: poll the fd and drain it with `recv`.
+    Readable { fd: Fd },
+    /// Fully closed. `err` is `None` for a clean close, `ConnReset` for
+    /// RST/timeout, `ReplicaLost` when the owning replica crashed.
+    Closed { fd: Fd, err: Option<SockErr> },
+}
+
+/// Per-fd receive-side state: bytes delivered by the stack but not yet
+/// pulled by the application, plus the EOF latch.
+#[derive(Debug, Default)]
+struct RxState {
+    buf: VecDeque<u8>,
+    eof: bool,
 }
 
 /// Per-process socket library state.
@@ -43,9 +109,14 @@ pub struct SocketLib {
     listen_ports: Vec<u16>,
     conn_of: HashMap<Fd, ConnHandle>,
     fd_of: HashMap<ConnHandle, Fd>,
+    rx: HashMap<Fd, RxState>,
     next_fd: Fd,
     next_token: u64,
-    pending_connect: HashMap<u64, Fd>,
+    /// In-flight active opens: token → (fd, chosen replica). Recording the
+    /// replica is what lets a crash between SYN and `Connected` be
+    /// reconciled against the supervisor's restart report instead of
+    /// leaking the entry forever.
+    pending_connect: HashMap<u64, (Fd, ProcId)>,
     /// Connections lost to replica crashes (reliability accounting).
     pub lost_to_crash: u64,
     registered: bool,
@@ -64,6 +135,7 @@ impl SocketLib {
             listen_ports: Vec::new(),
             conn_of: HashMap::new(),
             fd_of: HashMap::new(),
+            rx: HashMap::new(),
             next_fd: 3, // 0..2 are stdio, of course
             next_token: 1,
             pending_connect: HashMap::new(),
@@ -93,7 +165,10 @@ impl SocketLib {
     /// POSIX `listen()`: replicate across all stack replicas via SYSCALL.
     /// With `syscall == ProcId(0)` (monolith mode) the listen goes straight
     /// to the kernel context instead.
-    pub fn listen(&mut self, ctx: &mut Ctx<'_, Msg>, port: u16) {
+    pub fn listen(&mut self, ctx: &mut Ctx<'_, Msg>, port: u16) -> Result<(), SockErr> {
+        if self.listen_ports.contains(&port) {
+            return Err(SockErr::AddrInUse);
+        }
         ctx.charge(neat_sim::calibration::SYSCALL_CLIENT);
         self.listen_ports.push(port);
         if self.syscall == ProcId(0) {
@@ -115,17 +190,25 @@ impl SocketLib {
                 },
             );
         }
+        Ok(())
     }
 
     /// POSIX `connect()`: bind a fresh fd to a *randomly chosen* replica
     /// (§3.8: "binding each connection to a random replica").
-    pub fn connect(&mut self, ctx: &mut Ctx<'_, Msg>, remote: (std::net::Ipv4Addr, u16)) -> Fd {
+    pub fn connect(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        remote: (std::net::Ipv4Addr, u16),
+    ) -> Result<Fd, SockErr> {
+        if self.replicas.is_empty() {
+            return Err(SockErr::NotConnected);
+        }
         let fd = self.alloc_fd();
         let token = self.next_token;
         self.next_token += 1;
-        self.pending_connect.insert(token, fd);
         let idx = ctx.rng().gen_range(0..self.replicas.len());
         let replica = self.replicas[idx];
+        self.pending_connect.insert(token, (fd, replica));
         ctx.send(
             replica,
             Msg::Connect {
@@ -134,15 +217,21 @@ impl SocketLib {
                 token,
             },
         );
-        fd
+        Ok(fd)
     }
 
-    /// POSIX `write()` on a connection fd.
-    pub fn send(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd, data: Vec<u8>) -> bool {
+    /// POSIX `write()` on a connection fd. Returns the bytes queued.
+    pub fn send(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        fd: Fd,
+        data: Vec<u8>,
+    ) -> Result<usize, SockErr> {
         let Some(conn) = self.conn_of.get(&fd) else {
-            return false;
+            return Err(SockErr::NotConnected);
         };
-        ctx.charge(neat_sim::calibration::copy_cost(data.len()));
+        let len = data.len();
+        ctx.charge(neat_sim::calibration::copy_cost(len));
         let to = self.route_override.unwrap_or(conn.stack);
         ctx.send(
             to,
@@ -151,15 +240,56 @@ impl SocketLib {
                 data,
             },
         );
-        true
+        Ok(len)
     }
 
     /// POSIX `close()` on a connection fd.
-    pub fn close(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) {
-        if let Some(conn) = self.conn_of.get(&fd) {
-            let to = self.route_override.unwrap_or(conn.stack);
-            ctx.send(to, Msg::ConnClose { sock: conn.sock });
+    pub fn close(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) -> Result<(), SockErr> {
+        let Some(conn) = self.conn_of.get(&fd) else {
+            return Err(SockErr::NotConnected);
+        };
+        let to = self.route_override.unwrap_or(conn.stack);
+        ctx.send(to, Msg::ConnClose { sock: conn.sock });
+        Ok(())
+    }
+
+    /// Unified non-blocking readiness query. Mirrors `poll(2)` semantics:
+    /// `readable` is also set at EOF so the reader observes it via `recv`.
+    pub fn poll(&self, fd: Fd) -> Readiness {
+        let bound = self.conn_of.contains_key(&fd);
+        match self.rx.get(&fd) {
+            Some(st) => Readiness {
+                readable: !st.buf.is_empty() || st.eof,
+                writable: bound,
+                hup: st.eof || !bound,
+            },
+            None => Readiness {
+                readable: false,
+                writable: bound,
+                hup: !bound,
+            },
         }
+    }
+
+    /// Non-blocking read: drain everything buffered for `fd`. `Ok` with an
+    /// empty vec means EOF; `Err(WouldBlock)` means no data yet.
+    pub fn recv(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) -> Result<Vec<u8>, SockErr> {
+        if !self.conn_of.contains_key(&fd) && !self.rx.contains_key(&fd) {
+            return Err(SockErr::NotConnected);
+        }
+        let st = self.rx.entry(fd).or_default();
+        if st.buf.is_empty() {
+            return if st.eof {
+                Ok(Vec::new()) // EOF, like read() == 0
+            } else {
+                Err(SockErr::WouldBlock)
+            };
+        }
+        let data: Vec<u8> = std::mem::take(&mut st.buf).into();
+        // The app-side copy out of the stack's buffers is the one copy the
+        // zero-copy frame plane cannot elide.
+        ctx.charge(neat_sim::calibration::copy_cost(data.len()));
+        Ok(data)
     }
 
     fn alloc_fd(&mut self) -> Fd {
@@ -176,6 +306,7 @@ impl SocketLib {
     fn unbind(&mut self, conn: &ConnHandle) -> Option<Fd> {
         let fd = self.fd_of.remove(conn)?;
         self.conn_of.remove(&fd);
+        self.rx.remove(&fd);
         Some(fd)
     }
 
@@ -185,6 +316,12 @@ impl SocketLib {
 
     pub fn replica_of(&self, fd: Fd) -> Option<ProcId> {
         self.conn_of.get(&fd).map(|c| c.stack)
+    }
+
+    /// In-flight `connect()`s that have not completed yet (diagnostics;
+    /// the crash-reconciliation tests assert this drains).
+    pub fn pending_connects(&self) -> usize {
+        self.pending_connect.len()
     }
 
     /// Translate one inbound message into library events. Unrecognized
@@ -201,31 +338,38 @@ impl SocketLib {
                 vec![LibEvent::Accepted { fd, port: *port }]
             }
             Msg::ConnOpen { conn, token } => match self.pending_connect.remove(token) {
-                Some(fd) => {
+                Some((fd, _)) => {
                     self.bind(*conn, fd);
                     vec![LibEvent::Connected { fd }]
                 }
                 None => vec![],
             },
             Msg::ConnFailed { token } => match self.pending_connect.remove(token) {
-                Some(fd) => vec![LibEvent::ConnectFailed { fd }],
-                None => vec![],
-            },
-            Msg::ConnData { conn, data } => match self.fd_of.get(conn) {
-                Some(&fd) => vec![LibEvent::Data {
+                Some((fd, _)) => vec![LibEvent::ConnectFailed {
                     fd,
-                    data: data.clone(),
+                    err: SockErr::ConnRefused,
                 }],
                 None => vec![],
             },
+            Msg::ConnData { conn, data } => match self.fd_of.get(conn) {
+                Some(&fd) => {
+                    let st = self.rx.entry(fd).or_default();
+                    st.buf.extend(data.iter().copied());
+                    vec![LibEvent::Readable { fd }]
+                }
+                None => vec![],
+            },
             Msg::ConnEof { conn } => match self.fd_of.get(conn) {
-                Some(&fd) => vec![LibEvent::Eof { fd }],
+                Some(&fd) => {
+                    self.rx.entry(fd).or_default().eof = true;
+                    vec![LibEvent::Readable { fd }]
+                }
                 None => vec![],
             },
             Msg::ConnClosed { conn, aborted } => match self.unbind(conn) {
                 Some(fd) => vec![LibEvent::Closed {
                     fd,
-                    aborted: *aborted,
+                    err: aborted.then_some(SockErr::ConnReset),
                 }],
                 None => vec![],
             },
@@ -242,7 +386,28 @@ impl SocketLib {
                 for conn in dead {
                     if let Some(fd) = self.unbind(&conn) {
                         self.lost_to_crash += 1;
-                        evs.push(LibEvent::Closed { fd, aborted: true });
+                        evs.push(LibEvent::Closed {
+                            fd,
+                            err: Some(SockErr::ReplicaLost),
+                        });
+                    }
+                }
+                // Reconcile in-flight connects against the restart report:
+                // a SYN sent to the dead replica will never be answered, so
+                // fail those fds instead of leaking their tokens.
+                let orphaned: Vec<u64> = self
+                    .pending_connect
+                    .iter()
+                    .filter(|(_, (_, replica))| replica == old)
+                    .map(|(tok, _)| *tok)
+                    .collect();
+                for tok in orphaned {
+                    if let Some((fd, _)) = self.pending_connect.remove(&tok) {
+                        self.lost_to_crash += 1;
+                        evs.push(LibEvent::ConnectFailed {
+                            fd,
+                            err: SockErr::ReplicaLost,
+                        });
                     }
                 }
                 for r in &mut self.replicas {

@@ -132,8 +132,13 @@ impl SingleStackProc {
         had_loopback
     }
 
-    fn handle_frame(&mut self, ctx: &mut Ctx<'_, Msg>, frame: Vec<u8>) {
+    fn handle_frame(&mut self, ctx: &mut Ctx<'_, Msg>, frame: neat_net::PktBuf) {
         let now = ctx.now().as_nanos();
+        if !neat_net::pktbuf::pooling() {
+            // Pool ablation: the pre-pool header strip copied the L4
+            // payload out of the frame instead of taking a window.
+            ctx.charge(calibration::copy_cost(frame.len()));
+        }
         match self.io.classify_rx(&frame, now) {
             RxClass::Tcp { src, seg } => {
                 ctx.charge(calibration::IP_RX_PKT + calibration::TCP_RX_SEG);
@@ -183,8 +188,33 @@ impl Process<Msg> for SingleStackProc {
         self.name.clone()
     }
 
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcId, msgs: Vec<Msg>) {
+        // Amortized delivery: classify every frame in the batch, then run
+        // the TX/event flush once for the whole run of packets.
+        let mut deferred_flush = false;
+        for msg in msgs {
+            match msg {
+                Msg::NetRx(frame) => {
+                    self.handle_frame(ctx, frame);
+                    deferred_flush = true;
+                }
+                other => self.on_event(ctx, Event::Message { from, msg: other }),
+            }
+        }
+        if deferred_flush {
+            self.flush(ctx);
+        }
+    }
+
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
+            // Delivered via `on_batch` in practice; unroll defensively if a
+            // batch ever reaches the scalar path.
+            Event::Batch { from, msgs } => {
+                for msg in msgs {
+                    self.on_event(ctx, Event::Message { from, msg });
+                }
+            }
             Event::Start => {
                 // Fresh ASLR layout on every start (§3.8).
                 self.layout_token = ctx.rng().gen();

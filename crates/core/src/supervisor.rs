@@ -533,6 +533,13 @@ impl Process<Msg> for Supervisor {
 
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
+            // Delivered via `on_batch` in practice; unroll defensively if a
+            // batch ever reaches the scalar path.
+            Event::Batch { from, msgs } => {
+                for msg in msgs {
+                    self.on_event(ctx, Event::Message { from, msg });
+                }
+            }
             Event::Start => {}
             Event::Timer { token } => {
                 if let Some(job) = self.jobs.remove(&token) {

@@ -85,8 +85,39 @@ impl Process<Msg> for TcpProc {
         self.name.clone()
     }
 
+    fn on_batch(&mut self, ctx: &mut Ctx<'_, Msg>, from: ProcId, msgs: Vec<Msg>) {
+        // Amortized delivery: absorb every segment in the batch, then run
+        // the TX/event flush once for the whole run.
+        let mut deferred_flush = false;
+        for msg in msgs {
+            match msg {
+                Msg::IpRxTcp { src, seg } => {
+                    ctx.charge(calibration::TCP_RX_SEG);
+                    let now = ctx.now().as_nanos();
+                    if let Ok((h, range)) =
+                        neat_net::TcpHeader::parse(&seg, src, self.sock.stack.local_ip)
+                    {
+                        self.sock.stack.handle_segment(src, &h, &seg[range], now);
+                    }
+                    deferred_flush = true;
+                }
+                other => self.on_event(ctx, Event::Message { from, msg: other }),
+            }
+        }
+        if deferred_flush {
+            self.flush(ctx);
+        }
+    }
+
     fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
         match ev {
+            // Delivered via `on_batch` in practice; unroll defensively if a
+            // batch ever reaches the scalar path.
+            Event::Batch { from, msgs } => {
+                for msg in msgs {
+                    self.on_event(ctx, Event::Message { from, msg });
+                }
+            }
             Event::Start => {
                 self.layout_token = ctx.rng().gen();
             }

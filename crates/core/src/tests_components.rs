@@ -67,7 +67,7 @@ fn driver_forwards_rx_only_after_announce() {
         drv,
         Msg::RxFrame {
             queue: 0,
-            frame: vec![0; 60],
+            frame: vec![0; 60].into(),
         },
     );
     sim.run_until(Time::from_micros(50));
@@ -82,7 +82,7 @@ fn driver_forwards_rx_only_after_announce() {
         drv,
         Msg::RxFrame {
             queue: 0,
-            frame: vec![0; 60],
+            frame: vec![0; 60].into(),
         },
     );
     sim.run_until(Time::from_micros(100));
@@ -101,7 +101,7 @@ fn driver_stops_forwarding_on_replica_down() {
         drv,
         Msg::RxFrame {
             queue: 0,
-            frame: vec![1; 60],
+            frame: vec![1; 60].into(),
         },
     );
     sim.run_until(Time::from_micros(50));
@@ -112,7 +112,7 @@ fn driver_stops_forwarding_on_replica_down() {
         drv,
         Msg::RxFrame {
             queue: 0,
-            frame: vec![2; 60],
+            frame: vec![2; 60].into(),
         },
     );
     sim.run_until(Time::from_micros(100));
@@ -129,7 +129,7 @@ fn driver_tx_path_reaches_nic() {
     let (nic, nic_log) = probe(&mut sim, th[0]);
     let drv = sim.spawn(th[2], Box::new(DriverProc::new("drv", nic, 1)));
     sim.run_until(Time::from_micros(10));
-    sim.send_external(drv, Msg::NetTx(vec![9; 100]));
+    sim.send_external(drv, Msg::NetTx(vec![9; 100].into()));
     sim.run_until(Time::from_micros(50));
     assert_eq!(nic_log.borrow().as_slice(), ["HostTx(100)"]);
 }
@@ -213,7 +213,7 @@ fn syscall_slow_path_round_trip() {
                         ctx.send(self.app, Msg::SysReply { token });
                     }
                 }
-                Event::Timer { .. } => {}
+                Event::Timer { .. } | Event::Batch { .. } => {}
             }
         }
     }
@@ -275,13 +275,13 @@ fn nic_proc_serializes_and_links() {
         ethertype: neat_net::EtherType::Ipv4,
     }
     .emit(&ip);
-    sim.send_external(nic, Msg::WireFrame(frame.clone()));
+    sim.send_external(nic, Msg::WireFrame(frame.clone().into()));
     sim.run_until(Time::from_micros(50));
     assert_eq!(drv_log.borrow().len(), 1);
     assert!(drv_log.borrow()[0].starts_with("RxFrame"));
 
     // TX: a host frame goes out to the peer NIC as a wire frame.
-    sim.send_external(nic, Msg::HostTx(frame));
+    sim.send_external(nic, Msg::HostTx(frame.into()));
     sim.run_until(Time::from_micros(100));
     assert_eq!(peer_log.borrow().len(), 1);
 }
@@ -307,28 +307,30 @@ fn loopback_connects_within_one_replica() {
         fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
             match ev {
                 Event::Start => {
-                    self.lib.listen(ctx, 7777);
+                    self.lib.listen(ctx, 7777).unwrap();
                 }
                 Event::Message { msg, .. } => {
                     for e in self.lib.handle(ctx, &msg) {
                         match e {
                             LibEvent::ListenReady { .. } => {
-                                let fd = self.lib.connect(ctx, (self.server_ip, 7777));
+                                let fd = self.lib.connect(ctx, (self.server_ip, 7777)).unwrap();
                                 self.fd = Some(fd);
                             }
                             LibEvent::Connected { fd } => {
-                                self.lib.send(ctx, fd, b"over the loopback".to_vec());
+                                self.lib
+                                    .send(ctx, fd, b"over the loopback".to_vec())
+                                    .unwrap();
                             }
-                            LibEvent::Data { data, fd } => {
-                                // Server side of the same app echoes length.
+                            LibEvent::Readable { fd } => {
+                                // Server side of the same app pulls the bytes.
+                                let data = self.lib.recv(ctx, fd).unwrap();
                                 self.got.borrow_mut().extend_from_slice(&data);
-                                let _ = fd;
                             }
                             _ => {}
                         }
                     }
                 }
-                Event::Timer { .. } => {}
+                Event::Timer { .. } | Event::Batch { .. } => {}
             }
         }
     }
@@ -372,4 +374,75 @@ fn loopback_connects_within_one_replica() {
         "loopback traffic must not reach the driver: {:?}",
         drv_log.borrow()
     );
+}
+
+#[test]
+fn crashed_replica_fails_inflight_connects_without_leaking() {
+    // §3.6 + the non-blocking API: a SYN sent to a replica that dies
+    // before answering must surface `ConnectFailed(ReplicaLost)` and must
+    // not leak its `pending_connect` token.
+    use crate::sockets::{LibEvent, SockErr, SocketLib};
+
+    struct App {
+        lib: SocketLib,
+        failures: Rc<RefCell<Vec<SockErr>>>,
+        pending: Rc<RefCell<usize>>,
+    }
+    impl Process<Msg> for App {
+        fn name(&self) -> String {
+            "app".into()
+        }
+        fn on_event(&mut self, ctx: &mut Ctx<'_, Msg>, ev: Event<Msg>) {
+            match ev {
+                Event::Start => {
+                    self.lib
+                        .connect(ctx, (std::net::Ipv4Addr::new(192, 168, 69, 1), 80))
+                        .unwrap();
+                    *self.pending.borrow_mut() = self.lib.pending_connects();
+                }
+                Event::Message { msg, .. } => {
+                    for e in self.lib.handle(ctx, &msg) {
+                        if let LibEvent::ConnectFailed { err, .. } = e {
+                            self.failures.borrow_mut().push(err);
+                        }
+                    }
+                    *self.pending.borrow_mut() = self.lib.pending_connects();
+                }
+                Event::Timer { .. } | Event::Batch { .. } => {}
+            }
+        }
+    }
+
+    let (mut sim, th) = mini_sim();
+    // The replica swallows the Connect and never answers (it will "crash").
+    let (replica, _) = probe(&mut sim, th[0]);
+    let (replacement, _) = probe(&mut sim, th[1]);
+    let failures = Rc::new(RefCell::new(Vec::new()));
+    let pending = Rc::new(RefCell::new(0));
+    let app = sim.spawn(
+        th[2],
+        Box::new(App {
+            lib: SocketLib::new(ProcId(0), vec![replica], None),
+            failures: failures.clone(),
+            pending: pending.clone(),
+        }),
+    );
+    sim.run_until(Time::from_micros(50));
+    assert_eq!(*pending.borrow(), 1, "one connect in flight");
+
+    // The supervisor reports the restart; the library reconciles.
+    sim.send_external(
+        app,
+        Msg::ReplicaRestarted {
+            old: replica,
+            new: replacement,
+        },
+    );
+    sim.run_until(Time::from_micros(100));
+    assert_eq!(
+        failures.borrow().as_slice(),
+        &[SockErr::ReplicaLost],
+        "in-flight connect surfaced as ReplicaLost"
+    );
+    assert_eq!(*pending.borrow(), 0, "pending_connect token reclaimed");
 }

@@ -18,6 +18,7 @@ pub mod flow;
 pub mod icmp;
 pub mod ipv4;
 pub mod pcap;
+pub mod pktbuf;
 pub mod tcp;
 pub mod udp;
 pub mod wire;
@@ -25,5 +26,6 @@ pub mod wire;
 pub use ethernet::{EtherType, EthernetFrame, MacAddr};
 pub use flow::{FlowKey, RssHasher};
 pub use ipv4::{IpProtocol, Ipv4Header};
+pub use pktbuf::PktBuf;
 pub use tcp::{SeqNum, TcpFlags, TcpHeader};
 pub use wire::{NetError, NetResult};

@@ -1,0 +1,367 @@
+//! `PktBuf` — reference-counted packet buffers from a per-thread pool.
+//!
+//! The NEaT fast path (§3.4) never copies payload between pipeline stages:
+//! NIC → driver → IP → TCP → socket hand over *ownership* of a buffer, not
+//! its bytes. This module gives the simulated pipeline the same shape: a
+//! frame is granted once from the pool, every later hop clones a cheap
+//! handle or takes a zero-copy `slice` view (header stripping), and when
+//! the last handle drops the backing storage returns to the pool's free
+//! list for reuse.
+//!
+//! The pool keeps grant/return accounting so teardown can assert that no
+//! buffer leaked ([`assert_quiescent`]), and counts every clone/view that
+//! would have been a deep copy on the old `Vec<u8>` path (`copies_avoided`
+//! — one of the headline bench metrics). Pooled reuse can be disabled at
+//! runtime ([`set_pooling`]) for the ablation axis; handles keep their
+//! zero-copy semantics either way, only free-list recycling stops.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::ops::Deref;
+use std::rc::Rc;
+
+/// Aggregate pool counters (one pool per thread; the sim is
+/// single-threaded, so in practice this is global to a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers granted out of the pool over its lifetime.
+    pub grants: u64,
+    /// Grants satisfied by recycling a free-list buffer.
+    pub reused: u64,
+    /// Backing buffers currently held by live handles.
+    pub outstanding: u64,
+    /// Handle clones / zero-copy views that replaced a deep copy.
+    pub copies_avoided: u64,
+}
+
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    stats: PoolStats,
+    /// Free-list depth bound (buffers beyond this are dropped on return).
+    free_cap: usize,
+    /// Optional grant ceiling — `try_copy_from` fails beyond it.
+    max_outstanding: Option<u64>,
+    pooling: bool,
+}
+
+impl Default for PoolState {
+    fn default() -> PoolState {
+        PoolState {
+            free: Vec::new(),
+            stats: PoolStats::default(),
+            free_cap: 4096,
+            max_outstanding: None,
+            pooling: true,
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<PoolState> = RefCell::new(PoolState::default());
+}
+
+fn with_pool<R>(f: impl FnOnce(&mut PoolState) -> R) -> R {
+    POOL.with(|p| f(&mut p.borrow_mut()))
+}
+
+/// The backing storage. Its `Drop` is what returns storage to the pool —
+/// it runs exactly once, when the last [`PktBuf`] handle goes away.
+struct PktStorage {
+    data: Vec<u8>,
+}
+
+impl Drop for PktStorage {
+    fn drop(&mut self) {
+        let data = std::mem::take(&mut self.data);
+        with_pool(|p| {
+            p.stats.outstanding = p.stats.outstanding.saturating_sub(1);
+            if p.pooling && p.free.len() < p.free_cap {
+                p.free.push(data);
+            }
+        });
+    }
+}
+
+/// A cheap handle onto a pooled, immutable packet buffer, with an
+/// `(offset, len)` window for zero-copy header stripping. `Clone` is a
+/// refcount bump; `Deref` yields the windowed bytes.
+#[derive(Clone)]
+pub struct PktBuf {
+    storage: Rc<PktStorage>,
+    off: usize,
+    len: usize,
+}
+
+impl PktBuf {
+    /// Grant a buffer by taking ownership of existing bytes (no copy).
+    pub fn from_vec(data: Vec<u8>) -> PktBuf {
+        let len = data.len();
+        with_pool(|p| {
+            p.stats.grants += 1;
+            p.stats.outstanding += 1;
+        });
+        PktBuf {
+            storage: Rc::new(PktStorage { data }),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Grant a buffer and copy `bytes` into it, recycling free-list
+    /// storage when the pool has any (the RX-ring refill path).
+    pub fn copy_from(bytes: &[u8]) -> PktBuf {
+        let mut data = with_pool(|p| {
+            p.stats.grants += 1;
+            p.stats.outstanding += 1;
+            if let Some(mut v) = p.free.pop() {
+                p.stats.reused += 1;
+                v.clear();
+                Some(v)
+            } else {
+                None
+            }
+        })
+        .unwrap_or_default();
+        data.extend_from_slice(bytes);
+        let len = data.len();
+        PktBuf {
+            storage: Rc::new(PktStorage { data }),
+            off: 0,
+            len,
+        }
+    }
+
+    /// Like [`PktBuf::copy_from`], but respects the grant ceiling set by
+    /// [`set_max_outstanding`] — `None` when the pool is exhausted.
+    pub fn try_copy_from(bytes: &[u8]) -> Option<PktBuf> {
+        let exhausted = with_pool(|p| {
+            p.max_outstanding
+                .map(|cap| p.stats.outstanding >= cap)
+                .unwrap_or(false)
+        });
+        if exhausted {
+            None
+        } else {
+            Some(PktBuf::copy_from(bytes))
+        }
+    }
+
+    /// A zero-copy sub-view (`off`/`len` relative to this view). This is
+    /// the header-strip operation: IP hands TCP the L4 bytes without
+    /// touching the frame.
+    pub fn slice(&self, off: usize, len: usize) -> PktBuf {
+        assert!(off + len <= self.len, "slice out of bounds");
+        with_pool(|p| p.stats.copies_avoided += 1);
+        PktBuf {
+            storage: Rc::clone(&self.storage),
+            off: self.off + off,
+            len,
+        }
+    }
+
+    /// A handle clone that *counts* as an avoided copy (use instead of
+    /// `.clone()` on hops that used to deep-copy the `Vec<u8>`).
+    pub fn share(&self) -> PktBuf {
+        with_pool(|p| p.stats.copies_avoided += 1);
+        self.clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of live handles on this storage (diagnostics/tests).
+    pub fn refcount(&self) -> usize {
+        Rc::strong_count(&self.storage)
+    }
+
+    /// Explicit deep copy, for the rare consumer that needs owned bytes.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for PktBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.storage.data[self.off..self.off + self.len]
+    }
+}
+
+impl AsRef<[u8]> for PktBuf {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl fmt::Debug for PktBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PktBuf(len={}, off={}, rc={})",
+            self.len,
+            self.off,
+            Rc::strong_count(&self.storage)
+        )
+    }
+}
+
+impl PartialEq for PktBuf {
+    fn eq(&self, other: &PktBuf) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for PktBuf {}
+
+impl From<Vec<u8>> for PktBuf {
+    fn from(v: Vec<u8>) -> PktBuf {
+        PktBuf::from_vec(v)
+    }
+}
+
+/// Current pool counters.
+pub fn stats() -> PoolStats {
+    with_pool(|p| p.stats)
+}
+
+/// Whether the zero-copy pool is enabled (see [`set_pooling`]). Simulation
+/// components consult this to charge the per-hop deep-copy cost the pool
+/// avoids when the ablation turns it off.
+pub fn pooling() -> bool {
+    with_pool(|p| p.pooling)
+}
+
+/// Enable/disable the zero-copy pool (the `pool` ablation axis): free-list
+/// recycling stops, and cost-model call sites charge the deep copies the
+/// pool would have avoided (handles themselves keep working either way).
+pub fn set_pooling(on: bool) {
+    with_pool(|p| {
+        p.pooling = on;
+        if !on {
+            p.free.clear();
+        }
+    });
+}
+
+/// Cap live grants; `try_copy_from` fails beyond the cap. `None` lifts it.
+pub fn set_max_outstanding(cap: Option<u64>) {
+    with_pool(|p| p.max_outstanding = cap);
+}
+
+/// Forget counters and the free list (test/bench isolation). Does not
+/// affect live handles — their storage simply won't be recycled.
+pub fn reset() {
+    with_pool(|p| {
+        let pooling = p.pooling;
+        *p = PoolState::default();
+        p.pooling = pooling;
+    });
+}
+
+/// Teardown invariant: every granted buffer has been returned. Call after
+/// a run has quiesced; a failure means a frame handle leaked somewhere in
+/// the pipeline.
+pub fn assert_quiescent() {
+    let s = stats();
+    assert_eq!(
+        s.outstanding, 0,
+        "PktBuf pool not quiescent: {} buffer(s) still outstanding (granted {}, reused {})",
+        s.outstanding, s.grants, s.reused
+    );
+}
+
+/// Publish pool counters into the `neat-obs` registry (cold path; called
+/// at measurement-window boundaries).
+pub fn export_obs() {
+    let s = stats();
+    neat_obs::gauge_set("pktbuf.grants", s.grants as f64);
+    neat_obs::gauge_set("pktbuf.reused", s.reused as f64);
+    neat_obs::gauge_set("pktbuf.copies_avoided", s.copies_avoided as f64);
+    neat_obs::gauge_set("pktbuf.outstanding", s.outstanding as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() {
+        reset();
+        set_max_outstanding(None);
+        set_pooling(true);
+    }
+
+    #[test]
+    fn grant_slice_and_return() {
+        fresh();
+        let frame = PktBuf::from_vec((0..100u8).collect());
+        assert_eq!(stats().outstanding, 1);
+        let l4 = frame.slice(34, 66);
+        assert_eq!(&l4[..4], &[34, 35, 36, 37]);
+        assert_eq!(frame.refcount(), 2);
+        assert_eq!(stats().copies_avoided, 1);
+        drop(frame);
+        assert_eq!(stats().outstanding, 1, "view keeps storage alive");
+        drop(l4);
+        assert_quiescent();
+    }
+
+    #[test]
+    fn free_list_reuse() {
+        fresh();
+        let a = PktBuf::copy_from(&[1, 2, 3]);
+        drop(a);
+        let b = PktBuf::copy_from(&[4, 5]);
+        let s = stats();
+        assert_eq!(s.grants, 2);
+        assert_eq!(s.reused, 1, "second grant recycles the first buffer");
+        assert_eq!(&b[..], &[4, 5]);
+        drop(b);
+        assert_quiescent();
+    }
+
+    #[test]
+    fn exhaustion_respects_grant_cap() {
+        fresh();
+        set_max_outstanding(Some(2));
+        let a = PktBuf::try_copy_from(&[1]).unwrap();
+        let b = PktBuf::try_copy_from(&[2]).unwrap();
+        assert!(PktBuf::try_copy_from(&[3]).is_none(), "pool exhausted");
+        drop(a);
+        let c = PktBuf::try_copy_from(&[3]).expect("freed grant is reusable");
+        assert_eq!(&c[..], &[3]);
+        drop(b);
+        drop(c);
+        assert_quiescent();
+        set_max_outstanding(None);
+    }
+
+    #[test]
+    fn share_counts_avoided_copies() {
+        fresh();
+        let a = PktBuf::from_vec(vec![9; 16]);
+        let b = a.share();
+        let c = b.share();
+        assert_eq!(stats().copies_avoided, 2);
+        assert_eq!(a, c);
+        drop((a, b, c));
+        assert_quiescent();
+    }
+
+    #[test]
+    fn pooling_off_still_zero_copy_but_no_reuse() {
+        fresh();
+        set_pooling(false);
+        let a = PktBuf::copy_from(&[1, 2, 3]);
+        let v = a.slice(1, 2);
+        assert_eq!(&v[..], &[2, 3]);
+        drop(a);
+        drop(v);
+        let _b = PktBuf::copy_from(&[4]);
+        assert_eq!(stats().reused, 0, "free list disabled");
+        set_pooling(true);
+    }
+}

@@ -6,7 +6,7 @@ use crate::link::LinkModel;
 use crate::queue::DescRing;
 use crate::steer::Steering;
 use crate::tso;
-use neat_net::FlowKey;
+use neat_net::{FlowKey, PktBuf};
 use neat_sim::Time;
 
 /// Static NIC configuration.
@@ -105,7 +105,7 @@ impl Nic {
 
     /// A frame arrived from the wire at `now_ns`. Returns the queue it was
     /// steered to, or `None` if faults or ring overflow consumed it.
-    pub fn wire_rx(&mut self, frame: Vec<u8>, now_ns: u64) -> Option<usize> {
+    pub fn wire_rx(&mut self, frame: PktBuf, now_ns: u64) -> Option<usize> {
         let frame = match self.rx_faults.apply(frame, now_ns) {
             FaultOutcome::Pass(f) | FaultOutcome::Corrupted(f) => f,
             FaultOutcome::Dropped => return None,
@@ -128,8 +128,17 @@ impl Nic {
     }
 
     /// The driver fetches the next received frame from a queue.
-    pub fn rx_pop(&mut self, queue: usize) -> Option<Vec<u8>> {
+    pub fn rx_pop(&mut self, queue: usize) -> Option<PktBuf> {
         self.rx_rings.get_mut(queue)?.pop()
+    }
+
+    /// Vectored fetch: the driver reads up to `max` frames in one
+    /// descriptor-ring pass (batched RX, §3.4).
+    pub fn rx_pop_batch(&mut self, queue: usize, max: usize) -> Vec<PktBuf> {
+        self.rx_rings
+            .get_mut(queue)
+            .map(|r| r.pop_batch(max))
+            .unwrap_or_default()
     }
 
     pub fn rx_pending(&self, queue: usize) -> usize {
@@ -138,9 +147,9 @@ impl Nic {
 
     /// The host hands the NIC a frame for transmission. Returns the wire
     /// frames (after TSO) each paired with its serialization time.
-    pub fn host_tx(&mut self, frame: Vec<u8>) -> Vec<(Vec<u8>, Time)> {
+    pub fn host_tx(&mut self, frame: PktBuf) -> Vec<(PktBuf, Time)> {
         let frames = if self.cfg.tso {
-            let split = tso::tso_split(frame, self.cfg.tso_mss);
+            let split = tso::tso_split_pkt(frame, self.cfg.tso_mss);
             if split.len() > 1 {
                 self.stats.tso_splits += 1;
             }
@@ -221,8 +230,8 @@ mod tests {
     #[test]
     fn rx_steers_to_stable_queue() {
         let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
-        let q1 = nic.wire_rx(frame(1000, b"a"), 0).unwrap();
-        let q2 = nic.wire_rx(frame(1000, b"b"), 0).unwrap();
+        let q1 = nic.wire_rx(frame(1000, b"a").into(), 0).unwrap();
+        let q2 = nic.wire_rx(frame(1000, b"b").into(), 0).unwrap();
         assert_eq!(q1, q2);
         assert_eq!(nic.rx_pending(q1), 2);
         assert!(nic.rx_pop(q1).is_some());
@@ -238,9 +247,9 @@ mod tests {
             ..Default::default()
         };
         let mut nic = Nic::new(cfg, FaultInjector::disabled(1));
-        assert!(nic.wire_rx(frame(1, b"x"), 0).is_some());
-        assert!(nic.wire_rx(frame(2, b"x"), 0).is_some());
-        assert!(nic.wire_rx(frame(3, b"x"), 0).is_none());
+        assert!(nic.wire_rx(frame(1, b"x").into(), 0).is_some());
+        assert!(nic.wire_rx(frame(2, b"x").into(), 0).is_some());
+        assert!(nic.wire_rx(frame(3, b"x").into(), 0).is_none());
         assert_eq!(nic.stats.rx_dropped_ring, 1);
     }
 
@@ -248,7 +257,7 @@ mod tests {
     fn tx_tso_produces_timed_wire_frames() {
         let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
         let big = frame(5000, &vec![9u8; 4000]);
-        let out = nic.host_tx(big);
+        let out = nic.host_tx(big.into());
         assert_eq!(out.len(), 3);
         assert_eq!(nic.stats.tso_splits, 1);
         for (f, t) in &out {
@@ -265,9 +274,9 @@ mod tests {
         };
         let mut nic = Nic::new(cfg, FaultInjector::disabled(1));
         let big = frame(5000, &vec![9u8; 4000]);
-        let out = nic.host_tx(big.clone());
+        let out = nic.host_tx(big.clone().into());
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].0, big);
+        assert_eq!(&out[0].0[..], &big[..]);
     }
 
     #[test]
@@ -282,7 +291,7 @@ mod tests {
                 1,
             ),
         );
-        assert!(nic.wire_rx(frame(1, b"x"), 0).is_none());
+        assert!(nic.wire_rx(frame(1, b"x").into(), 0).is_none());
         assert_eq!(nic.stats.rx_frames, 0);
     }
 
@@ -298,7 +307,7 @@ mod tests {
         assert_eq!(nic.num_queues(), 3);
         let mut seen = std::collections::HashSet::new();
         for p in 0..256 {
-            if let Some(q) = nic.wire_rx(frame(2000 + p, b"s"), 0) {
+            if let Some(q) = nic.wire_rx(frame(2000 + p, b"s").into(), 0) {
                 seen.insert(q);
             }
         }
@@ -308,7 +317,7 @@ mod tests {
     #[test]
     fn filters_pin_flows() {
         let mut nic = Nic::new(NicConfig::default(), FaultInjector::disabled(1));
-        let f = frame(7777, b"z");
+        let f: neat_net::PktBuf = frame(7777, b"z").into();
         let flow = crate::steer::Steering::parse_flow(&f).unwrap().key;
         let natural = nic.wire_rx(f.clone(), 0).unwrap();
         let target = (natural + 1) % nic.num_queues();

@@ -3,6 +3,7 @@
 //! token bucket. Used to demonstrate the stack's robustness and to stress
 //! the recovery experiments.
 
+use neat_net::PktBuf;
 use neat_util::Rng;
 
 /// Fault injection configuration (probabilities in percent, like smoltcp).
@@ -20,13 +21,15 @@ pub struct FaultConfig {
     pub refill_interval_ns: u64,
 }
 
-/// What happened to a frame passed through the injector.
+/// What happened to a frame passed through the injector. `Pass` keeps
+/// the original buffer handle (zero-copy); only `Corrupted` re-grants —
+/// corruption is the one fault that must materialize new bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultOutcome {
     /// Pass through unchanged.
-    Pass(Vec<u8>),
+    Pass(PktBuf),
     /// Pass through with one octet mutated.
-    Corrupted(Vec<u8>),
+    Corrupted(PktBuf),
     /// Silently dropped.
     Dropped,
 }
@@ -63,7 +66,7 @@ impl FaultInjector {
     }
 
     /// Run one frame through the injector at simulated time `now_ns`.
-    pub fn apply(&mut self, mut frame: Vec<u8>, now_ns: u64) -> FaultOutcome {
+    pub fn apply(&mut self, frame: PktBuf, now_ns: u64) -> FaultOutcome {
         // Size limit.
         if self.cfg.size_limit > 0 && frame.len() > self.cfg.size_limit {
             self.dropped += 1;
@@ -88,16 +91,17 @@ impl FaultInjector {
             self.dropped += 1;
             return FaultOutcome::Dropped;
         }
-        // Random single-octet corruption.
+        // Random single-octet corruption (the only path that copies).
         if self.cfg.corrupt_pct > 0
             && !frame.is_empty()
             && self.rng.gen_range(0u32..100) < self.cfg.corrupt_pct as u32
         {
-            let idx = self.rng.gen_range(0..frame.len());
+            let mut bytes = frame.to_vec();
+            let idx = self.rng.gen_range(0..bytes.len());
             let bit = 1u8 << self.rng.gen_range(0u32..8);
-            frame[idx] ^= bit;
+            bytes[idx] ^= bit;
             self.corrupted += 1;
-            return FaultOutcome::Corrupted(frame);
+            return FaultOutcome::Corrupted(PktBuf::from_vec(bytes));
         }
         self.passed += 1;
         FaultOutcome::Pass(frame)
@@ -112,8 +116,8 @@ mod tests {
     fn disabled_passes_everything() {
         let mut f = FaultInjector::disabled(1);
         for i in 0..100u8 {
-            match f.apply(vec![i; 64], 0) {
-                FaultOutcome::Pass(v) => assert_eq!(v, vec![i; 64]),
+            match f.apply(vec![i; 64].into(), 0) {
+                FaultOutcome::Pass(v) => assert_eq!(&v[..], &vec![i; 64][..]),
                 other => panic!("unexpected {other:?}"),
             }
         }
@@ -131,7 +135,7 @@ mod tests {
         );
         let mut drops = 0;
         for _ in 0..10_000 {
-            if f.apply(vec![0; 64], 0) == FaultOutcome::Dropped {
+            if f.apply(vec![0; 64].into(), 0) == FaultOutcome::Dropped {
                 drops += 1;
             }
         }
@@ -149,7 +153,7 @@ mod tests {
             7,
         );
         let orig = vec![0u8; 64];
-        match f.apply(orig.clone(), 0) {
+        match f.apply(orig.clone().into(), 0) {
             FaultOutcome::Corrupted(v) => {
                 let flipped: u32 = v.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
                 assert_eq!(flipped, 1);
@@ -167,8 +171,11 @@ mod tests {
             },
             1,
         );
-        assert_eq!(f.apply(vec![0; 101], 0), FaultOutcome::Dropped);
-        assert!(matches!(f.apply(vec![0; 100], 0), FaultOutcome::Pass(_)));
+        assert_eq!(f.apply(vec![0; 101].into(), 0), FaultOutcome::Dropped);
+        assert!(matches!(
+            f.apply(vec![0; 100].into(), 0),
+            FaultOutcome::Pass(_)
+        ));
     }
 
     #[test]
@@ -183,14 +190,14 @@ mod tests {
         );
         let mut passed = 0;
         for _ in 0..10 {
-            if matches!(f.apply(vec![0; 10], 1000), FaultOutcome::Pass(_)) {
+            if matches!(f.apply(vec![0; 10].into(), 1000), FaultOutcome::Pass(_)) {
                 passed += 1;
             }
         }
         assert_eq!(passed, 4, "bucket exhausted after 4 frames");
         // After the refill interval, tokens return.
         assert!(matches!(
-            f.apply(vec![0; 10], 60_000_000),
+            f.apply(vec![0; 10].into(), 60_000_000),
             FaultOutcome::Pass(_)
         ));
     }
@@ -206,7 +213,7 @@ mod tests {
                 seed,
             );
             (0..64)
-                .map(|_| f.apply(vec![0; 8], 0) == FaultOutcome::Dropped)
+                .map(|_| f.apply(vec![0; 8].into(), 0) == FaultOutcome::Dropped)
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(9), run(9));

@@ -1,5 +1,6 @@
 //! Descriptor rings: the bounded RX/TX queues of one NIC queue pair.
 
+use neat_net::PktBuf;
 use std::collections::VecDeque;
 
 /// A bounded frame ring. When full, new frames are dropped (tail drop) —
@@ -7,7 +8,7 @@ use std::collections::VecDeque;
 /// overload experiments.
 #[derive(Debug)]
 pub struct DescRing {
-    frames: VecDeque<Vec<u8>>,
+    frames: VecDeque<PktBuf>,
     cap: usize,
     /// Total frames ever enqueued.
     pub enqueued: u64,
@@ -26,7 +27,7 @@ impl DescRing {
     }
 
     /// Enqueue a frame; returns false (and counts a drop) when full.
-    pub fn push(&mut self, frame: Vec<u8>) -> bool {
+    pub fn push(&mut self, frame: PktBuf) -> bool {
         if self.frames.len() >= self.cap {
             self.dropped += 1;
             false
@@ -37,8 +38,15 @@ impl DescRing {
         }
     }
 
-    pub fn pop(&mut self) -> Option<Vec<u8>> {
+    pub fn pop(&mut self) -> Option<PktBuf> {
         self.frames.pop_front()
+    }
+
+    /// Vectored drain: take up to `max` frames in one descriptor pass
+    /// (the driver's batched RX ring read).
+    pub fn pop_batch(&mut self, max: usize) -> Vec<PktBuf> {
+        let n = self.frames.len().min(max);
+        self.frames.drain(..n).collect()
     }
 
     pub fn len(&self) -> usize {
@@ -66,19 +74,34 @@ mod tests {
     #[test]
     fn fifo_order() {
         let mut r = DescRing::new(4);
-        assert!(r.push(vec![1]));
-        assert!(r.push(vec![2]));
-        assert_eq!(r.pop(), Some(vec![1]));
-        assert_eq!(r.pop(), Some(vec![2]));
-        assert_eq!(r.pop(), None);
+        assert!(r.push(vec![1].into()));
+        assert!(r.push(vec![2].into()));
+        assert_eq!(r.pop().as_deref(), Some(&[1u8][..]));
+        assert_eq!(r.pop().as_deref(), Some(&[2u8][..]));
+        assert!(r.pop().is_none());
+    }
+
+    #[test]
+    fn pop_batch_drains_in_order() {
+        let mut r = DescRing::new(8);
+        for i in 0..5u8 {
+            assert!(r.push(vec![i].into()));
+        }
+        let batch = r.pop_batch(3);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(&batch[0][..], &[0]);
+        assert_eq!(&batch[2][..], &[2]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop_batch(10).len(), 2);
+        assert!(r.is_empty());
     }
 
     #[test]
     fn tail_drop_when_full() {
         let mut r = DescRing::new(2);
-        assert!(r.push(vec![1]));
-        assert!(r.push(vec![2]));
-        assert!(!r.push(vec![3]));
+        assert!(r.push(vec![1].into()));
+        assert!(r.push(vec![2].into()));
+        assert!(!r.push(vec![3].into()));
         assert_eq!(r.dropped, 1);
         assert_eq!(r.enqueued, 2);
         assert_eq!(r.len(), 2);
@@ -87,7 +110,7 @@ mod tests {
     #[test]
     fn clear_resets_contents_not_stats() {
         let mut r = DescRing::new(2);
-        r.push(vec![1]);
+        r.push(vec![1].into());
         r.clear();
         assert!(r.is_empty());
         assert_eq!(r.enqueued, 1);

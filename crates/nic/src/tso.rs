@@ -8,6 +8,41 @@
 use neat_net::ethernet::{EtherType, EthernetFrame};
 use neat_net::ipv4::{IpProtocol, Ipv4Header};
 use neat_net::tcp::TcpHeader;
+use neat_net::PktBuf;
+
+/// [`tso_split`] on pooled buffers: frames that need no split pass the
+/// original handle through untouched (zero-copy fast path); oversized
+/// frames materialize fresh per-segment buffers.
+pub fn tso_split_pkt(frame: PktBuf, mss: usize) -> Vec<PktBuf> {
+    if !needs_split(&frame, mss) {
+        return vec![frame];
+    }
+    tso_split(frame.to_vec(), mss)
+        .into_iter()
+        .map(PktBuf::from_vec)
+        .collect()
+}
+
+/// Cheap pre-check: is this an IPv4/TCP frame with payload beyond `mss`?
+fn needs_split(frame: &[u8], mss: usize) -> bool {
+    let Ok((eth, ip_off)) = EthernetFrame::parse(frame) else {
+        return false;
+    };
+    if eth.ethertype != EtherType::Ipv4 {
+        return false;
+    }
+    let Ok((ip, l4_range)) = Ipv4Header::parse(&frame[ip_off..]) else {
+        return false;
+    };
+    if ip.protocol != IpProtocol::Tcp {
+        return false;
+    }
+    let l4 = &frame[ip_off..][l4_range];
+    let Ok((_, payload_range)) = TcpHeader::parse(l4, ip.src, ip.dst) else {
+        return false;
+    };
+    l4[payload_range].len() > mss
+}
 
 /// Split an Ethernet frame carrying an oversized IPv4/TCP payload into
 /// MSS-sized frames. Non-TCP frames and frames already within `mss` pass

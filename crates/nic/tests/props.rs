@@ -94,8 +94,8 @@ fn fault_injector_conservation() {
             );
             let orig = vec![0x5Au8; 64];
             for i in 0..n {
-                match inj.apply(orig.clone(), i as u64) {
-                    neat_nic::faults::FaultOutcome::Pass(f) => prop_assert_eq!(&f, &orig),
+                match inj.apply(orig.clone().into(), i as u64) {
+                    neat_nic::faults::FaultOutcome::Pass(f) => prop_assert_eq!(&f[..], &orig[..]),
                     neat_nic::faults::FaultOutcome::Corrupted(f) => {
                         let bits: u32 =
                             f.iter().zip(&orig).map(|(a, b)| (a ^ b).count_ones()).sum();
@@ -129,7 +129,7 @@ fn fault_injector_deterministic() {
                     seed,
                 );
                 (0..n)
-                    .map(|i| inj.apply(vec![0xAAu8; 32], i as u64))
+                    .map(|i| inj.apply(vec![0xAAu8; 32].into(), i as u64))
                     .collect::<Vec<_>>()
             };
             prop_assert_eq!(run(seed), run(seed));
@@ -204,15 +204,16 @@ fn grow_preserves_existing_flows() {
             let mut homes = Vec::new();
             for (i, p) in ports.iter().enumerate() {
                 let q = nic
-                    .wire_rx(frame(7, *p, 80, TcpFlags::SYN, &[]), i as u64)
+                    .wire_rx(frame(7, *p, 80, TcpFlags::SYN, &[]).into(), i as u64)
                     .unwrap();
                 homes.push(q);
             }
             nic.grow_queues(grow_to);
             for (i, p) in ports.iter().enumerate() {
-                if let Some(q) =
-                    nic.wire_rx(frame(7, *p, 80, TcpFlags::ack(), b"d"), 1_000 + i as u64)
-                {
+                if let Some(q) = nic.wire_rx(
+                    frame(7, *p, 80, TcpFlags::ack(), b"d").into(),
+                    1_000 + i as u64,
+                ) {
                     prop_assert_eq!(q, homes[i], "existing flow moved after grow");
                 }
             }

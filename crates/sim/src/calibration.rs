@@ -35,6 +35,23 @@ pub const MSG_SEND: Cycles = 120;
 /// as part of handling the corresponding event.
 pub const MSG_RECV: Cycles = 100;
 
+/// Cycles for appending another descriptor to a channel already written to
+/// in the same wakeup: the head cache line is hot and the fence/doorbell is
+/// shared by the run, leaving only the slot write (§3.4 batching
+/// amortization). Charged instead of [`MSG_SEND`] for consecutive sends to
+/// the same destination within one handler invocation.
+pub const MSG_SEND_APPEND: Cycles = 40;
+
+/// Cycles for the per-message receiver notification paid when per-link
+/// coalescing is disabled (`SimConfig::batch_ns == 0`): with no open batch
+/// to append to and no deferred flush, every enqueue must kick the
+/// destination's channel individually — a kernel-call-class event
+/// injection (trap + event delivery, §3.4: the batched fast path exists
+/// "to amortize the cost of the kernel calls"). Charged on CPU threads
+/// only; device engines (NIC pipelines) signal by interrupt, whose cost
+/// the receiver-side cold descriptor rates already carry.
+pub const MSG_NOTIFY: Cycles = 500;
+
 /// One-way latency of a cross-core cache-line transfer carrying a message
 /// descriptor (both dies in the paper's testbeds are single-package).
 pub const CHANNEL_LATENCY: Time = Time(250);
@@ -114,6 +131,15 @@ pub const DRV_TX_PKT_BATCHED: Cycles = 420;
 
 /// Two driver events closer than this belong to one batch.
 pub const DRV_BATCH_WINDOW_NS: u64 = 3_000;
+
+/// RX descriptor cost for the second and later frames of an *explicit*
+/// frame batch (one vectored ring pass covers the run: descriptors are
+/// prefetched and validated in bulk, DPDK/Laminar-style, vs the scalar
+/// NAPI walk priced by [`DRV_RX_PKT_BATCHED`]).
+pub const DRV_RX_PKT_VECTORED: Cycles = 220;
+
+/// TX descriptor cost within an explicit frame batch (bulk doorbell).
+pub const DRV_TX_PKT_VECTORED: Cycles = 180;
 
 /// NIC driver: one polling round over the NIC queues and the per-replica
 /// channels (charged when the driver wakes and finds work, and during idle

@@ -32,12 +32,76 @@ use crate::time::{Cycles, Time};
 pub struct SimConfig {
     /// Seed for the simulation-wide RNG; same seed ⇒ identical history.
     pub seed: u64,
+    /// Per-(src,dst)-link message coalescing horizon in nanoseconds: a
+    /// `send()` joins the link's open batch instead of scheduling its own
+    /// delivery, and the whole batch is delivered as one wakeup no later
+    /// than `batch_ns` after the batch opened. `0` disables coalescing
+    /// (every message is its own delivery event, the pre-batching model).
+    pub batch_ns: u64,
+    /// Flush an open batch early once it holds this many messages.
+    pub batch_max: usize,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0xEA7_F00D }
+        SimConfig {
+            seed: 0xEA7_F00D,
+            batch_ns: 0,
+            batch_max: 32,
+        }
     }
+}
+
+impl SimConfig {
+    /// The batched fast path with default horizon/depth (what testbeds
+    /// run); `seed` as in [`SimConfig::default`].
+    pub fn batched(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            batch_ns: 2_000,
+            batch_max: 32,
+        }
+    }
+}
+
+/// Counters for the per-link coalescing machinery (exported as `sim.batch.*`
+/// gauges; also queried directly by the ablation benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batches delivered because the `batch_ns` horizon expired.
+    pub flush_timer: u64,
+    /// Batches delivered early because they reached `batch_max` depth.
+    pub flush_depth: u64,
+    /// Batches closed because a later send fell past the horizon.
+    pub flush_close: u64,
+    /// Messages that travelled inside a multi-message batch.
+    pub batched_msgs: u64,
+    /// Multi-message batch deliveries (wakeups saved = batched_msgs - this).
+    pub batch_deliveries: u64,
+}
+
+impl BatchStats {
+    /// Mean messages per multi-message batch delivery.
+    pub fn occupancy(&self) -> f64 {
+        if self.batch_deliveries == 0 {
+            0.0
+        } else {
+            self.batched_msgs as f64 / self.batch_deliveries as f64
+        }
+    }
+}
+
+/// One open per-link batch: messages coalescing toward a single delivery.
+struct LinkBatch<M> {
+    msgs: Vec<M>,
+    /// Hard delivery deadline (`opened_at + batch_ns`).
+    flush_at: Time,
+    /// Earliest instant the batch may be delivered without violating
+    /// causality: the max of its members' natural delivery times.
+    /// Invariant: `ready_at <= flush_at`.
+    ready_at: Time,
+    /// Invalidation token for the scheduled `FlushBatch` heap event.
+    epoch: u64,
 }
 
 struct HeapEv<M> {
@@ -52,6 +116,13 @@ enum HeapKind<M> {
     Deliver { dst: ProcId, ev: Event<M> },
     /// A hardware thread finished its current work: pop its queue.
     ThreadResume(HwThreadId),
+    /// The `batch_ns` horizon of a per-link batch expired: deliver it.
+    /// Stale if the batch was already flushed (epoch mismatch).
+    FlushBatch {
+        src: ProcId,
+        dst: ProcId,
+        epoch: u64,
+    },
 }
 
 impl<M> PartialEq for HeapEv<M> {
@@ -130,6 +201,14 @@ pub struct Sim<M> {
     pending: Vec<std::collections::VecDeque<(ProcId, Event<M>)>>,
     /// Whether a ThreadResume marker is scheduled per thread.
     resume_scheduled: Vec<bool>,
+    /// Coalescing horizon (zero = batching off) and early-flush depth.
+    batch_ns: Time,
+    batch_max: usize,
+    /// Open per-link batches keyed by `(src, dst)`.
+    batches: HashMap<(ProcId, ProcId), LinkBatch<M>>,
+    /// Monotone token distinguishing live batches from stale flush events.
+    batch_epoch: u64,
+    batch_stats: BatchStats,
 }
 
 impl<M: 'static> Sim<M> {
@@ -147,7 +226,17 @@ impl<M: 'static> Sim<M> {
             events_dispatched: 0,
             pending: Vec::new(),
             resume_scheduled: Vec::new(),
+            batch_ns: Time(config.batch_ns),
+            batch_max: config.batch_max.max(1),
+            batches: HashMap::new(),
+            batch_epoch: 0,
+            batch_stats: BatchStats::default(),
         }
+    }
+
+    /// Coalescing counters (occupancy, flush causes) for benches/tests.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batch_stats
     }
 
     fn ensure_thread_books(&mut self) {
@@ -341,6 +430,13 @@ impl<M: 'static> Sim<M> {
             "sim.live_procs",
             self.procs.values().filter(|s| s.alive).count() as f64,
         );
+        let b = self.batch_stats;
+        neat_obs::gauge_set("sim.batch.flush_timer", b.flush_timer as f64);
+        neat_obs::gauge_set("sim.batch.flush_depth", b.flush_depth as f64);
+        neat_obs::gauge_set("sim.batch.flush_close", b.flush_close as f64);
+        neat_obs::gauge_set("sim.batch.batched_msgs", b.batched_msgs as f64);
+        neat_obs::gauge_set("sim.batch.deliveries", b.batch_deliveries as f64);
+        neat_obs::gauge_set("sim.batch.occupancy", b.occupancy());
     }
 
     fn push(&mut self, time: Time, dst: ProcId, ev: Event<M>) {
@@ -361,6 +457,76 @@ impl<M: 'static> Sim<M> {
             seq,
             kind: HeapKind::ThreadResume(thread),
         });
+    }
+
+    fn push_flush(&mut self, time: Time, src: ProcId, dst: ProcId, epoch: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(HeapEv {
+            time,
+            seq,
+            kind: HeapKind::FlushBatch { src, dst, epoch },
+        });
+    }
+
+    /// Deliver a closed batch at `at` (>= now). Single-message batches
+    /// degrade to a plain `Message` so receivers and traces can't tell a
+    /// lone coalesced message from an unbatched one.
+    fn deliver_batch(&mut self, src: ProcId, dst: ProcId, msgs: Vec<M>, at: Time) {
+        if msgs.len() == 1 {
+            let msg = msgs.into_iter().next().unwrap();
+            self.push(at, dst, Event::Message { from: src, msg });
+        } else {
+            self.batch_stats.batched_msgs += msgs.len() as u64;
+            self.batch_stats.batch_deliveries += 1;
+            self.push(at, dst, Event::Batch { from: src, msgs });
+        }
+    }
+
+    /// Route one `send()` through the per-link coalescer. `at` is the
+    /// message's natural delivery instant (sender completion + channel
+    /// latency); the batch may delay it up to the `batch_ns` horizon.
+    fn enqueue_batched(&mut self, src: ProcId, dst: ProcId, msg: M, at: Time) {
+        let key = (src, dst);
+        match self.batches.get_mut(&key) {
+            Some(b) if at <= b.flush_at => {
+                b.msgs.push(msg);
+                b.ready_at = b.ready_at.max(at);
+                if b.msgs.len() >= self.batch_max {
+                    // Depth flush: deliver now-complete batch at its
+                    // ready time; the scheduled FlushBatch goes stale.
+                    let b = self.batches.remove(&key).unwrap();
+                    self.batch_stats.flush_depth += 1;
+                    self.deliver_batch(src, dst, b.msgs, b.ready_at.max(self.now));
+                }
+            }
+            Some(_) => {
+                // The new message lands past the horizon: close the old
+                // batch (its flush event goes stale) and open a new one.
+                let old = self.batches.remove(&key).unwrap();
+                self.batch_stats.flush_close += 1;
+                let old_at = old.ready_at.max(self.now);
+                self.deliver_batch(src, dst, old.msgs, old_at);
+                self.open_batch(key, msg, at);
+            }
+            None => self.open_batch(key, msg, at),
+        }
+    }
+
+    fn open_batch(&mut self, key: (ProcId, ProcId), msg: M, at: Time) {
+        self.batch_epoch += 1;
+        let epoch = self.batch_epoch;
+        let flush_at = at + self.batch_ns;
+        self.batches.insert(
+            key,
+            LinkBatch {
+                msgs: vec![msg],
+                flush_at,
+                ready_at: at,
+                epoch,
+            },
+        );
+        self.push_flush(flush_at, key.0, key.1, epoch);
     }
 
     /// Run until the event queue is exhausted or simulated time reaches
@@ -411,6 +577,21 @@ impl<M: 'static> Sim<M> {
                     }
                 } else {
                     self.execute(tid, dst, ev, time);
+                }
+            }
+            HeapKind::FlushBatch { src, dst, epoch } => {
+                // Stale unless the batch is still open under this epoch.
+                let live = self
+                    .batches
+                    .get(&(src, dst))
+                    .map(|b| b.epoch == epoch)
+                    .unwrap_or(false);
+                if live {
+                    let b = self.batches.remove(&(src, dst)).unwrap();
+                    self.batch_stats.flush_timer += 1;
+                    // The horizon IS the delivery instant (`time ==
+                    // flush_at >= ready_at`), like interrupt moderation.
+                    self.deliver_batch(src, dst, b.msgs, time);
                 }
             }
             HeapKind::ThreadResume(tid) => {
@@ -484,8 +665,13 @@ impl<M: 'static> Sim<M> {
             charged_ns: 0,
             outputs: Vec::new(),
             die: None,
+            woken_threads: Vec::new(),
+            last_send_dst: None,
         };
-        proc.on_event(&mut ctx, ev);
+        match ev {
+            Event::Batch { from, msgs } => proc.on_batch(&mut ctx, from, msgs),
+            ev => proc.on_event(&mut ctx, ev),
+        }
         let Ctx {
             charged,
             charged_ns,
@@ -527,7 +713,13 @@ impl<M: 'static> Sim<M> {
                     extra_delay,
                 } => {
                     let at = end + calibration::CHANNEL_LATENCY + extra_delay;
-                    self.push(at, to, Event::Message { from: dst, msg });
+                    // Only latency-free local sends coalesce; anything with
+                    // explicit wire/propagation delay keeps its own event.
+                    if self.batch_ns.as_nanos() > 0 && extra_delay.as_nanos() == 0 {
+                        self.enqueue_batched(dst, to, msg, at);
+                    } else {
+                        self.push(at, to, Event::Message { from: dst, msg });
+                    }
                 }
                 Output::Timer { delay, token } => {
                     self.push(end + delay, dst, Event::Timer { token });
@@ -632,6 +824,15 @@ pub struct Ctx<'a, M> {
     charged_ns: u64,
     outputs: Vec<Output<M>>,
     die: Option<DieMode>,
+    /// Threads already charged a wake store in this handler: the MWAIT
+    /// wake is paid once per sleeping destination per wakeup, not per
+    /// message (the batching amortization of §3.4).
+    woken_threads: Vec<usize>,
+    /// Destination of the previous `send` in this handler: an immediate
+    /// follow-up send to the same process appends to the same channel run
+    /// and is charged [`calibration::MSG_SEND_APPEND`] instead of the full
+    /// [`calibration::MSG_SEND`].
+    last_send_dst: Option<ProcId>,
 }
 
 impl<'a, M: 'static> Ctx<'a, M> {
@@ -658,13 +859,40 @@ impl<'a, M: 'static> Ctx<'a, M> {
 
     /// Send with additional delivery delay (wire propagation etc.).
     pub fn send_delayed(&mut self, dst: ProcId, msg: M, extra_delay: Time) {
-        self.charged += calibration::MSG_SEND;
+        // A run of sends to the same destination shares one doorbell/fence;
+        // only the first pays the full channel-enqueue cost.
+        self.charged += if self.last_send_dst == Some(dst) {
+            calibration::MSG_SEND_APPEND
+        } else {
+            calibration::MSG_SEND
+        };
+        self.last_send_dst = Some(dst);
+        // No coalescer to defer the receiver kick to: each local channel
+        // message pays its own kernel-call-class notification (§3.4 — the
+        // scalar, pre-batching model). Device engines signal via IRQ,
+        // which the receiver-side cold descriptor costs already model.
+        if self.sim.batch_ns.as_nanos() == 0 && extra_delay.as_nanos() == 0 {
+            let cpu_sender = self
+                .sim
+                .procs
+                .get(&self.self_id)
+                .map(|s| self.sim.threads[s.thread.0].kind == ThreadKind::Cpu)
+                .unwrap_or(false);
+            if cpu_sender {
+                self.charged += calibration::MSG_NOTIFY;
+            }
+        }
         if let Some(slot) = self.sim.procs.get(&dst) {
-            let th = &self.sim.threads[slot.thread.0];
+            let tid = slot.thread.0;
+            let th = &self.sim.threads[tid];
             if th.kind == ThreadKind::Cpu
                 && th.busy_until + calibration::SPIN_POLL_WINDOW < self.start
+                && !self.woken_threads.contains(&tid)
             {
-                // Destination thread is (by now) asleep: pay the wake store.
+                // Destination thread is (by now) asleep: pay the wake
+                // store — once per handler per thread; later messages in
+                // the same burst find it already waking.
+                self.woken_threads.push(tid);
                 self.charged += calibration::WAKE_REMOTE;
             }
         }
@@ -891,6 +1119,146 @@ mod tests {
         sim.run_until(Time::from_millis(10));
         let st = sim.thread_stats(t1);
         assert_eq!(st.events, 1, "child's Start dispatched after the delay");
+    }
+
+    #[test]
+    fn batching_coalesces_per_link_and_preserves_order() {
+        // A burst of sends inside one handler must arrive as one Batch
+        // wakeup, in send order, when coalescing is on.
+        struct Sink {
+            got: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+            wakeups: std::rc::Rc<std::cell::RefCell<u64>>,
+        }
+        impl Process<TMsg> for Sink {
+            fn name(&self) -> String {
+                "sink".into()
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
+                if let Event::Message {
+                    msg: TMsg::Ping(n), ..
+                } = ev
+                {
+                    *self.wakeups.borrow_mut() += 1;
+                    self.got.borrow_mut().push(n);
+                }
+            }
+            fn on_batch(&mut self, ctx: &mut Ctx<'_, TMsg>, from: ProcId, msgs: Vec<TMsg>) {
+                *self.wakeups.borrow_mut() += 1;
+                for msg in msgs {
+                    if let TMsg::Ping(n) = msg {
+                        self.got.borrow_mut().push(n);
+                    }
+                    let _ = (from, &ctx);
+                }
+            }
+        }
+        let mut sim: Sim<TMsg> = Sim::new(SimConfig {
+            batch_ns: 2_000,
+            ..SimConfig::default()
+        });
+        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
+        let t0 = sim.hw_thread(m, 0, 0);
+        let t1 = sim.hw_thread(m, 1, 0);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        let wakeups = std::rc::Rc::new(std::cell::RefCell::new(0u64));
+        let sink = sim.spawn(
+            t0,
+            Box::new(Sink {
+                got: got.clone(),
+                wakeups: wakeups.clone(),
+            }),
+        );
+        let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        sim.spawn(
+            t1,
+            Box::new(Collector {
+                pongs: pongs.clone(),
+                peer: Some(sink),
+                to_send: 8,
+            }),
+        );
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(*got.borrow(), (0..8).collect::<Vec<u32>>(), "FIFO order");
+        assert_eq!(*wakeups.borrow(), 1, "one wakeup for the whole burst");
+        let bs = sim.batch_stats();
+        assert_eq!(bs.batch_deliveries, 1);
+        assert_eq!(bs.batched_msgs, 8);
+        assert_eq!(bs.flush_timer, 1, "horizon flush delivered it");
+    }
+
+    #[test]
+    fn batch_max_flushes_early() {
+        // A silent consumer, so only the ping direction produces batches.
+        struct Quiet {
+            got: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
+        }
+        impl Process<TMsg> for Quiet {
+            fn name(&self) -> String {
+                "quiet".into()
+            }
+            fn on_event(&mut self, _ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
+                if let Event::Message {
+                    msg: TMsg::Ping(n), ..
+                } = ev
+                {
+                    self.got.borrow_mut().push(n);
+                }
+            }
+        }
+        let mut sim: Sim<TMsg> = Sim::new(SimConfig {
+            batch_ns: 1_000_000, // horizon far away: only depth can flush early
+            batch_max: 4,
+            ..SimConfig::default()
+        });
+        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
+        let t0 = sim.hw_thread(m, 0, 0);
+        let t1 = sim.hw_thread(m, 1, 0);
+        let got = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        let quiet = sim.spawn(t0, Box::new(Quiet { got: got.clone() }));
+        let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+        sim.spawn(
+            t1,
+            Box::new(Collector {
+                pongs: pongs.clone(),
+                peer: Some(quiet),
+                to_send: 9,
+            }),
+        );
+        sim.run_until(Time::from_millis(20));
+        let bs = sim.batch_stats();
+        assert_eq!(bs.flush_depth, 2, "9 msgs at depth 4: two early flushes");
+        assert_eq!(bs.flush_timer, 1, "the trailing message rides the horizon");
+        assert_eq!(*got.borrow(), (0..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn batched_and_unbatched_histories_match() {
+        // The coalescer may merge wakeups and shift delivery instants, but
+        // the application-visible stream (payloads, per-link order) must
+        // be identical with batching on and off.
+        let run = |batch_ns: u64| {
+            let mut sim: Sim<TMsg> = Sim::new(SimConfig {
+                batch_ns,
+                ..SimConfig::default()
+            });
+            let m = sim.add_machine(MachineSpec::amd_opteron_6168());
+            let t0 = sim.hw_thread(m, 0, 0);
+            let t1 = sim.hw_thread(m, 1, 0);
+            let echo = sim.spawn(t0, Box::new(Echo { got: vec![] }));
+            let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
+            sim.spawn(
+                t1,
+                Box::new(Collector {
+                    pongs: pongs.clone(),
+                    peer: Some(echo),
+                    to_send: 32,
+                }),
+            );
+            sim.run_until(Time::from_millis(50));
+            let out = pongs.borrow().clone();
+            out
+        };
+        assert_eq!(run(0), run(2_000));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod process;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Ctx, Sim, SimConfig};
+pub use engine::{BatchStats, Ctx, Sim, SimConfig};
 pub use machine::{HwThreadId, MachineId, MachineSpec, ThreadKind, ThreadStats};
 pub use process::{Event, ProcId, Process};
 pub use stats::{Histogram, RateMeter};

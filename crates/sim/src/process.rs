@@ -24,6 +24,11 @@ pub enum Event<M> {
     Start,
     /// A message from another process (or from a device engine).
     Message { from: ProcId, msg: M },
+    /// A coalesced run of messages from one sender, delivered as a single
+    /// wakeup (§3.4: amortize dispatch and wake costs over the batch).
+    /// Produced by the engine's per-link coalescing; handled via
+    /// [`Process::on_batch`].
+    Batch { from: ProcId, msgs: Vec<M> },
     /// A timer set via [`crate::Ctx::set_timer`] fired.
     Timer { token: u64 },
 }
@@ -34,6 +39,7 @@ impl<M> Event<M> {
         match self {
             Event::Start => "start",
             Event::Message { .. } => "msg",
+            Event::Batch { .. } => "batch",
             Event::Timer { .. } => "timer",
         }
     }
@@ -55,5 +61,17 @@ pub trait Process<M>: 'static {
     /// runs (queue dequeue etc.). Override to zero for device engines.
     fn dispatch_cost(&self) -> Cycles {
         crate::calibration::MSG_RECV
+    }
+
+    /// Handle a coalesced batch from one sender in a single wakeup. The
+    /// default unrolls into per-message [`Process::on_event`] calls —
+    /// behaviour-identical to unbatched delivery, while the batch still
+    /// pays [`Process::dispatch_cost`] only once. Batch-aware processes
+    /// override this to amortize per-wakeup work (drain rings once, flush
+    /// once) across all `msgs`.
+    fn on_batch(&mut self, ctx: &mut crate::Ctx<'_, M>, from: ProcId, msgs: Vec<M>) {
+        for msg in msgs {
+            self.on_event(ctx, Event::Message { from, msg });
+        }
     }
 }

@@ -96,7 +96,10 @@ fn determinism() {
                 return Ok(());
             }
             let run = |seed: u64| {
-                let mut sim: Sim<M> = Sim::new(SimConfig { seed });
+                let mut sim: Sim<M> = Sim::new(SimConfig {
+                    seed,
+                    ..SimConfig::default()
+                });
                 let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
                 let t0 = sim.hw_thread(m, 0, 0);
                 let t1 = sim.hw_thread(m, 0, 1);
@@ -173,6 +176,133 @@ fn busy_time_accounting() {
                 got >= expect_ns.saturating_sub(tol) && got <= expect_ns + tol,
                 "busy {got} vs expected {expect_ns}"
             );
+            Ok(())
+        },
+    );
+}
+
+#[derive(Debug, Clone)]
+enum BM {
+    Payload(Vec<u8>),
+}
+
+/// Sends a scripted trace of payload bursts, spaced by timers, so the
+/// coalescer sees a mix of same-instant runs and cross-horizon gaps.
+struct BurstSender {
+    dst: ProcId,
+    bursts: Vec<(u64, Vec<Vec<u8>>)>,
+    next: usize,
+}
+impl Process<BM> for BurstSender {
+    fn name(&self) -> String {
+        "burst-sender".into()
+    }
+    fn on_event(&mut self, ctx: &mut Ctx<'_, BM>, ev: Event<BM>) {
+        match ev {
+            Event::Start | Event::Timer { .. } => {
+                if let Some((gap, msgs)) = self.bursts.get(self.next).cloned() {
+                    self.next += 1;
+                    for m in msgs {
+                        ctx.send(self.dst, BM::Payload(m));
+                    }
+                    ctx.set_timer(Time::from_nanos(gap.max(1)), 0);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Concatenates each sender's payload bytes in arrival order.
+struct StreamSink {
+    streams: Rc<RefCell<std::collections::BTreeMap<u64, Vec<u8>>>>,
+}
+impl Process<BM> for StreamSink {
+    fn name(&self) -> String {
+        "stream-sink".into()
+    }
+    fn on_event(&mut self, _ctx: &mut Ctx<'_, BM>, ev: Event<BM>) {
+        if let Event::Message {
+            from,
+            msg: BM::Payload(p),
+        } = ev
+        {
+            self.streams
+                .borrow_mut()
+                .entry(from.0)
+                .or_default()
+                .extend_from_slice(&p);
+        }
+    }
+}
+
+/// Link coalescing is invisible to applications: for a random traffic
+/// trace, the per-(src,dst) byte streams a receiver observes are
+/// byte-identical, in identical order, with batching on and off.
+#[test]
+fn batching_preserves_per_link_streams() {
+    check(
+        "batching_preserves_per_link_streams",
+        Config::default().cases(32),
+        |rng| {
+            let senders = rng.gen_range(1usize..4);
+            let traces: Vec<Vec<(u64, Vec<Vec<u8>>)>> = (0..senders)
+                .map(|_| {
+                    vec_of(rng, 1..8, |r| {
+                        let gap = r.gen_range(100u64..6_000);
+                        let burst = vec_of(r, 1..10, |r2| vec_of(r2, 1..12, |r3| r3.gen::<u8>()));
+                        (gap, burst)
+                    })
+                })
+                .collect();
+            let batch_ns = rng.gen_range(500u64..4_000);
+            let batch_max = rng.gen_range(2usize..16);
+            (traces, batch_ns, batch_max)
+        },
+        |(traces, batch_ns, batch_max)| {
+            let run = |batch_ns: u64, batch_max: usize| {
+                let mut sim: Sim<BM> = Sim::new(SimConfig {
+                    batch_ns,
+                    batch_max,
+                    ..SimConfig::default()
+                });
+                let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
+                let sink_t = sim.hw_thread(m, 0, 0);
+                let streams = Rc::new(RefCell::new(std::collections::BTreeMap::new()));
+                let sink = sim.spawn(
+                    sink_t,
+                    Box::new(StreamSink {
+                        streams: streams.clone(),
+                    }),
+                );
+                for (i, trace) in traces.iter().enumerate() {
+                    let t = sim.hw_thread(m, 1 + (i % 3) as u32, 0);
+                    sim.spawn(
+                        t,
+                        Box::new(BurstSender {
+                            dst: sink,
+                            bursts: trace.clone(),
+                            next: 0,
+                        }),
+                    );
+                }
+                sim.run_until(Time::from_millis(10));
+                let out = streams.borrow().clone();
+                out
+            };
+            let unbatched = run(0, batch_max);
+            let batched = run(batch_ns, batch_max);
+            prop_assert_eq!(
+                unbatched.values().map(Vec::len).sum::<usize>(),
+                traces
+                    .iter()
+                    .flat_map(|t| t.iter().flat_map(|(_, b)| b.iter().map(Vec::len)))
+                    .sum::<usize>(),
+                "all payload bytes delivered"
+            );
+            // ProcIds differ per run only if spawn order differs — it does
+            // not, so keys line up; compare stream-by-stream.
+            prop_assert_eq!(batched, unbatched, "per-link streams identical");
             Ok(())
         },
     );

@@ -33,4 +33,4 @@ mod proptests;
 
 pub use socket::TcpSocket;
 pub use stack::TcpStack;
-pub use types::{CongestionAlgo, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+pub use types::{CongestionAlgo, Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};

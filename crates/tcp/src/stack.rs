@@ -7,7 +7,7 @@
 //! a stack instance is a plain owned value; there is nothing to share.
 
 use crate::socket::TcpSocket;
-use crate::types::{SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+use crate::types::{Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
 use neat_net::{FlowKey, SeqNum, TcpFlags, TcpHeader};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
@@ -256,6 +256,69 @@ impl TcpStack {
             self.mark_dirty(id); // window update may be owed
         }
         r
+    }
+
+    /// Vectored receive: fill `bufs` in order from the receive buffer in a
+    /// single call (the iovec-shaped variant the batched delivery path
+    /// uses — one call drains what N per-segment wakeups used to).
+    /// Returns total bytes read; `Ok(0)` means EOF.
+    pub fn recv_vectored(
+        &mut self,
+        id: SocketId,
+        bufs: &mut [&mut [u8]],
+    ) -> Result<usize, TcpError> {
+        let s = self.sockets.get_mut(&id).ok_or(TcpError::NoSocket)?;
+        let mut total = 0usize;
+        for buf in bufs.iter_mut() {
+            match s.recv(buf) {
+                Ok(0) => break, // EOF — nothing more will come
+                Ok(n) => {
+                    total += n;
+                    if n < buf.len() {
+                        break; // receive buffer drained
+                    }
+                }
+                Err(TcpError::WouldBlock) => {
+                    if total == 0 {
+                        return Err(TcpError::WouldBlock);
+                    }
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if total > 0 {
+            self.mark_dirty(id); // window update may be owed
+        }
+        Ok(total)
+    }
+
+    /// Unified non-blocking readiness query (the one API `poll(fd)`
+    /// surfaces sit on). Works for listeners (readable == accept ready)
+    /// and connections alike; unknown ids read as pure hang-up.
+    pub fn poll(&self, id: SocketId) -> Readiness {
+        if let Some(l) = self.listeners.values().find(|l| l.id == id) {
+            return Readiness {
+                readable: !l.accept_q.is_empty(),
+                writable: false,
+                hup: false,
+            };
+        }
+        match self.sockets.get(&id) {
+            Some(s) => {
+                let st = s.state();
+                Readiness {
+                    readable: s.recv_available() > 0 || s.at_eof(),
+                    writable: st.can_send() && s.send_room() > 0,
+                    hup: s.at_eof() || st.is_closed(),
+                }
+            }
+            None => Readiness {
+                readable: false,
+                writable: false,
+                hup: true,
+            },
+        }
     }
 
     pub fn close(&mut self, id: SocketId, now: u64) -> Result<(), TcpError> {
@@ -699,6 +762,59 @@ mod tests {
         }
         assert_eq!(c.conn_count(), 100);
         ports.insert(0);
+    }
+
+    #[test]
+    fn poll_readiness_tracks_lifecycle() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        assert_eq!(s.poll(l), Readiness::default(), "idle listener");
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        assert!(s.poll(l).readable, "accept pending reads as readable");
+        let srv = s.accept(l).unwrap();
+        let r = c.poll(conn);
+        assert!(r.writable && !r.readable && !r.hup);
+        s.send(srv, b"hi").unwrap();
+        pump(&mut c, &mut s, 1000);
+        assert!(c.poll(conn).readable, "delivered data reads as readable");
+        s.close(srv, 2000).unwrap();
+        pump(&mut c, &mut s, 2000);
+        let mut buf = [0u8; 8];
+        c.recv(conn, &mut buf).unwrap();
+        let r = c.poll(conn);
+        assert!(r.hup, "peer FIN after drain is hup");
+        assert!(r.readable, "EOF is observable via read, like POLLIN");
+        assert!(c.poll(SocketId(9999)).is_hup_only(), "unknown id is hup");
+    }
+
+    #[test]
+    fn recv_vectored_fills_multiple_buffers() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        let srv = s.accept(l).unwrap();
+        let payload: Vec<u8> = (0..40u8).collect();
+        c.send(conn, &payload).unwrap();
+        pump(&mut c, &mut s, 1000);
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        let mut rest = [0u8; 16];
+        let n = s
+            .recv_vectored(srv, &mut [&mut a[..], &mut b[..], &mut rest[..]])
+            .unwrap();
+        assert_eq!(n, 40);
+        let mut got = Vec::new();
+        got.extend_from_slice(&a);
+        got.extend_from_slice(&b);
+        got.extend_from_slice(&rest[..8]);
+        assert_eq!(got, payload);
+        assert_eq!(
+            s.recv_vectored(srv, &mut [&mut a[..]]),
+            Err(TcpError::WouldBlock),
+            "drained"
+        );
     }
 
     #[test]

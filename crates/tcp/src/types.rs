@@ -112,6 +112,27 @@ impl Default for TcpConfig {
     }
 }
 
+/// Non-blocking readiness snapshot for one socket: the single query
+/// surface that replaces ad-hoc `acceptable`/`recv_available`/`send_room`
+/// probing. Mirrors `poll(2)`'s POLLIN/POLLOUT/POLLHUP bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readiness {
+    /// Data (or, for listeners, a pending accept) can be consumed now.
+    /// Like POLLIN, this is also set at EOF so the reader observes it.
+    pub readable: bool,
+    /// Send-buffer room is available and the state still admits sending.
+    pub writable: bool,
+    /// The peer hung up: EOF received, connection closed or aborted.
+    pub hup: bool,
+}
+
+impl Readiness {
+    /// Nothing to do and nothing will become possible (closed/unknown).
+    pub fn is_hup_only(&self) -> bool {
+        self.hup && !self.readable && !self.writable
+    }
+}
+
 /// User-visible socket events, drained via [`crate::TcpStack::poll_event`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SockEvent {

@@ -10,7 +10,7 @@
 use neat::netcode::{FrameIo, RxClass};
 use neat_net::ipv4::IpProtocol;
 use neat_net::pcap::PcapWriter;
-use neat_net::{MacAddr, TcpHeader};
+use neat_net::{MacAddr, PktBuf, TcpHeader};
 use neat_tcp::{TcpConfig, TcpStack};
 use std::net::Ipv4Addr;
 
@@ -31,7 +31,7 @@ impl Host {
     }
 
     /// Push stack segments into Ethernet frames (via ARP as needed).
-    fn pump_out(&mut self, now: u64) -> Vec<Vec<u8>> {
+    fn pump_out(&mut self, now: u64) -> Vec<PktBuf> {
         while let Some((dst, h, payload)) = self.stack.poll_transmit(now) {
             let seg = h.emit(&payload, self.stack.local_ip, dst);
             self.io.send_ip(dst, IpProtocol::Tcp, &seg, now);
@@ -39,7 +39,7 @@ impl Host {
         self.io.drain()
     }
 
-    fn rx(&mut self, frame: &[u8], now: u64) {
+    fn rx(&mut self, frame: &PktBuf, now: u64) {
         if let RxClass::Tcp { src, seg } = self.io.classify_rx(frame, now) {
             if let Ok((h, range)) = TcpHeader::parse(&seg, src, self.stack.local_ip) {
                 self.stack.handle_segment(src, &h, &seg[range], now);

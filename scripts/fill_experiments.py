@@ -24,7 +24,7 @@ ORDER = [
     ("table3", "Paper: 53.8% fully transparent recovery, 46.2% TCP connections lost, over 100 failing runs."),
     ("fig13", "Paper: both axes improve with replicas; multi-component preserves more state than single at equal replica count."),
     ("security", "Paper (§3.8, qualitative): consecutive connections handled by processes with unpredictably different layouts."),
-    ("ablations", "Not in the paper: isolating the design choices (tracking filters, TSO, congestion control, wake latency)."),
+    ("ablations", "Not in the paper: isolating the design choices (tracking filters, TSO, congestion control, wake latency, \u00a73.4 batching + zero-copy)."),
 ]
 
 def headline_metrics(name):

@@ -36,15 +36,17 @@ fn every_packet_of_a_flow_takes_the_same_path() {
         FaultInjector::disabled(3),
     );
     for port in 1024..1074u16 {
-        let q_syn = nic.wire_rx(tcp_frame(port, 80, TcpFlags::SYN), 0).unwrap();
+        let q_syn = nic
+            .wire_rx(tcp_frame(port, 80, TcpFlags::SYN).into(), 0)
+            .unwrap();
         let q_ack = nic
-            .wire_rx(tcp_frame(port, 80, TcpFlags::ack()), 0)
+            .wire_rx(tcp_frame(port, 80, TcpFlags::ack()).into(), 0)
             .unwrap();
         let q_psh = nic
-            .wire_rx(tcp_frame(port, 80, TcpFlags::psh_ack()), 0)
+            .wire_rx(tcp_frame(port, 80, TcpFlags::psh_ack()).into(), 0)
             .unwrap();
         let q_fin = nic
-            .wire_rx(tcp_frame(port, 80, TcpFlags::fin_ack()), 0)
+            .wire_rx(tcp_frame(port, 80, TcpFlags::fin_ack()).into(), 0)
             .unwrap();
         assert!(q_syn == q_ack && q_ack == q_psh && q_psh == q_fin);
     }

@@ -202,7 +202,7 @@ fn udp_datagrams_flow_end_to_end() {
     }
     .emit(&ip);
     // Deliver straight to replica 0's head (deterministic path).
-    tb.sim.send_external(stack0, Msg::NetRx(frame));
+    tb.sim.send_external(stack0, Msg::NetRx(frame.into()));
     tb.sim.run_until(tb.sim.now() + Time::from_millis(10));
 
     let got = got.borrow();
