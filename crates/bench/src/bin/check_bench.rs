@@ -9,8 +9,12 @@
 //!
 //! ```text
 //! check_bench                     # compare, exit 1 on drift
-//! check_bench --write-baselines   # regenerate baselines from results/
+//! check_bench --write             # regenerate baselines from results/
+//! check_bench --write-baselines   # same (long spelling)
 //! ```
+//!
+//! `scripts/regen_baselines.sh` wraps the full regenerate flow (quick
+//! bench pass + `--write`).
 //!
 //! Baseline format — per bench, per metric:
 //!
@@ -119,7 +123,7 @@ fn check() -> Result<Vec<String>, String> {
 }
 
 fn main() {
-    let write = std::env::args().any(|a| a == "--write-baselines");
+    let write = std::env::args().any(|a| a == "--write-baselines" || a == "--write");
     if write {
         // Every results file present becomes a baseline entry.
         let mut benches: Vec<String> = std::fs::read_dir("results")

@@ -1,0 +1,609 @@
+//! # conn_scale — million-connection scale-out benchmark
+//!
+//! Drives one server [`TcpStack`] with 100k+ (10k in `--quick`) simulated
+//! long-lived clients on a fixed-seed virtual clock and reports the three
+//! scale headline metrics the CI gate watches:
+//!
+//! * `conn_scale_krps` — steady-state completed requests per virtual
+//!   second (in thousands);
+//! * `conn_scale_mem_per_conn_bytes` — accounted server memory per live
+//!   connection (the `ConnBudget` number exported through `neat-obs`);
+//! * `conn_scale_p99_us` — p99 request completion latency in virtual µs.
+//!
+//! The client population is deliberately heterogeneous — the mixes that
+//! historically melt per-socket timer lists and linear demux scans:
+//!
+//! * **steady requesters** (55%): small request, 512 B response, repeat;
+//! * **idle keepalivers** (20%): connect once, then only keepalive
+//!   probes — pure timer-wheel load;
+//! * **slow readers** (10%): ask for 8 KiB and sip it a few hundred
+//!   bytes at a time — window backpressure + probe timers;
+//! * **churners** (15%): request, close, reconnect — TIME_WAIT wheel
+//!   entries, inline reaping, demux insert/remove churn.
+//!
+//! Everything is deterministic: one seed, virtual time only, no wall
+//! clock anywhere — CI runs the quick profile twice and requires
+//! byte-identical JSON.
+
+use neat_bench::{BenchReport, Table};
+use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
+use neat_util::{FxHashMap, Rng};
+use std::net::Ipv4Addr;
+
+const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const PORT: u16 = 80;
+const SEED: u64 = 0xC0_FF_EE_00;
+
+/// Virtual tick (event-loop cadence).
+const TICK_NS: u64 = 1_000_000; // 1 ms
+/// Virtual cost charged per pump round inside a tick (gives sub-tick
+/// latency resolution without a per-segment event queue).
+const ROUND_NS: u64 = 2_000; // 2 µs
+
+const REQ_LEN: usize = 16;
+const RESP_SMALL: usize = 512;
+const RESP_BIG: usize = 8 * 1024;
+
+/// Per-stack ephemeral-port span is 16384; stay under it per client
+/// stack (churners recycle ports on top).
+const CONNS_PER_STACK: usize = 12_000;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Role {
+    Steady,
+    Keepalive,
+    SlowReader,
+    Churner,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ConnState {
+    Connecting,
+    Idle,
+    /// Waiting for `expect` response bytes, `got` received so far.
+    Awaiting {
+        expect: usize,
+        got: usize,
+        sent_at: u64,
+    },
+    /// Churner linger between connections.
+    Disconnected {
+        reconnect_at_tick: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Conn {
+    stack: usize,
+    id: SocketId,
+    role: Role,
+    state: ConnState,
+    /// Next tick this connection acts (role-specific pacing).
+    next_tick: u64,
+}
+
+struct World {
+    server: TcpStack,
+    clients: Vec<TcpStack>,
+    /// Per client stack: socket id -> conn index (lookup only — never
+    /// iterated, so its order can't leak into results).
+    by_sock: Vec<FxHashMap<SocketId, usize>>,
+    conns: Vec<Conn>,
+    listener: SocketId,
+    /// Server-side request reassembly: bytes of a partial request seen.
+    srv_partial: FxHashMap<SocketId, Vec<u8>>,
+    /// Server-side responses that hit a full send buffer: (id, remaining).
+    srv_backlog: Vec<(SocketId, usize)>,
+    now: u64,
+    completed: u64,
+    completed_steady: u64,
+    latencies_ns: Vec<u64>,
+    refused: u64,
+}
+
+impl World {
+    fn new(n_conns: usize) -> World {
+        let server_cfg = TcpConfig {
+            initial_rto_ns: 20_000_000,
+            backlog: 4096,
+            delayed_ack_ns: 0,
+            nagle: false,
+            ..TcpConfig::default()
+        };
+        let client_cfg = TcpConfig {
+            initial_rto_ns: 20_000_000,
+            delayed_ack_ns: 0,
+            nagle: false,
+            // Churners must recycle ports within the run.
+            time_wait_ns: 50_000_000,
+            // Idle keepalivers exercise the wheel's coarse levels.
+            keepalive_ns: 100_000_000,
+            ..TcpConfig::default()
+        };
+        let n_stacks = n_conns.div_ceil(CONNS_PER_STACK);
+        let mut clients = Vec::with_capacity(n_stacks);
+        let mut by_sock = Vec::with_capacity(n_stacks);
+        for i in 0..n_stacks {
+            let ip = Ipv4Addr::new(10, 0, 1 + (i / 250) as u8, (i % 250) as u8 + 1);
+            clients.push(TcpStack::new(ip, client_cfg.clone()));
+            by_sock.push(FxHashMap::default());
+        }
+        let mut server = TcpStack::new(SERVER_IP, server_cfg);
+        let listener = server.listen(PORT).expect("listen");
+        World {
+            server,
+            clients,
+            by_sock,
+            conns: Vec::with_capacity(n_conns),
+            listener,
+            srv_partial: FxHashMap::default(),
+            srv_backlog: Vec::new(),
+            now: 0,
+            completed: 0,
+            completed_steady: 0,
+            latencies_ns: Vec::new(),
+            refused: 0,
+        }
+    }
+
+    fn role_of(idx: usize) -> Role {
+        match idx % 20 {
+            0..=10 => Role::Steady,
+            11..=14 => Role::Keepalive,
+            15..=16 => Role::SlowReader,
+            _ => Role::Churner,
+        }
+    }
+
+    /// Open connection `idx` on its home stack.
+    fn open(&mut self, idx: usize, rng: &mut Rng, tick: u64) {
+        let stack = idx / CONNS_PER_STACK % self.clients.len();
+        match self.clients[stack].connect(SERVER_IP, PORT, self.now) {
+            Ok(id) => {
+                self.by_sock[stack].insert(id, idx);
+                let role = Self::role_of(idx);
+                let c = Conn {
+                    stack,
+                    id,
+                    role,
+                    state: ConnState::Connecting,
+                    next_tick: tick + rng.gen_range(1u64..16),
+                };
+                if idx < self.conns.len() {
+                    self.conns[idx] = c;
+                } else {
+                    debug_assert_eq!(idx, self.conns.len());
+                    self.conns.push(c);
+                }
+            }
+            Err(_) => self.refused += 1,
+        }
+    }
+
+    /// Send one request on conn `idx`. Byte 0 selects the response size.
+    fn request(&mut self, idx: usize) {
+        let (stack, id, big) = {
+            let c = &self.conns[idx];
+            (c.stack, c.id, c.role == Role::SlowReader)
+        };
+        let mut req = [0u8; REQ_LEN];
+        req[0] = big as u8;
+        if self.clients[stack].send(id, &req).is_ok() {
+            self.conns[idx].state = ConnState::Awaiting {
+                expect: if big { RESP_BIG } else { RESP_SMALL },
+                got: 0,
+                sent_at: self.now,
+            };
+        }
+    }
+
+    /// Server: accept, read requests, write responses; retry the
+    /// backlogged ones.
+    fn server_work(&mut self) {
+        while self.server.acceptable(self.listener) > 0 {
+            let _ = self.server.accept(self.listener);
+        }
+        while let Some(ev) = self.server.poll_event() {
+            match ev {
+                SockEvent::Readable(id) => self.server_read(id),
+                SockEvent::PeerClosed(id) => {
+                    // Active-close side is the client; finish our half.
+                    let _ = self.server.close(id, self.now);
+                    self.srv_partial.remove(&id);
+                }
+                _ => {}
+            }
+        }
+        // Retry responses that earlier hit a full send buffer.
+        if !self.srv_backlog.is_empty() {
+            let mut still = Vec::new();
+            for (id, remaining) in std::mem::take(&mut self.srv_backlog) {
+                let left = self.server_send(id, remaining);
+                if left > 0 {
+                    still.push((id, left));
+                }
+            }
+            self.srv_backlog = still;
+        }
+    }
+
+    fn server_read(&mut self, id: SocketId) {
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = match self.server.recv(id, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            let mut sizes = Vec::new();
+            {
+                let pending = self.srv_partial.entry(id).or_default();
+                pending.extend_from_slice(&buf[..n]);
+                while pending.len() >= REQ_LEN {
+                    let big = pending[0] != 0;
+                    pending.drain(..REQ_LEN);
+                    sizes.push(if big { RESP_BIG } else { RESP_SMALL });
+                }
+            }
+            for size in sizes {
+                let left = self.server_send(id, size);
+                if left > 0 {
+                    self.srv_backlog.push((id, left));
+                }
+            }
+            if n < buf.len() {
+                break;
+            }
+        }
+        if self
+            .srv_partial
+            .get(&id)
+            .map(|p| p.is_empty())
+            .unwrap_or(false)
+        {
+            self.srv_partial.remove(&id);
+        }
+    }
+
+    /// Push up to `size` response bytes; returns bytes still owed.
+    fn server_send(&mut self, id: SocketId, size: usize) -> usize {
+        const CHUNK: [u8; 1024] = [0x42; 1024];
+        let mut left = size;
+        while left > 0 {
+            let n = left.min(CHUNK.len());
+            match self.server.send(id, &CHUNK[..n]) {
+                Ok(sent) => {
+                    left -= sent;
+                    if sent < n {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        left
+    }
+
+    /// Drain one client stack's events and readable data.
+    fn client_work(&mut self, s: usize, rng: &mut Rng, tick: u64, steady: bool) {
+        while let Some(ev) = self.clients[s].poll_event() {
+            let idx = match self.by_sock[s].get(&ev.socket()) {
+                Some(i) => *i,
+                None => continue,
+            };
+            // Stale id (the slot was already recycled to a new socket):
+            // drop the mapping and ignore the event.
+            if self.conns[idx].id != ev.socket() {
+                self.by_sock[s].remove(&ev.socket());
+                continue;
+            }
+            match ev {
+                SockEvent::Connected(_) if self.conns[idx].state == ConnState::Connecting => {
+                    self.conns[idx].state = ConnState::Idle;
+                }
+                SockEvent::Connected(_) => {}
+                SockEvent::Readable(id) => self.client_read(s, idx, id, rng, tick, steady),
+                SockEvent::Aborted(id) | SockEvent::Closed(id) => {
+                    // Churners reach here after their active close; anyone
+                    // else losing a connection re-opens lazily.
+                    if let ConnState::Disconnected { .. } = self.conns[idx].state {
+                    } else if self.conns[idx].role == Role::Churner {
+                        self.by_sock[s].remove(&id);
+                        self.conns[idx].state = ConnState::Disconnected {
+                            reconnect_at_tick: tick + rng.gen_range(5u64..20),
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn client_read(
+        &mut self,
+        s: usize,
+        idx: usize,
+        id: SocketId,
+        rng: &mut Rng,
+        tick: u64,
+        steady: bool,
+    ) {
+        // Slow readers sip on their own schedule, not on readiness.
+        if self.conns[idx].role == Role::SlowReader {
+            return;
+        }
+        let mut buf = [0u8; 2048];
+        loop {
+            let n = match self.clients[s].recv(id, &mut buf) {
+                Ok(0) => return,
+                Ok(n) => n,
+                Err(_) => return,
+            };
+            self.note_received(idx, n, rng, tick, steady);
+            if n < buf.len() {
+                return;
+            }
+        }
+    }
+
+    fn note_received(&mut self, idx: usize, n: usize, rng: &mut Rng, tick: u64, steady: bool) {
+        if let ConnState::Awaiting {
+            expect,
+            got,
+            sent_at,
+        } = self.conns[idx].state
+        {
+            let got = got + n;
+            if got >= expect {
+                self.completed += 1;
+                if steady {
+                    self.completed_steady += 1;
+                    self.latencies_ns.push(self.now - sent_at);
+                }
+                let role = self.conns[idx].role;
+                match role {
+                    Role::Churner => {
+                        let (s, id) = (self.conns[idx].stack, self.conns[idx].id);
+                        let _ = self.clients[s].close(id, self.now);
+                        self.by_sock[s].remove(&id);
+                        self.conns[idx].state = ConnState::Disconnected {
+                            reconnect_at_tick: tick + rng.gen_range(5u64..20),
+                        };
+                    }
+                    _ => {
+                        self.conns[idx].state = ConnState::Idle;
+                        self.conns[idx].next_tick = tick + rng.gen_range(2u64..12);
+                    }
+                }
+            } else {
+                self.conns[idx].state = ConnState::Awaiting {
+                    expect,
+                    got,
+                    sent_at,
+                };
+            }
+        }
+    }
+
+    /// Fire all due timers on every stack (wheel cascade included).
+    fn run_timers(&mut self) {
+        let now = self.now;
+        while let Some(t) = self.server.next_timeout() {
+            if t > now {
+                break;
+            }
+            self.server.on_timer(t);
+        }
+        for c in &mut self.clients {
+            while let Some(t) = c.next_timeout() {
+                if t > now {
+                    break;
+                }
+                c.on_timer(t);
+            }
+        }
+    }
+
+    /// Shuttle segments until quiescent, charging `ROUND_NS` per round.
+    fn pump(&mut self) {
+        loop {
+            let mut moved = false;
+            for s in 0..self.clients.len() {
+                while let Some((_dst, h, p)) = self.clients[s].poll_transmit(self.now) {
+                    let src = self.clients[s].local_ip;
+                    self.server.handle_segment(src, &h, &p, self.now);
+                    moved = true;
+                }
+            }
+            self.server_work();
+            // Server replies, routed back by destination IP.
+            while let Some((dst, h, p)) = self.server.poll_transmit(self.now) {
+                let s = self.stack_of_ip(dst);
+                self.clients[s].handle_segment(SERVER_IP, &h, &p, self.now);
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+            self.now += ROUND_NS;
+        }
+    }
+
+    fn stack_of_ip(&self, ip: Ipv4Addr) -> usize {
+        let o = ip.octets();
+        (o[2] as usize - 1) * 250 + (o[3] as usize - 1)
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[i]
+}
+
+fn main() {
+    let quick_flag = std::env::args().any(|a| a == "--quick");
+    if quick_flag {
+        // Keep the report's `quick` field consistent however we're invoked.
+        std::env::set_var("NEAT_BENCH_QUICK", "1");
+    }
+    let quick = neat_bench::quick();
+    let n_conns: usize = if quick { 10_000 } else { 100_000 };
+    let ramp_ticks: u64 = 50;
+    let steady_ticks: u64 = if quick { 150 } else { 250 };
+    let total_ticks = ramp_ticks + steady_ticks;
+    let warmup_ticks = ramp_ticks + 20;
+
+    let mut rng = Rng::seed_from_u64(SEED);
+    let mut w = World::new(n_conns);
+    let per_tick = n_conns.div_ceil(ramp_ticks as usize);
+    let mut opened = 0usize;
+    let mut mem_per_conn_half = 0.0f64;
+    let mut steady_sample: Vec<(u64, usize, f64)> = Vec::new();
+
+    for tick in 0..total_ticks {
+        w.now = w.now.max(tick * TICK_NS);
+        let steady = tick >= warmup_ticks;
+
+        // Ramp: open the next batch of connections.
+        if opened < n_conns {
+            let batch = per_tick.min(n_conns - opened);
+            for idx in opened..opened + batch {
+                w.open(idx, &mut rng, tick);
+            }
+            opened += batch;
+        }
+
+        // Role-driven client actions.
+        for idx in 0..w.conns.len() {
+            if w.conns[idx].next_tick > tick {
+                continue;
+            }
+            match (w.conns[idx].role, w.conns[idx].state) {
+                (_, ConnState::Disconnected { reconnect_at_tick }) if tick >= reconnect_at_tick => {
+                    w.open(idx, &mut rng, tick);
+                }
+                (Role::Steady, ConnState::Idle) | (Role::Churner, ConnState::Idle) => {
+                    w.request(idx);
+                    w.conns[idx].next_tick = tick + rng.gen_range(2u64..12);
+                }
+                (Role::SlowReader, ConnState::Idle) => {
+                    w.request(idx);
+                    w.conns[idx].next_tick = tick + 4;
+                }
+                (Role::SlowReader, ConnState::Awaiting { .. }) => {
+                    // Sip a few hundred bytes, then wait again.
+                    let (s, id) = (w.conns[idx].stack, w.conns[idx].id);
+                    let mut sip = [0u8; 256];
+                    if let Ok(n) = w.clients[s].recv(id, &mut sip) {
+                        w.note_received(idx, n, &mut rng, tick, steady);
+                    }
+                    w.conns[idx].next_tick = tick + 4;
+                }
+                (Role::Keepalive, ConnState::Idle) => {
+                    // Stays idle on purpose; push the next check far out.
+                    w.conns[idx].next_tick = tick + 1000;
+                }
+                _ => {}
+            }
+        }
+
+        w.run_timers();
+        w.pump();
+        for s in 0..w.clients.len() {
+            w.client_work(s, &mut rng, tick, steady);
+        }
+        w.pump();
+
+        if tick == ramp_ticks / 2 {
+            mem_per_conn_half = w.server.budget().bytes_per_conn();
+        }
+        if steady && (tick - warmup_ticks).is_multiple_of(50) {
+            steady_sample.push((
+                tick,
+                w.server.conn_count(),
+                w.server.budget().bytes_per_conn(),
+            ));
+        }
+    }
+
+    // Headline numbers.
+    if std::env::var("CONN_SCALE_DEBUG").is_ok() {
+        let mut dist = std::collections::BTreeMap::new();
+        for id in w.server.socket_ids() {
+            if let Some(st) = w.server.state(id) {
+                *dist.entry(format!("{st:?}")).or_insert(0u64) += 1;
+            }
+        }
+        eprintln!("server socket states: {dist:?}");
+        let mut cdist = std::collections::BTreeMap::new();
+        for c in &w.clients {
+            for id in c.socket_ids() {
+                if let Some(st) = c.state(id) {
+                    *cdist.entry(format!("{st:?}")).or_insert(0u64) += 1;
+                }
+            }
+        }
+        eprintln!("client socket states: {cdist:?}");
+    }
+    w.server.publish_mem_gauges();
+    let steady_secs = (steady_ticks - 20) as f64 * TICK_NS as f64 / 1e9;
+    let krps = w.completed_steady as f64 / steady_secs / 1e3;
+    let mem_per_conn = w.server.budget().bytes_per_conn();
+    w.latencies_ns.sort_unstable();
+    let p50_us = percentile(&w.latencies_ns, 0.50) as f64 / 1e3;
+    let p99_us = percentile(&w.latencies_ns, 0.99) as f64 / 1e3;
+
+    let mut report = BenchReport::new("conn_scale");
+    let mut t = Table::new(
+        format!("conn_scale: {n_conns} long-lived clients (fixed seed)"),
+        &["metric", "value"],
+    );
+    t.row(&["clients (target)".into(), n_conns.to_string()]);
+    t.row(&[
+        "server live conns (end)".into(),
+        w.server.conn_count().to_string(),
+    ]);
+    t.row(&["requests completed".into(), w.completed.to_string()]);
+    t.row(&["steady krps".into(), format!("{krps:.1}")]);
+    t.row(&["p50 latency (us)".into(), format!("{p50_us:.1}")]);
+    t.row(&["p99 latency (us)".into(), format!("{p99_us:.1}")]);
+    t.row(&[
+        "bytes/conn @ half ramp".into(),
+        format!("{mem_per_conn_half:.0}"),
+    ]);
+    t.row(&["bytes/conn @ end".into(), format!("{mem_per_conn:.0}")]);
+    t.row(&[
+        "budget refusals".into(),
+        (w.refused + w.server.budget().refused()).to_string(),
+    ]);
+    report.table(&t);
+
+    let mut growth = Table::new(
+        "memory boundedness: bytes/conn while scaling up",
+        &["tick", "live conns", "bytes/conn"],
+    );
+    for (tick, conns, bpc) in &steady_sample {
+        growth.row(&[tick.to_string(), conns.to_string(), format!("{bpc:.0}")]);
+    }
+    report.table(&growth);
+
+    // The boundedness claim of the issue: per-conn memory must not grow
+    // with the connection count. Half-ramp load is lighter per conn (less
+    // buffered data), so allow a generous constant factor — what this
+    // catches is O(n) growth, which would blow far past 4x.
+    if mem_per_conn_half > 0.0 && mem_per_conn > 4.0 * mem_per_conn_half {
+        eprintln!(
+            "FAIL: bytes/conn grew {:.0} -> {:.0} while conns scaled up",
+            mem_per_conn_half, mem_per_conn
+        );
+        std::process::exit(1);
+    }
+
+    report.metric("conn_scale_krps", krps);
+    report.metric("conn_scale_mem_per_conn_bytes", mem_per_conn);
+    report.metric("conn_scale_p99_us", p99_us);
+    report.finish();
+}

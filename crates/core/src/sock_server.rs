@@ -248,11 +248,19 @@ impl SockServer {
 
     pub fn on_timer(&mut self, now: u64) {
         self.stack.on_timer(now);
+        // Timer ticks are the natural low-frequency heartbeat to refresh
+        // the `tcp.conn.*` memory gauges from this replica's budget.
+        self.stack.publish_mem_gauges();
     }
 
     /// Live connection count (lazy-termination GC input, §3.4).
     pub fn conn_count(&self) -> usize {
         self.stack.conn_count()
+    }
+
+    /// Accounted connection-memory budget of the underlying stack.
+    pub fn budget(&self) -> &neat_tcp::ConnBudget {
+        self.stack.budget()
     }
 
     /// Ports currently being listened on.

@@ -46,6 +46,8 @@ pub enum SockErr {
     BadState,
     /// The connection timed out (retransmission limit).
     TimedOut,
+    /// The stack's connection-memory budget is exhausted (ENOMEM/ENOBUFS).
+    NoMemory,
 }
 
 impl From<neat_tcp::TcpError> for SockErr {
@@ -59,6 +61,7 @@ impl From<neat_tcp::TcpError> for SockErr {
             T::WouldBlock => SockErr::WouldBlock,
             T::Reset => SockErr::ConnReset,
             T::TimedOut => SockErr::TimedOut,
+            T::NoMemory => SockErr::NoMemory,
         }
     }
 }

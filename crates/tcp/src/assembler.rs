@@ -34,6 +34,13 @@ impl Assembler {
         self.runs.is_empty()
     }
 
+    /// Allocated heap bytes across all out-of-order runs (capacity
+    /// accounting for the `ConnBudget`).
+    pub fn heap_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<(SeqNum, Vec<u8>)>()
+            + self.runs.iter().map(|(_, d)| d.capacity()).sum::<usize>()
+    }
+
     /// Insert a segment `[seq, seq+data.len())`. Data at or below `ack`
     /// (already delivered) is trimmed. Returns false if capacity was
     /// exceeded and the segment dropped.

@@ -78,6 +78,13 @@ impl SendBuffer {
         self.data.range(off..end).copied().collect()
     }
 
+    /// Allocated heap bytes (capacity, not configured cap) — the number
+    /// the `ConnBudget` accounts. Lazily-allocated buffers keep idle
+    /// connections near zero here.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Bytes available at or beyond `seq`.
     pub fn len_from(&self, seq: SeqNum) -> usize {
         let off = seq - self.base;
@@ -131,6 +138,11 @@ impl RecvBuffer {
     /// The receive window we can advertise.
     pub fn window(&self) -> usize {
         self.cap - self.data.len()
+    }
+
+    /// Allocated heap bytes (capacity, not configured cap).
+    pub fn heap_bytes(&self) -> usize {
+        self.data.capacity()
     }
 }
 

@@ -21,16 +21,22 @@
 //! * ephemeral port allocation, RST generation and handling.
 
 pub mod assembler;
+pub mod budget;
 pub mod buffer;
 pub mod congestion;
+pub mod demux;
 pub mod rto;
 pub mod socket;
 pub mod stack;
 pub mod types;
+pub mod wheel;
 
 #[cfg(test)]
 mod proptests;
 
+pub use budget::ConnBudget;
+pub use demux::DemuxTable;
 pub use socket::TcpSocket;
 pub use stack::TcpStack;
 pub use types::{CongestionAlgo, Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+pub use wheel::TimerWheel;

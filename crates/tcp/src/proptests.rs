@@ -5,10 +5,15 @@
 
 use crate::buffer::{RecvBuffer, SendBuffer};
 use crate::congestion::{CongestionControl, Cubic, Reno};
+use crate::demux::DemuxTable;
 use crate::rto::RttEstimator;
-use neat_net::SeqNum;
+use crate::types::SocketId;
+use crate::wheel::TimerWheel;
+use neat_net::{FlowKey, SeqNum};
 use neat_util::check::{check, vec_of, Config};
 use neat_util::{prop_assert, prop_assert_eq};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
 
 /// SendBuffer: pushes + acks never lose or duplicate bytes; peek at
 /// any in-range position returns exactly the pushed bytes.
@@ -178,6 +183,277 @@ fn rto_bounds() {
                 e.backoff();
                 prop_assert!(e.rto() >= prev);
                 prev = e.rto();
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Timer wheel vs a naive sorted-list model: any random mix of
+/// schedule / reschedule / cancel / advance fires exactly the same keys
+/// in exactly the same order (deadline, then arm sequence) as the model.
+/// This covers the cascade machinery: advances jump across level
+/// boundaries, so entries migrate through coarse slots before firing.
+#[test]
+fn wheel_matches_sorted_list_model() {
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Schedule key at now + delta (re-schedules if armed).
+        Schedule {
+            key: u64,
+            delta: u64,
+        },
+        Cancel {
+            key: u64,
+        },
+        Advance {
+            delta: u64,
+        },
+    }
+
+    impl neat_util::check::Shrink for Op {
+        fn shrink(&self) -> Vec<Op> {
+            match *self {
+                Op::Schedule { key, delta } => {
+                    let mut out: Vec<Op> = delta
+                        .shrink()
+                        .into_iter()
+                        .map(|d| Op::Schedule { key, delta: d })
+                        .collect();
+                    out.extend(
+                        key.shrink()
+                            .into_iter()
+                            .map(|k| Op::Schedule { key: k, delta }),
+                    );
+                    out
+                }
+                Op::Cancel { key } => key
+                    .shrink()
+                    .into_iter()
+                    .map(|k| Op::Cancel { key: k })
+                    .collect(),
+                Op::Advance { delta } => delta
+                    .shrink()
+                    .into_iter()
+                    .filter(|d| *d > 0)
+                    .map(|d| Op::Advance { delta: d })
+                    .collect(),
+            }
+        }
+    }
+
+    check(
+        "wheel_matches_sorted_list_model",
+        Config::default().cases(256),
+        |rng| {
+            vec_of(rng, 1..60, |r| match r.gen_range(0u8..5) {
+                0 => Op::Cancel {
+                    key: r.gen_range(0u64..16),
+                },
+                1 | 2 => Op::Schedule {
+                    key: r.gen_range(0u64..16),
+                    // Mix of fine (inner-wheel) and very coarse (multi-
+                    // level cascade) horizons.
+                    delta: match r.gen_range(0u8..3) {
+                        0 => r.gen_range(0u64..64),
+                        1 => r.gen_range(64u64..100_000),
+                        _ => r.gen_range(100_000u64..20_000_000_000),
+                    },
+                },
+                _ => Op::Advance {
+                    delta: match r.gen_range(0u8..3) {
+                        0 => r.gen_range(1u64..128),
+                        1 => r.gen_range(128u64..1_000_000),
+                        _ => r.gen_range(1_000_000u64..40_000_000_000),
+                    },
+                },
+            })
+        },
+        |ops| {
+            let mut wheel = TimerWheel::new(0);
+            // Model: key -> (deadline, seq). Firing order: (deadline, seq).
+            let mut model: HashMap<u64, (u64, u64)> = HashMap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for op in ops {
+                match op {
+                    Op::Schedule { key, delta } => {
+                        let deadline = now + delta;
+                        wheel.schedule(key, deadline);
+                        seq += 1;
+                        model.insert(key, (deadline, seq));
+                        prop_assert_eq!(wheel.deadline_of(key), Some(deadline));
+                    }
+                    Op::Cancel { key } => {
+                        let got = wheel.cancel(key);
+                        let want = model.remove(&key).map(|(d, _)| d);
+                        prop_assert_eq!(got, want);
+                    }
+                    Op::Advance { delta } => {
+                        now += delta;
+                        let fired = wheel.advance(now);
+                        let mut want: Vec<(u64, u64, u64)> = model
+                            .iter()
+                            .filter(|(_, (d, _))| *d <= now)
+                            .map(|(k, (d, s))| (*d, *s, *k))
+                            .collect();
+                        want.sort_unstable();
+                        for (_, _, k) in &want {
+                            model.remove(k);
+                        }
+                        let want: Vec<u64> = want.into_iter().map(|(_, _, k)| k).collect();
+                        prop_assert_eq!(&fired, &want, "at now={}", now);
+                    }
+                }
+                prop_assert_eq!(wheel.len(), model.len());
+            }
+            // Drain everything left: all remaining keys must eventually
+            // fire, in model order.
+            let fired = wheel.advance(u64::MAX - 1);
+            let mut want: Vec<(u64, u64, u64)> =
+                model.iter().map(|(k, (d, s))| (*d, *s, *k)).collect();
+            want.sort_unstable();
+            let want: Vec<u64> = want.into_iter().map(|(_, _, k)| k).collect();
+            prop_assert_eq!(&fired, &want, "final drain");
+            prop_assert!(wheel.is_empty());
+            Ok(())
+        },
+    );
+}
+
+/// `next_event()` is a sound lower bound: it is never later than the
+/// earliest real deadline, and repeatedly advancing to it reaches every
+/// deadline exactly (never skips past one).
+#[test]
+fn wheel_next_event_is_sound_lower_bound() {
+    check(
+        "wheel_next_event_is_sound_lower_bound",
+        Config::default().cases(256),
+        |rng| {
+            vec_of(rng, 1..40, |r| {
+                (r.gen_range(0u64..32), r.gen_range(0u64..30_000_000_000))
+            })
+        },
+        |arms| {
+            let mut wheel = TimerWheel::new(0);
+            let mut deadlines: HashMap<u64, u64> = HashMap::new();
+            for (key, deadline) in arms {
+                wheel.schedule(key, deadline);
+                deadlines.insert(key, deadline);
+            }
+            let mut hops = 0u32;
+            while let Some(t) = wheel.next_event() {
+                if let Some(earliest) = deadlines.values().copied().min() {
+                    prop_assert!(
+                        t <= earliest,
+                        "lower bound violated: next_event {} vs earliest {}",
+                        t,
+                        earliest
+                    );
+                }
+                for k in wheel.advance(t) {
+                    let d = deadlines.remove(&k).expect("fired unknown key");
+                    // Advancing exactly to the lower bound can only release
+                    // timers whose true deadline IS that instant: never
+                    // early, and (when driven this way) never late either.
+                    prop_assert_eq!(d, t, "fired exactly at its deadline");
+                }
+                hops += 1;
+                prop_assert!(hops < 4096, "cascade converges");
+            }
+            prop_assert!(deadlines.is_empty(), "no deadline skipped");
+            Ok(())
+        },
+    );
+}
+
+/// Hashed demux table vs `HashMap`: random 4-tuple insert / lookup /
+/// remove streams agree exactly, across growth and Robin Hood
+/// backward-shift deletions.
+#[test]
+fn demux_matches_hashmap_model() {
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u8, u16, u16, u64),
+        Get(u8, u16, u16),
+        Remove(u8, u16, u16),
+    }
+
+    impl neat_util::check::Shrink for Op {
+        fn shrink(&self) -> Vec<Op> {
+            // Shrink the tuple fields jointly via the built-in tuple
+            // shrinker, preserving the op kind.
+            match self.clone() {
+                Op::Insert(a, sp, dp, id) => (a, sp, dp, id)
+                    .shrink()
+                    .into_iter()
+                    .map(|(a, sp, dp, id)| Op::Insert(a, sp, dp, id))
+                    .collect(),
+                Op::Get(a, sp, dp) => (a, sp, dp)
+                    .shrink()
+                    .into_iter()
+                    .map(|(a, sp, dp)| Op::Get(a, sp, dp))
+                    .collect(),
+                Op::Remove(a, sp, dp) => (a, sp, dp)
+                    .shrink()
+                    .into_iter()
+                    .map(|(a, sp, dp)| Op::Remove(a, sp, dp))
+                    .collect(),
+            }
+        }
+    }
+    // Deliberately tiny key space so collisions, displacement chains and
+    // re-insertions of just-removed keys all happen.
+    fn flow(a: u8, sp: u16, dp: u16) -> FlowKey {
+        FlowKey::tcp(
+            Ipv4Addr::new(10, 0, a % 4, a),
+            sp % 8,
+            Ipv4Addr::new(10, 0, 0, 1),
+            dp % 4,
+        )
+    }
+
+    check(
+        "demux_matches_hashmap_model",
+        Config::default().cases(256),
+        |rng| {
+            vec_of(rng, 1..120, |r| match r.gen_range(0u8..4) {
+                0 | 1 => Op::Insert(
+                    r.gen::<u8>(),
+                    r.gen::<u16>(),
+                    r.gen::<u16>(),
+                    r.gen::<u64>(),
+                ),
+                2 => Op::Get(r.gen::<u8>(), r.gen::<u16>(), r.gen::<u16>()),
+                _ => Op::Remove(r.gen::<u8>(), r.gen::<u16>(), r.gen::<u16>()),
+            })
+        },
+        |ops| {
+            let mut table = DemuxTable::new(0xDECAF);
+            let mut model: HashMap<FlowKey, SocketId> = HashMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(a, sp, dp, id) => {
+                        let k = flow(a, sp, dp);
+                        let id = SocketId(id);
+                        prop_assert_eq!(table.insert(k, id), model.insert(k, id));
+                    }
+                    Op::Get(a, sp, dp) => {
+                        let k = flow(a, sp, dp);
+                        prop_assert_eq!(table.get(&k), model.get(&k).copied());
+                        prop_assert_eq!(table.contains_key(&k), model.contains_key(&k));
+                    }
+                    Op::Remove(a, sp, dp) => {
+                        let k = flow(a, sp, dp);
+                        prop_assert_eq!(table.remove(&k), model.remove(&k));
+                    }
+                }
+                prop_assert_eq!(table.len(), model.len());
+                prop_assert_eq!(table.is_empty(), model.is_empty());
+            }
+            // Full sweep: every key the model holds must still resolve.
+            for (k, v) in &model {
+                prop_assert_eq!(table.get(k), Some(*v));
             }
             Ok(())
         },

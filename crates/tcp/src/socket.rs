@@ -17,6 +17,10 @@ use std::net::Ipv4Addr;
 /// The window-scale shift we advertise on SYN segments.
 const OUR_WSCALE: u8 = 7;
 
+/// Flat estimate for the boxed congestion-controller state (Reno/CUBIC
+/// are both a handful of words; the box allocation dominates).
+const CC_BOX_BYTES: usize = 64;
+
 /// One end of a TCP connection.
 #[derive(Debug)]
 pub struct TcpSocket {
@@ -93,6 +97,10 @@ pub struct TcpSocket {
     pub tx_segments: u64,
     pub rx_segments: u64,
     pub retransmits: u64,
+
+    /// Footprint last reported to the stack's `ConnBudget`; the stack
+    /// keeps the budget in sync by delta against this.
+    accounted: usize,
 }
 
 impl TcpSocket {
@@ -140,7 +148,27 @@ impl TcpSocket {
             tx_segments: 0,
             rx_segments: 0,
             retransmits: 0,
+            accounted: 0,
         }
+    }
+
+    /// Approximate resident footprint of this connection: the socket
+    /// struct plus every heap allocation it owns (buffer *capacities*,
+    /// not configured limits — idle connections stay near
+    /// `size_of::<TcpSocket>()`).
+    pub fn mem_bytes(&self) -> usize {
+        std::mem::size_of::<TcpSocket>()
+            + self.send_buf.heap_bytes()
+            + self.recv_buf.heap_bytes()
+            + self.asm.heap_bytes()
+            + self.events.capacity() * std::mem::size_of::<SockEvent>()
+            + CC_BOX_BYTES
+    }
+
+    /// Record `new` as the budget-accounted footprint, returning the
+    /// previous value (stack-internal delta accounting).
+    pub(crate) fn swap_accounted(&mut self, new: usize) -> usize {
+        std::mem::replace(&mut self.accounted, new)
     }
 
     /// Create a socket performing an active open (client side).

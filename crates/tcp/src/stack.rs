@@ -5,11 +5,27 @@
 //! paper's key partitioning invariant — "each network socket [lives] only in
 //! a single instance of the network stack" (§3.1) — holds trivially because
 //! a stack instance is a plain owned value; there is nothing to share.
+//!
+//! Scale-out structure (the million-connection refactor):
+//!
+//! * flow demux goes through the flat hashed [`DemuxTable`] — O(1) per
+//!   segment, no per-node allocation (see `demux.rs`);
+//! * all per-socket deadlines live in one hierarchical [`TimerWheel`] —
+//!   O(1) arm/cancel, cascade on demand (see `wheel.rs`);
+//! * listener lookup by id is a hash probe, not a scan;
+//! * closed sockets are reaped inline at their quiescence point instead
+//!   of by an O(all sockets) sweep on every timer tick;
+//! * per-connection memory is delta-accounted into a [`ConnBudget`] and
+//!   optionally bounded (`TcpConfig::conn_memory_limit`).
 
+use crate::budget::ConnBudget;
+use crate::demux::DemuxTable;
 use crate::socket::TcpSocket;
 use crate::types::{Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+use crate::wheel::TimerWheel;
 use neat_net::{FlowKey, SeqNum, TcpFlags, TcpHeader};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use neat_util::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// A listening socket: subsockets of the paper's replicated listeners map
@@ -55,17 +71,26 @@ impl StackObs {
     }
 }
 
+/// Rough first-touch footprint of a connection, used for budget
+/// admission before the socket exists.
+fn base_conn_cost() -> u64 {
+    (std::mem::size_of::<TcpSocket>() + 64) as u64
+}
+
 /// One isolated TCP stack instance.
 #[derive(Debug)]
 pub struct TcpStack {
     pub local_ip: Ipv4Addr,
     cfg: TcpConfig,
-    sockets: HashMap<SocketId, TcpSocket>,
-    /// Established/opening connections by flow (remote side as src).
-    conns: HashMap<FlowKey, SocketId>,
-    listeners: HashMap<u16, Listener>,
+    sockets: FxHashMap<SocketId, TcpSocket>,
+    /// Established/opening connections by flow (remote side as src):
+    /// the O(1) hashed TCB table every inbound segment resolves through.
+    conns: DemuxTable,
+    listeners: FxHashMap<u16, Listener>,
+    /// Listener id -> port (O(1) accept/acceptable/poll by id).
+    listener_of: FxHashMap<SocketId, u16>,
     /// Which listener a pending (not yet accepted) socket belongs to.
-    pending_of: HashMap<SocketId, u16>,
+    pending_of: FxHashMap<SocketId, u16>,
     next_id: u64,
     next_port: u16,
     port_lo: u16,
@@ -73,36 +98,44 @@ pub struct TcpStack {
     iss_counter: u32,
     /// Sockets that may have segments to transmit.
     dirty: VecDeque<SocketId>,
-    dirty_set: std::collections::HashSet<SocketId>,
+    dirty_set: FxHashSet<SocketId>,
     /// Raw segments owed to peers with no socket (RSTs).
     raw_out: VecDeque<(Ipv4Addr, TcpHeader, Vec<u8>)>,
     /// User-visible events.
     events: VecDeque<SockEvent>,
-    /// Timer heap: (deadline, socket), lazily validated.
-    timers: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    /// One armed deadline per socket, hierarchically hashed.
+    timers: TimerWheel,
+    /// Accounted connection memory (and the optional bound on it).
+    budget: ConnBudget,
     pub stats: StackStats,
     obs: StackObs,
 }
 
 impl TcpStack {
     pub fn new(local_ip: Ipv4Addr, cfg: TcpConfig) -> TcpStack {
+        // Key the demux hash off the local address: deterministic for a
+        // fixed topology, distinct between stack instances.
+        let demux_key = 0x9e37_79b9_7f4a_7c15u64 ^ ((u32::from(local_ip) as u64) << 17);
+        let budget = ConnBudget::new(cfg.conn_memory_limit);
         TcpStack {
             local_ip,
             cfg,
-            sockets: HashMap::new(),
-            conns: HashMap::new(),
-            listeners: HashMap::new(),
-            pending_of: HashMap::new(),
+            sockets: FxHashMap::default(),
+            conns: DemuxTable::new(demux_key),
+            listeners: FxHashMap::default(),
+            listener_of: FxHashMap::default(),
+            pending_of: FxHashMap::default(),
             next_id: 1,
             next_port: 49_152,
             port_lo: 49_152,
             port_hi: 65_535,
             iss_counter: 0x1234_5678,
             dirty: VecDeque::new(),
-            dirty_set: std::collections::HashSet::new(),
+            dirty_set: FxHashSet::default(),
             raw_out: VecDeque::new(),
             events: VecDeque::new(),
-            timers: BinaryHeap::new(),
+            timers: TimerWheel::new(0),
+            budget,
             stats: StackStats::default(),
             obs: StackObs::new(),
         }
@@ -137,12 +170,36 @@ impl TcpStack {
         }
     }
 
+    /// (Re-)arm the wheel with the socket's earliest deadline, or disarm
+    /// when it no longer needs one. O(1) either way.
     fn arm_timer(&mut self, id: SocketId) {
-        if let Some(s) = self.sockets.get(&id) {
-            if let Some(d) = s.next_timeout() {
-                self.timers.push(std::cmp::Reverse((d, id.0)));
+        match self.sockets.get(&id).and_then(|s| s.next_timeout()) {
+            Some(d) => self.timers.schedule(id.0, d),
+            None => {
+                self.timers.cancel(id.0);
             }
         }
+    }
+
+    /// Bring the budget in sync with the socket's current footprint.
+    fn account(&mut self, id: SocketId) {
+        if let Some(s) = self.sockets.get_mut(&id) {
+            let new = s.mem_bytes();
+            let old = s.swap_accounted(new);
+            self.budget.adjust(new as i64 - old as i64);
+        }
+    }
+
+    /// Register a freshly created connection socket.
+    fn install_socket(&mut self, flow: FlowKey, mut sock: TcpSocket) {
+        let id = sock.id;
+        let bytes = sock.mem_bytes();
+        sock.swap_accounted(bytes);
+        self.budget.on_open(bytes as u64);
+        self.conns.insert(flow, id);
+        self.sockets.insert(id, sock);
+        self.mark_dirty(id);
+        self.arm_timer(id);
     }
 
     // ------------------------------------------------------------------
@@ -164,12 +221,15 @@ impl TcpStack {
                 syn_backlog: 0,
             },
         );
+        self.listener_of.insert(id, port);
         Ok(id)
     }
 
     /// Stop listening on a port (existing connections are unaffected).
     pub fn unlisten(&mut self, port: u16) {
-        self.listeners.remove(&port);
+        if let Some(l) = self.listeners.remove(&port) {
+            self.listener_of.remove(&l.id);
+        }
     }
 
     /// Active open to `remote`. Returns the new socket id; the
@@ -180,6 +240,9 @@ impl TcpStack {
         remote_port: u16,
         now: u64,
     ) -> Result<SocketId, TcpError> {
+        if !self.budget.admit(base_conn_cost()) {
+            return Err(TcpError::NoMemory);
+        }
         let port = self.alloc_ephemeral(remote_ip, remote_port)?;
         let id = self.alloc_id();
         let iss = self.next_iss();
@@ -192,11 +255,8 @@ impl TcpStack {
             now,
         );
         let flow = FlowKey::tcp(remote_ip, remote_port, self.local_ip, port);
-        self.conns.insert(flow, id);
-        self.sockets.insert(id, sock);
+        self.install_socket(flow, sock);
         self.stats.conns_opened += 1;
-        self.mark_dirty(id);
-        self.arm_timer(id);
         Ok(id)
     }
 
@@ -219,11 +279,8 @@ impl TcpStack {
 
     /// Accept one ready connection from a listener.
     pub fn accept(&mut self, listener: SocketId) -> Result<SocketId, TcpError> {
-        let l = self
-            .listeners
-            .values_mut()
-            .find(|l| l.id == listener)
-            .ok_or(TcpError::NoSocket)?;
+        let port = *self.listener_of.get(&listener).ok_or(TcpError::NoSocket)?;
+        let l = self.listeners.get_mut(&port).ok_or(TcpError::NoSocket)?;
         let id = l.accept_q.pop_front().ok_or(TcpError::WouldBlock)?;
         self.pending_of.remove(&id);
         self.stats.conns_accepted += 1;
@@ -233,9 +290,9 @@ impl TcpStack {
 
     /// Number of connections ready to accept on a listener.
     pub fn acceptable(&self, listener: SocketId) -> usize {
-        self.listeners
-            .values()
-            .find(|l| l.id == listener)
+        self.listener_of
+            .get(&listener)
+            .and_then(|port| self.listeners.get(port))
             .map(|l| l.accept_q.len())
             .unwrap_or(0)
     }
@@ -245,6 +302,7 @@ impl TcpStack {
         let r = s.send(data);
         if r.is_ok() {
             self.mark_dirty(id);
+            self.account(id);
         }
         r
     }
@@ -254,6 +312,7 @@ impl TcpStack {
         let r = s.recv(buf);
         if r.is_ok() {
             self.mark_dirty(id); // window update may be owed
+            self.account(id);
         }
         r
     }
@@ -289,6 +348,7 @@ impl TcpStack {
         }
         if total > 0 {
             self.mark_dirty(id); // window update may be owed
+            self.account(id);
         }
         Ok(total)
     }
@@ -297,7 +357,11 @@ impl TcpStack {
     /// surfaces sit on). Works for listeners (readable == accept ready)
     /// and connections alike; unknown ids read as pure hang-up.
     pub fn poll(&self, id: SocketId) -> Readiness {
-        if let Some(l) = self.listeners.values().find(|l| l.id == id) {
+        if let Some(l) = self
+            .listener_of
+            .get(&id)
+            .and_then(|port| self.listeners.get(port))
+        {
             return Readiness {
                 readable: !l.accept_q.is_empty(),
                 writable: false,
@@ -361,6 +425,18 @@ impl TcpStack {
         self.conns.len()
     }
 
+    /// The connection-memory account (bytes, per-conn average, refusals).
+    pub fn budget(&self) -> &ConnBudget {
+        &self.budget
+    }
+
+    /// Export `tcp.conn.*` gauges for this stack instance through the
+    /// global `neat-obs` registry (explicit because gauges are
+    /// process-global — call it on the instance you want visible).
+    pub fn publish_mem_gauges(&self) {
+        self.budget.publish();
+    }
+
     // ------------------------------------------------------------------
     // Wire input
     // ------------------------------------------------------------------
@@ -371,7 +447,7 @@ impl TcpStack {
         self.stats.rx_segments += 1;
         self.obs.rx_segments.inc();
         let flow = FlowKey::tcp(src, h.src_port, self.local_ip, h.dst_port);
-        if let Some(&id) = self.conns.get(&flow) {
+        if let Some(id) = self.conns.get(&flow) {
             self.deliver(id, h, payload, now);
             return;
         }
@@ -384,8 +460,15 @@ impl TcpStack {
                     neat_obs::counter_add("tcp.syn_dropped", 1);
                     return;
                 }
-                let lid = l.id;
                 let lport = l.port;
+                if !self.budget.admit(base_conn_cost()) {
+                    // Out of connection memory: shed exactly like a
+                    // backlog overflow.
+                    self.stats.demux_misses += 1;
+                    neat_obs::counter_add("tcp.syn_dropped", 1);
+                    return;
+                }
+                let l = self.listeners.get_mut(&h.dst_port).unwrap();
                 l.syn_backlog += 1;
                 let id = self.alloc_id();
                 let iss = self.next_iss();
@@ -398,12 +481,8 @@ impl TcpStack {
                     iss,
                     now,
                 );
-                self.conns.insert(flow, id);
-                self.sockets.insert(id, sock);
+                self.install_socket(flow, sock);
                 self.pending_of.insert(id, lport);
-                let _ = lid;
-                self.mark_dirty(id);
-                self.arm_timer(id);
                 return;
             }
         }
@@ -449,6 +528,7 @@ impl TcpStack {
         self.drain_socket_events(id);
         self.mark_dirty(id);
         self.arm_timer(id);
+        self.account(id);
     }
 
     fn drain_socket_events(&mut self, id: SocketId) {
@@ -490,6 +570,10 @@ impl TcpStack {
             self.dirty.pop_front();
             self.dirty_set.remove(&id);
             self.drain_socket_events(id);
+            self.account(id);
+            // A socket that drained its last segment and reached Closed
+            // is quiescent here — reap it now (no global GC sweeps).
+            self.maybe_reap(id);
         }
         None
     }
@@ -499,55 +583,54 @@ impl TcpStack {
         self.events.pop_front()
     }
 
-    /// Earliest pending timer deadline across all sockets.
+    /// Next instant this stack needs a timer callback. For coarse
+    /// deadlines this is the wheel's cascade boundary — a lower bound on
+    /// the earliest real deadline — so drivers must re-arm from the new
+    /// `next_timeout` after each `on_timer` (every driver in this
+    /// workspace already does).
     pub fn next_timeout(&self) -> Option<u64> {
-        self.timers.peek().map(|std::cmp::Reverse((d, _))| *d)
+        self.timers.next_event()
     }
 
-    /// Fire all timers due at `now`; then garbage-collect closed sockets.
+    /// Fire all timers due at `now`, cascading the wheel as needed.
     pub fn on_timer(&mut self, now: u64) {
-        loop {
-            match self.timers.peek() {
-                Some(std::cmp::Reverse((d, _))) if *d <= now => {}
-                _ => break,
-            }
-            let std::cmp::Reverse((_, raw_id)) = self.timers.pop().unwrap();
-            let id = SocketId(raw_id);
+        for key in self.timers.advance(now) {
+            let id = SocketId(key);
             if let Some(s) = self.sockets.get_mut(&id) {
-                // Lazily validate: fire only if a deadline is really due.
-                match s.next_timeout() {
-                    Some(d) if d <= now => {
-                        s.on_timer(now);
-                        self.drain_socket_events(id);
-                        self.mark_dirty(id);
-                        self.arm_timer(id);
-                    }
-                    Some(_) => self.arm_timer(id),
-                    None => {}
-                }
+                s.on_timer(now);
+                self.drain_socket_events(id);
+                self.mark_dirty(id);
+                self.arm_timer(id);
+                self.account(id);
             }
         }
-        self.collect_closed();
     }
 
-    /// Remove fully closed sockets (after their final segments drained).
-    fn collect_closed(&mut self) {
-        let dead: Vec<SocketId> = self
-            .sockets
-            .iter()
-            .filter(|(id, s)| {
-                s.state() == TcpState::Closed && !self.dirty_set.contains(id) && s.events.is_empty()
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in dead {
-            if let Some(s) = self.sockets.remove(&id) {
-                let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
-                self.conns.remove(&flow);
-                if let Some(port) = self.pending_of.remove(&id) {
-                    if let Some(l) = self.listeners.get_mut(&port) {
-                        l.accept_q.retain(|x| *x != id);
-                    }
+    /// Remove a socket if it is fully closed and quiescent: its final
+    /// segments drained (not dirty) and its events surfaced. Replaces the
+    /// old every-tick scan over all sockets, which was O(n) per timer at
+    /// 100k+ connections.
+    fn maybe_reap(&mut self, id: SocketId) {
+        let dead = match self.sockets.get(&id) {
+            Some(s) => {
+                s.state() == TcpState::Closed
+                    && !self.dirty_set.contains(&id)
+                    && s.events.is_empty()
+            }
+            None => false,
+        };
+        if !dead {
+            return;
+        }
+        if let Some(mut s) = self.sockets.remove(&id) {
+            let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+            self.conns.remove(&flow);
+            self.timers.cancel(id.0);
+            let bytes = s.swap_accounted(0);
+            self.budget.on_close(bytes as u64);
+            if let Some(port) = self.pending_of.remove(&id) {
+                if let Some(l) = self.listeners.get_mut(&port) {
+                    l.accept_q.retain(|x| *x != id);
                 }
             }
         }
@@ -605,6 +688,21 @@ mod tests {
         }
     }
 
+    /// Drive a stack's timer wheel through cascade boundaries until the
+    /// next real deadline at or before `until` has fired (or nothing is
+    /// armed). Returns the instants `on_timer` was invoked at.
+    fn run_timers(s: &mut TcpStack, until: u64) -> Vec<u64> {
+        let mut fired = Vec::new();
+        while let Some(t) = s.next_timeout() {
+            if t > until {
+                break;
+            }
+            s.on_timer(t);
+            fired.push(t);
+        }
+        fired
+    }
+
     #[test]
     fn listen_connect_accept() {
         let (mut c, mut s) = pair();
@@ -651,7 +749,19 @@ mod tests {
         let (mut c, mut s) = pair();
         let conn = c.connect(SERVER_IP, 9999, 0).unwrap();
         pump(&mut c, &mut s, 0);
-        assert_eq!(c.state(conn), Some(TcpState::Closed), "RST should abort");
+        // The RST aborts the connection; the quiescent socket is reaped
+        // inline, so the id no longer resolves.
+        assert_eq!(c.state(conn), None, "RST should abort and reap");
+        assert_eq!(c.conn_count(), 0);
+        let mut evs = Vec::new();
+        while let Some(e) = c.poll_event() {
+            evs.push(e);
+        }
+        assert!(
+            evs.iter().any(|e| matches!(e,
+                SockEvent::Aborted(id) | SockEvent::Closed(id) if *id == conn)),
+            "terminal event surfaced before reap: {evs:?}"
+        );
         assert!(s.stats.rst_sent >= 1);
     }
 
@@ -719,11 +829,12 @@ mod tests {
         pump(&mut c, &mut s, 2000);
         // Server side reaches Closed; client in TIME_WAIT.
         assert_eq!(c.state(conn), Some(TcpState::TimeWait));
-        // After TIME_WAIT expires and GC runs, the socket is gone.
-        c.on_timer(2000 + 10_000_000_001);
-        s.on_timer(2000 + 10_000_000_001);
+        // After TIME_WAIT expires (driving the wheel through its cascade
+        // boundaries) and the sockets quiesce, they are reaped.
+        run_timers(&mut c, 2000 + 10_000_000_001);
+        run_timers(&mut s, 2000 + 10_000_000_001);
         pump(&mut c, &mut s, 2000 + 10_000_000_002);
-        c.on_timer(2000 + 20_000_000_002);
+        run_timers(&mut c, 2000 + 20_000_000_002);
         assert_eq!(c.conn_count(), 0);
         assert_eq!(s.conn_count(), 0);
     }
@@ -736,10 +847,16 @@ mod tests {
         // Drop the SYN deliberately.
         let (_, _h, _p) = c.poll_transmit(0).expect("SYN");
         assert!(c.poll_transmit(0).is_none());
-        // Stack timer fires the retransmission.
-        let deadline = c.next_timeout().expect("rtx timer");
-        c.on_timer(deadline);
-        pump(&mut c, &mut s, deadline);
+        // Drive the wheel to the retransmission deadline: coarse levels
+        // surface cascade boundaries first, then the exact deadline.
+        let mut hops = 0;
+        while c.state(conn) == Some(TcpState::SynSent) {
+            let deadline = c.next_timeout().expect("rtx timer");
+            c.on_timer(deadline);
+            pump(&mut c, &mut s, deadline);
+            hops += 1;
+            assert!(hops < 64, "cascade must converge to the RTO");
+        }
         assert_eq!(c.state(conn), Some(TcpState::Established));
     }
 
@@ -824,6 +941,71 @@ mod tests {
         s.unlisten(80);
         let conn = c.connect(SERVER_IP, 80, 0).unwrap();
         pump(&mut c, &mut s, 0);
-        assert_eq!(c.state(conn), Some(TcpState::Closed), "RST expected");
+        // RST aborted + reaped inline: the id is gone and nothing leaks.
+        assert_eq!(c.state(conn), None, "RST expected");
+        assert_eq!(c.conn_count(), 0);
+    }
+
+    #[test]
+    fn budget_accounts_lifecycle() {
+        let (mut c, mut s) = pair();
+        let l = s.listen(80).unwrap();
+        assert_eq!(s.budget().conns(), 0);
+        let conn = c.connect(SERVER_IP, 80, 0).unwrap();
+        pump(&mut c, &mut s, 0);
+        let srv = s.accept(l).unwrap();
+        assert_eq!(s.budget().conns(), 1);
+        assert!(
+            s.budget().bytes_per_conn() >= std::mem::size_of::<TcpSocket>() as f64,
+            "at least the socket struct is accounted"
+        );
+        // Data in flight grows the account (buffer allocations).
+        let before = s.budget().bytes_total();
+        c.send(conn, &[0u8; 2000]).unwrap();
+        pump(&mut c, &mut s, 1000);
+        assert!(s.budget().bytes_total() > before, "recv buffer accounted");
+        // Tear down: the account returns to zero once reaped.
+        let mut buf = [0u8; 4096];
+        let _ = s.recv(srv, &mut buf);
+        c.close(conn, 2000).unwrap();
+        pump(&mut c, &mut s, 2000);
+        s.close(srv, 3000).unwrap();
+        pump(&mut c, &mut s, 3000);
+        run_timers(&mut c, 3000 + 30_000_000_000);
+        run_timers(&mut s, 3000 + 30_000_000_000);
+        pump(&mut c, &mut s, 3000 + 30_000_000_001);
+        assert_eq!(s.budget().conns(), 0, "server account drained");
+        assert_eq!(s.budget().bytes_total(), 0);
+        assert_eq!(c.budget().conns(), 0, "client account drained");
+    }
+
+    #[test]
+    fn memory_limit_sheds_new_connections() {
+        let cfg = TcpConfig {
+            initial_rto_ns: 50_000_000,
+            // Room for only a couple of connections.
+            conn_memory_limit: 3 * std::mem::size_of::<TcpSocket>() as u64,
+            ..TcpConfig::default()
+        };
+        let mut c = TcpStack::new(CLIENT_IP, TcpConfig::default());
+        let mut s = TcpStack::new(SERVER_IP, cfg);
+        let l = s.listen(80).unwrap();
+        for i in 0..10 {
+            c.connect(SERVER_IP, 80, i).unwrap();
+        }
+        pump(&mut c, &mut s, 0);
+        assert!(s.acceptable(l) <= 3, "limit sheds: {}", s.acceptable(l));
+        assert!(s.budget().refused() > 0, "refusals are counted");
+        // Client-side limit: connect() itself refuses.
+        let cfg = TcpConfig {
+            conn_memory_limit: 1, // absurdly small
+            ..TcpConfig::default()
+        };
+        let mut tiny = TcpStack::new(CLIENT_IP, cfg);
+        assert_eq!(
+            tiny.connect(SERVER_IP, 80, 0),
+            Err(TcpError::NoMemory),
+            "budget-refused connect"
+        );
     }
 }

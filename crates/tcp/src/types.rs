@@ -91,6 +91,11 @@ pub struct TcpConfig {
     /// this many bytes (the NIC splits them to MSS on the wire). 0 means
     /// plain per-MSS segmentation. Must keep payload+40 <= 65535.
     pub gso_burst: usize,
+    /// Stack-wide connection-memory budget in bytes (0 = unlimited).
+    /// When accounted connection memory would exceed this, new SYNs are
+    /// dropped (load shedding) and `connect` fails with
+    /// [`TcpError::NoMemory`]; established connections are never killed.
+    pub conn_memory_limit: u64,
 }
 
 impl Default for TcpConfig {
@@ -108,6 +113,7 @@ impl Default for TcpConfig {
             backlog: 128,
             keepalive_ns: 0,
             gso_burst: 0,
+            conn_memory_limit: 0,
         }
     }
 }
@@ -183,6 +189,9 @@ pub enum TcpError {
     Reset,
     /// The connection timed out (retransmission limit).
     TimedOut,
+    /// The stack's connection-memory budget is exhausted
+    /// (`TcpConfig::conn_memory_limit`).
+    NoMemory,
 }
 
 impl fmt::Display for TcpError {

@@ -14,6 +14,8 @@
 //!   `proptest`.
 //! * [`bench`] — a monotonic-timer micro-benchmark runner with a
 //!   criterion-shaped API. Replaces `criterion`.
+//! * [`hash`] — rustc-style FxHash plus deterministic `HashMap`/`HashSet`
+//!   aliases for hot-path id-keyed maps. Replaces `rustc-hash`/`fxhash`.
 //!
 //! Determinism is a correctness feature here, not a convenience: the DES
 //! reproduction of NEaT depends on bit-reproducible RNG streams for fault
@@ -23,9 +25,11 @@
 
 pub mod bench;
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod rng;
 
 pub use check::{check, Config as CheckConfig, Shrink, TestResult};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use json::{Json, ToJson};
 pub use rng::Rng;

@@ -6,40 +6,85 @@
 # script must pass on a bare checkout with no network access and no
 # cargo registry cache. Any step that would touch the network is a bug.
 #
-# Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
+# Usage:
+#   scripts/ci.sh            # both tiers (the full gate)
+#   scripts/ci.sh --tier1    # build + test + fmt + clippy only
+#   scripts/ci.sh --tier2    # quick benches + regression/determinism gates
+#                            # (expects a tier-1 build already present)
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+TIER1=1
+TIER2=1
+case "${1:-}" in
+    --tier1) TIER2=0 ;;
+    --tier2) TIER1=0 ;;
+    "") ;;
+    *) echo "unknown argument: $1 (want --tier1 or --tier2)" >&2; exit 2 ;;
+esac
 
-echo "==> cargo test -q --offline"
-cargo test -q --offline
+if [ "$TIER1" = 1 ]; then
+    echo "==> [tier1] cargo build --release --offline"
+    cargo build --release --offline
 
-# Formatting is checked only when rustfmt is installed; minimal
-# toolchains without the rustfmt component still get a green gate.
-if cargo fmt --version >/dev/null 2>&1; then
-    echo "==> cargo fmt --check"
-    cargo fmt --all -- --check
-else
-    echo "==> cargo fmt not available; skipping format check"
+    echo "==> [tier1] cargo test -q --offline"
+    cargo test -q --offline
+
+    # Formatting is checked only when rustfmt is installed; minimal
+    # toolchains without the rustfmt component still get a green gate.
+    if cargo fmt --version >/dev/null 2>&1; then
+        echo "==> [tier1] cargo fmt --check"
+        cargo fmt --all -- --check
+    else
+        echo "==> [tier1] cargo fmt not available; skipping format check"
+    fi
+
+    # Lints are a hard gate when clippy is installed; toolchains without
+    # the component skip it rather than failing spuriously.
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "==> [tier1] cargo clippy --all-targets -- -D warnings"
+        cargo clippy --all-targets --offline -- -D warnings
+    else
+        echo "==> [tier1] cargo clippy not available; skipping lint gate"
+    fi
+
+    echo "==> tier1 passed"
 fi
 
-# Lints are a hard gate when clippy is installed; toolchains without the
-# component skip it rather than failing spuriously.
-if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy --all-targets -- -D warnings"
-    cargo clippy --all-targets --offline -- -D warnings
-else
-    echo "==> cargo clippy not available; skipping lint gate"
-fi
+if [ "$TIER2" = 1 ]; then
+    # Tier 2 needs the release binaries; build them if tier 1 didn't run
+    # in this invocation.
+    if [ ! -x target/release/run_all ]; then
+        echo "==> [tier2] cargo build --release --offline (tier1 artifacts missing)"
+        cargo build --release --offline
+    fi
 
-# Performance-regression gate: run the deterministic quick bench suite
-# and compare headline metrics against the committed baselines.
-echo "==> quick bench suite + regression gate"
-./target/release/run_all --quick
-./target/release/check_bench
+    # Performance-regression gate: run the deterministic quick bench
+    # suite (which includes the 10k-client conn_scale smoke) and compare
+    # headline metrics against the committed baselines.
+    echo "==> [tier2] quick bench suite"
+    ./target/release/run_all --quick
+
+    echo "==> [tier2] bench regression gate"
+    ./target/release/check_bench
+
+    # Determinism gate: the quick conn_scale profile must be bit-stable —
+    # same seed, same JSON, byte for byte. Catches nondeterminism leaking
+    # into results (wall clock, map iteration order, uninitialised state).
+    echo "==> [tier2] conn_scale determinism gate (two runs, byte-identical)"
+    cp results/BENCH_conn_scale.json results/.conn_scale_run1.json
+    ./target/release/conn_scale --quick >/dev/null
+    if ! cmp -s results/.conn_scale_run1.json results/BENCH_conn_scale.json; then
+        echo "DETERMINISM FAILURE: two fixed-seed conn_scale runs differ:" >&2
+        diff results/.conn_scale_run1.json results/BENCH_conn_scale.json >&2 || true
+        exit 1
+    fi
+    rm -f results/.conn_scale_run1.json
+    echo "==> determinism gate passed"
+
+    echo "==> tier2 passed"
+fi
 
 echo "==> CI gate passed"

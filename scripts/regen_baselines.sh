@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerate baselines/bench_baselines.json from a fresh deterministic
+# quick bench pass. Run this after an intentional performance shift
+# (calibration change, algorithmic improvement) and commit the result —
+# the CI regression gate compares every quick run against this file.
+#
+# Usage: scripts/regen_baselines.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> building release binaries (offline)"
+cargo build --release --offline
+
+echo "==> deterministic quick bench pass"
+./target/release/run_all --quick
+
+echo "==> writing baselines from results/"
+./target/release/check_bench --write
+
+echo "==> verifying the fresh baselines gate green"
+./target/release/check_bench
+
+echo "==> done — review and commit baselines/bench_baselines.json"
