@@ -21,14 +21,27 @@
 //! * **churners** (15%): request, close, reconnect — TIME_WAIT wheel
 //!   entries, inline reaping, demux insert/remove churn.
 //!
+//! ## Sharded execution (`--shards N` / `NEAT_SHARDS=N`)
+//!
+//! Client stacks are partitioned into independent *lanes* (one stack, its
+//! connections, and a private RNG stream per lane) that run on real worker
+//! threads; the server stack stays on the main thread and consumes client
+//! segments in lane order at every exchange. Because each lane's history
+//! depends only on its own state plus a lane-ordered segment stream, the
+//! run is **byte-identical at any shard count** — CI runs the quick
+//! profile at `--shards 1`, `2`, and `4` and diffs the JSON. Worker
+//! threads run with the `neat-obs` registry disabled so the embedded
+//! metrics snapshot cannot depend on the shard layout either.
+//!
 //! Everything is deterministic: one seed, virtual time only, no wall
-//! clock anywhere — CI runs the quick profile twice and requires
-//! byte-identical JSON.
+//! clock in any reported number.
 
 use neat_bench::{BenchReport, Table};
+use neat_net::TcpHeader;
 use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
 use neat_util::{FxHashMap, Rng};
 use std::net::Ipv4Addr;
+use std::sync::mpsc;
 
 const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const PORT: u16 = 80;
@@ -44,9 +57,13 @@ const REQ_LEN: usize = 16;
 const RESP_SMALL: usize = 512;
 const RESP_BIG: usize = 8 * 1024;
 
-/// Per-stack ephemeral-port span is 16384; stay under it per client
-/// stack (churners recycle ports on top).
-const CONNS_PER_STACK: usize = 12_000;
+/// Connections per client stack (= per lane). Small enough that even the
+/// `--quick` population spans several lanes (so `--shards 2/4` is real
+/// parallelism), comfortably under the 16384-port ephemeral span.
+const CONNS_PER_STACK: usize = 2_500;
+
+/// An in-flight TCP segment between a lane and the server.
+type Seg = (TcpHeader, Vec<u8>);
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Role {
@@ -54,6 +71,15 @@ enum Role {
     Keepalive,
     SlowReader,
     Churner,
+}
+
+fn role_of(global_idx: usize) -> Role {
+    match global_idx % 20 {
+        0..=10 => Role::Steady,
+        11..=14 => Role::Keepalive,
+        15..=16 => Role::SlowReader,
+        _ => Role::Churner,
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,7 +100,6 @@ enum ConnState {
 
 #[derive(Debug)]
 struct Conn {
-    stack: usize,
     id: SocketId,
     role: Role,
     state: ConnState,
@@ -82,63 +107,48 @@ struct Conn {
     next_tick: u64,
 }
 
-struct World {
-    server: TcpStack,
-    clients: Vec<TcpStack>,
-    /// Per client stack: socket id -> conn index (lookup only — never
-    /// iterated, so its order can't leak into results).
-    by_sock: Vec<FxHashMap<SocketId, usize>>,
+/// IP of lane `i`'s client stack (also the reply-routing key).
+fn lane_ip(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, 1 + (i / 250) as u8, (i % 250) as u8 + 1)
+}
+
+fn lane_of_ip(ip: Ipv4Addr) -> usize {
+    let o = ip.octets();
+    (o[2] as usize - 1) * 250 + (o[3] as usize - 1)
+}
+
+/// One independent shard of the client population: a stack, its
+/// connections, a private RNG stream, and private result accumulators.
+/// A lane never touches anything outside itself, so lanes can run on any
+/// worker thread without changing the history.
+struct Lane {
+    stack: TcpStack,
+    /// socket id -> lane-local conn index (lookup only — never iterated,
+    /// so its order can't leak into results).
+    by_sock: FxHashMap<SocketId, usize>,
     conns: Vec<Conn>,
-    listener: SocketId,
-    /// Server-side request reassembly: bytes of a partial request seen.
-    srv_partial: FxHashMap<SocketId, Vec<u8>>,
-    /// Server-side responses that hit a full send buffer: (id, remaining).
-    srv_backlog: Vec<(SocketId, usize)>,
-    now: u64,
+    rng: Rng,
+    /// First global connection index owned by this lane.
+    base: usize,
+    /// Number of connections this lane owns.
+    size: usize,
     completed: u64,
     completed_steady: u64,
     latencies_ns: Vec<u64>,
     refused: u64,
 }
 
-impl World {
-    fn new(n_conns: usize) -> World {
-        let server_cfg = TcpConfig {
-            initial_rto_ns: 20_000_000,
-            backlog: 4096,
-            delayed_ack_ns: 0,
-            nagle: false,
-            ..TcpConfig::default()
-        };
-        let client_cfg = TcpConfig {
-            initial_rto_ns: 20_000_000,
-            delayed_ack_ns: 0,
-            nagle: false,
-            // Churners must recycle ports within the run.
-            time_wait_ns: 50_000_000,
-            // Idle keepalivers exercise the wheel's coarse levels.
-            keepalive_ns: 100_000_000,
-            ..TcpConfig::default()
-        };
-        let n_stacks = n_conns.div_ceil(CONNS_PER_STACK);
-        let mut clients = Vec::with_capacity(n_stacks);
-        let mut by_sock = Vec::with_capacity(n_stacks);
-        for i in 0..n_stacks {
-            let ip = Ipv4Addr::new(10, 0, 1 + (i / 250) as u8, (i % 250) as u8 + 1);
-            clients.push(TcpStack::new(ip, client_cfg.clone()));
-            by_sock.push(FxHashMap::default());
-        }
-        let mut server = TcpStack::new(SERVER_IP, server_cfg);
-        let listener = server.listen(PORT).expect("listen");
-        World {
-            server,
-            clients,
-            by_sock,
-            conns: Vec::with_capacity(n_conns),
-            listener,
-            srv_partial: FxHashMap::default(),
-            srv_backlog: Vec::new(),
-            now: 0,
+impl Lane {
+    fn new(i: usize, size: usize, cfg: TcpConfig) -> Lane {
+        Lane {
+            stack: TcpStack::new(lane_ip(i), cfg),
+            by_sock: FxHashMap::default(),
+            conns: Vec::with_capacity(size),
+            // Same per-domain stream derivation as the simulator engine:
+            // lane streams are independent of the lane->thread layout.
+            rng: Rng::seed_from_u64(SEED ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            base: i * CONNS_PER_STACK,
+            size,
             completed: 0,
             completed_steady: 0,
             latencies_ns: Vec::new(),
@@ -146,33 +156,21 @@ impl World {
         }
     }
 
-    fn role_of(idx: usize) -> Role {
-        match idx % 20 {
-            0..=10 => Role::Steady,
-            11..=14 => Role::Keepalive,
-            15..=16 => Role::SlowReader,
-            _ => Role::Churner,
-        }
-    }
-
-    /// Open connection `idx` on its home stack.
-    fn open(&mut self, idx: usize, rng: &mut Rng, tick: u64) {
-        let stack = idx / CONNS_PER_STACK % self.clients.len();
-        match self.clients[stack].connect(SERVER_IP, PORT, self.now) {
+    /// Open connection `local` (lane index) on this lane's stack.
+    fn open(&mut self, local: usize, now: u64, tick: u64) {
+        match self.stack.connect(SERVER_IP, PORT, now) {
             Ok(id) => {
-                self.by_sock[stack].insert(id, idx);
-                let role = Self::role_of(idx);
+                self.by_sock.insert(id, local);
                 let c = Conn {
-                    stack,
                     id,
-                    role,
+                    role: role_of(self.base + local),
                     state: ConnState::Connecting,
-                    next_tick: tick + rng.gen_range(1u64..16),
+                    next_tick: tick + self.rng.gen_range(1u64..16),
                 };
-                if idx < self.conns.len() {
-                    self.conns[idx] = c;
+                if local < self.conns.len() {
+                    self.conns[local] = c;
                 } else {
-                    debug_assert_eq!(idx, self.conns.len());
+                    debug_assert_eq!(local, self.conns.len());
                     self.conns.push(c);
                 }
             }
@@ -180,64 +178,331 @@ impl World {
         }
     }
 
-    /// Send one request on conn `idx`. Byte 0 selects the response size.
-    fn request(&mut self, idx: usize) {
-        let (stack, id, big) = {
-            let c = &self.conns[idx];
-            (c.stack, c.id, c.role == Role::SlowReader)
+    /// Send one request on conn `local`. Byte 0 selects the response size.
+    fn request(&mut self, local: usize, now: u64) {
+        let (id, big) = {
+            let c = &self.conns[local];
+            (c.id, c.role == Role::SlowReader)
         };
         let mut req = [0u8; REQ_LEN];
         req[0] = big as u8;
-        if self.clients[stack].send(id, &req).is_ok() {
-            self.conns[idx].state = ConnState::Awaiting {
+        if self.stack.send(id, &req).is_ok() {
+            self.conns[local].state = ConnState::Awaiting {
                 expect: if big { RESP_BIG } else { RESP_SMALL },
                 got: 0,
-                sent_at: self.now,
+                sent_at: now,
             };
         }
     }
 
-    /// Server: accept, read requests, write responses; retry the
-    /// backlogged ones.
-    fn server_work(&mut self) {
-        while self.server.acceptable(self.listener) > 0 {
-            let _ = self.server.accept(self.listener);
+    /// Per-tick phase 1: ramp opens for this lane's slice of the global
+    /// `[opened, opened + batch)` range, role-driven actions, then timers.
+    fn actions(&mut self, tick: u64, now: u64, opened: usize, batch: usize, steady: bool) {
+        let lo = opened.max(self.base);
+        let hi = (opened + batch).min(self.base + self.size);
+        for idx in lo..hi {
+            self.open(idx - self.base, now, tick);
         }
-        while let Some(ev) = self.server.poll_event() {
+
+        for local in 0..self.conns.len() {
+            if self.conns[local].next_tick > tick {
+                continue;
+            }
+            match (self.conns[local].role, self.conns[local].state) {
+                (_, ConnState::Disconnected { reconnect_at_tick }) if tick >= reconnect_at_tick => {
+                    self.open(local, now, tick);
+                }
+                (Role::Steady, ConnState::Idle) | (Role::Churner, ConnState::Idle) => {
+                    self.request(local, now);
+                    self.conns[local].next_tick = tick + self.rng.gen_range(2u64..12);
+                }
+                (Role::SlowReader, ConnState::Idle) => {
+                    self.request(local, now);
+                    self.conns[local].next_tick = tick + 4;
+                }
+                (Role::SlowReader, ConnState::Awaiting { .. }) => {
+                    // Sip a few hundred bytes, then wait again.
+                    let id = self.conns[local].id;
+                    let mut sip = [0u8; 256];
+                    if let Ok(n) = self.stack.recv(id, &mut sip) {
+                        self.note_received(local, n, now, tick, steady);
+                    }
+                    self.conns[local].next_tick = tick + 4;
+                }
+                (Role::Keepalive, ConnState::Idle) => {
+                    // Stays idle on purpose; push the next check far out.
+                    self.conns[local].next_tick = tick + 1000;
+                }
+                _ => {}
+            }
+        }
+
+        while let Some(t) = self.stack.next_timeout() {
+            if t > now {
+                break;
+            }
+            self.stack.on_timer(t);
+        }
+    }
+
+    /// Pump send half: everything this lane has on the wire.
+    fn drain(&mut self, now: u64) -> Vec<Seg> {
+        let mut out = Vec::new();
+        while let Some((_dst, h, p)) = self.stack.poll_transmit(now) {
+            out.push((h, p));
+        }
+        out
+    }
+
+    /// Pump receive half: server segments, in server emission order.
+    fn deliver(&mut self, now: u64, segs: Vec<Seg>) {
+        for (h, p) in segs {
+            self.stack.handle_segment(SERVER_IP, &h, &p, now);
+        }
+    }
+
+    /// Per-tick phase 3: drain this lane's socket events and readable data.
+    fn events(&mut self, tick: u64, now: u64, steady: bool) {
+        while let Some(ev) = self.stack.poll_event() {
+            let local = match self.by_sock.get(&ev.socket()) {
+                Some(i) => *i,
+                None => continue,
+            };
+            // Stale id (the slot was already recycled to a new socket):
+            // drop the mapping and ignore the event.
+            if self.conns[local].id != ev.socket() {
+                self.by_sock.remove(&ev.socket());
+                continue;
+            }
             match ev {
-                SockEvent::Readable(id) => self.server_read(id),
+                SockEvent::Connected(_) if self.conns[local].state == ConnState::Connecting => {
+                    self.conns[local].state = ConnState::Idle;
+                }
+                SockEvent::Connected(_) => {}
+                SockEvent::Readable(id) => self.read(local, id, now, tick, steady),
+                SockEvent::Aborted(id) | SockEvent::Closed(id) => {
+                    // Churners reach here after their active close; anyone
+                    // else losing a connection re-opens lazily.
+                    if let ConnState::Disconnected { .. } = self.conns[local].state {
+                    } else if self.conns[local].role == Role::Churner {
+                        self.by_sock.remove(&id);
+                        self.conns[local].state = ConnState::Disconnected {
+                            reconnect_at_tick: tick + self.rng.gen_range(5u64..20),
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn read(&mut self, local: usize, id: SocketId, now: u64, tick: u64, steady: bool) {
+        // Slow readers sip on their own schedule, not on readiness.
+        if self.conns[local].role == Role::SlowReader {
+            return;
+        }
+        let mut buf = [0u8; 2048];
+        loop {
+            let n = match self.stack.recv(id, &mut buf) {
+                Ok(0) => return,
+                Ok(n) => n,
+                Err(_) => return,
+            };
+            self.note_received(local, n, now, tick, steady);
+            if n < buf.len() {
+                return;
+            }
+        }
+    }
+
+    fn note_received(&mut self, local: usize, n: usize, now: u64, tick: u64, steady: bool) {
+        if let ConnState::Awaiting {
+            expect,
+            got,
+            sent_at,
+        } = self.conns[local].state
+        {
+            let got = got + n;
+            if got >= expect {
+                self.completed += 1;
+                if steady {
+                    self.completed_steady += 1;
+                    self.latencies_ns.push(now - sent_at);
+                }
+                match self.conns[local].role {
+                    Role::Churner => {
+                        let id = self.conns[local].id;
+                        let _ = self.stack.close(id, now);
+                        self.by_sock.remove(&id);
+                        self.conns[local].state = ConnState::Disconnected {
+                            reconnect_at_tick: tick + self.rng.gen_range(5u64..20),
+                        };
+                    }
+                    _ => {
+                        self.conns[local].state = ConnState::Idle;
+                        self.conns[local].next_tick = tick + self.rng.gen_range(2u64..12);
+                    }
+                }
+            } else {
+                self.conns[local].state = ConnState::Awaiting {
+                    expect,
+                    got,
+                    sent_at,
+                };
+            }
+        }
+    }
+}
+
+/// Worker protocol. Command order per worker is FIFO, which is the only
+/// synchronization the phases need: an `Actions` is always fully applied
+/// before the `Drain` that follows it on the same channel.
+enum Cmd {
+    Actions {
+        tick: u64,
+        now: u64,
+        opened: usize,
+        batch: usize,
+        steady: bool,
+    },
+    Drain {
+        now: u64,
+    },
+    Deliver {
+        now: u64,
+        segs: Vec<(usize, Vec<Seg>)>,
+    },
+    Events {
+        tick: u64,
+        now: u64,
+        steady: bool,
+    },
+    Finish,
+}
+
+enum Reply {
+    /// `Drain` response: (lane id, client->server segments), lane-ordered
+    /// within this worker.
+    Segments(Vec<(usize, Vec<Seg>)>),
+    /// `Finish` response: the lanes themselves, back to the main thread.
+    Lanes(Vec<(usize, Lane)>),
+}
+
+fn worker(mut lanes: Vec<(usize, Lane)>, rx: mpsc::Receiver<Cmd>, tx: mpsc::Sender<Reply>) {
+    // Metric handles index the registering thread's registry; see
+    // `neat_obs::set_thread_enabled`. Disabling also keeps the report's
+    // embedded snapshot independent of the lane->thread layout.
+    neat_obs::set_thread_enabled(false);
+    for cmd in rx {
+        match cmd {
+            Cmd::Actions {
+                tick,
+                now,
+                opened,
+                batch,
+                steady,
+            } => {
+                for (_, lane) in &mut lanes {
+                    lane.actions(tick, now, opened, batch, steady);
+                }
+            }
+            Cmd::Drain { now } => {
+                let v = lanes.iter_mut().map(|(i, l)| (*i, l.drain(now))).collect();
+                tx.send(Reply::Segments(v)).expect("main gone");
+            }
+            Cmd::Deliver { now, segs } => {
+                for (i, s) in segs {
+                    let lane = lanes
+                        .iter_mut()
+                        .find(|(li, _)| *li == i)
+                        .map(|(_, l)| l)
+                        .expect("segment for foreign lane");
+                    lane.deliver(now, s);
+                }
+            }
+            Cmd::Events { tick, now, steady } => {
+                for (_, lane) in &mut lanes {
+                    lane.events(tick, now, steady);
+                }
+            }
+            Cmd::Finish => {
+                tx.send(Reply::Lanes(lanes)).expect("main gone");
+                return;
+            }
+        }
+    }
+}
+
+/// The server stack and its request/response logic — main thread only.
+struct Server {
+    stack: TcpStack,
+    listener: SocketId,
+    /// Request reassembly: bytes of a partial request seen.
+    partial: FxHashMap<SocketId, Vec<u8>>,
+    /// Responses that hit a full send buffer: (id, remaining).
+    backlog: Vec<(SocketId, usize)>,
+}
+
+impl Server {
+    fn new() -> Server {
+        let cfg = TcpConfig {
+            initial_rto_ns: 20_000_000,
+            backlog: 4096,
+            delayed_ack_ns: 0,
+            nagle: false,
+            ..TcpConfig::default()
+        };
+        let mut stack = TcpStack::new(SERVER_IP, cfg);
+        let listener = stack.listen(PORT).expect("listen");
+        Server {
+            stack,
+            listener,
+            partial: FxHashMap::default(),
+            backlog: Vec::new(),
+        }
+    }
+
+    /// Accept, read requests, write responses; retry the backlogged ones.
+    fn work(&mut self, now: u64) {
+        while self.stack.acceptable(self.listener) > 0 {
+            let _ = self.stack.accept(self.listener);
+        }
+        while let Some(ev) = self.stack.poll_event() {
+            match ev {
+                SockEvent::Readable(id) => self.read(id, now),
                 SockEvent::PeerClosed(id) => {
                     // Active-close side is the client; finish our half.
-                    let _ = self.server.close(id, self.now);
-                    self.srv_partial.remove(&id);
+                    let _ = self.stack.close(id, now);
+                    self.partial.remove(&id);
                 }
                 _ => {}
             }
         }
         // Retry responses that earlier hit a full send buffer.
-        if !self.srv_backlog.is_empty() {
+        if !self.backlog.is_empty() {
             let mut still = Vec::new();
-            for (id, remaining) in std::mem::take(&mut self.srv_backlog) {
-                let left = self.server_send(id, remaining);
+            for (id, remaining) in std::mem::take(&mut self.backlog) {
+                let left = self.send_response(id, remaining);
                 if left > 0 {
                     still.push((id, left));
                 }
             }
-            self.srv_backlog = still;
+            self.backlog = still;
         }
     }
 
-    fn server_read(&mut self, id: SocketId) {
+    fn read(&mut self, id: SocketId, now: u64) {
+        let _ = now;
         let mut buf = [0u8; 4096];
         loop {
-            let n = match self.server.recv(id, &mut buf) {
+            let n = match self.stack.recv(id, &mut buf) {
                 Ok(0) => break,
                 Ok(n) => n,
                 Err(_) => break,
             };
             let mut sizes = Vec::new();
             {
-                let pending = self.srv_partial.entry(id).or_default();
+                let pending = self.partial.entry(id).or_default();
                 pending.extend_from_slice(&buf[..n]);
                 while pending.len() >= REQ_LEN {
                     let big = pending[0] != 0;
@@ -246,32 +511,27 @@ impl World {
                 }
             }
             for size in sizes {
-                let left = self.server_send(id, size);
+                let left = self.send_response(id, size);
                 if left > 0 {
-                    self.srv_backlog.push((id, left));
+                    self.backlog.push((id, left));
                 }
             }
             if n < buf.len() {
                 break;
             }
         }
-        if self
-            .srv_partial
-            .get(&id)
-            .map(|p| p.is_empty())
-            .unwrap_or(false)
-        {
-            self.srv_partial.remove(&id);
+        if self.partial.get(&id).map(|p| p.is_empty()).unwrap_or(false) {
+            self.partial.remove(&id);
         }
     }
 
     /// Push up to `size` response bytes; returns bytes still owed.
-    fn server_send(&mut self, id: SocketId, size: usize) -> usize {
+    fn send_response(&mut self, id: SocketId, size: usize) -> usize {
         const CHUNK: [u8; 1024] = [0x42; 1024];
         let mut left = size;
         while left > 0 {
             let n = left.min(CHUNK.len());
-            match self.server.send(id, &CHUNK[..n]) {
+            match self.stack.send(id, &CHUNK[..n]) {
                 Ok(sent) => {
                     left -= sent;
                     if sent < n {
@@ -284,154 +544,76 @@ impl World {
         left
     }
 
-    /// Drain one client stack's events and readable data.
-    fn client_work(&mut self, s: usize, rng: &mut Rng, tick: u64, steady: bool) {
-        while let Some(ev) = self.clients[s].poll_event() {
-            let idx = match self.by_sock[s].get(&ev.socket()) {
-                Some(i) => *i,
-                None => continue,
-            };
-            // Stale id (the slot was already recycled to a new socket):
-            // drop the mapping and ignore the event.
-            if self.conns[idx].id != ev.socket() {
-                self.by_sock[s].remove(&ev.socket());
-                continue;
-            }
-            match ev {
-                SockEvent::Connected(_) if self.conns[idx].state == ConnState::Connecting => {
-                    self.conns[idx].state = ConnState::Idle;
-                }
-                SockEvent::Connected(_) => {}
-                SockEvent::Readable(id) => self.client_read(s, idx, id, rng, tick, steady),
-                SockEvent::Aborted(id) | SockEvent::Closed(id) => {
-                    // Churners reach here after their active close; anyone
-                    // else losing a connection re-opens lazily.
-                    if let ConnState::Disconnected { .. } = self.conns[idx].state {
-                    } else if self.conns[idx].role == Role::Churner {
-                        self.by_sock[s].remove(&id);
-                        self.conns[idx].state = ConnState::Disconnected {
-                            reconnect_at_tick: tick + rng.gen_range(5u64..20),
-                        };
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-
-    fn client_read(
-        &mut self,
-        s: usize,
-        idx: usize,
-        id: SocketId,
-        rng: &mut Rng,
-        tick: u64,
-        steady: bool,
-    ) {
-        // Slow readers sip on their own schedule, not on readiness.
-        if self.conns[idx].role == Role::SlowReader {
-            return;
-        }
-        let mut buf = [0u8; 2048];
-        loop {
-            let n = match self.clients[s].recv(id, &mut buf) {
-                Ok(0) => return,
-                Ok(n) => n,
-                Err(_) => return,
-            };
-            self.note_received(idx, n, rng, tick, steady);
-            if n < buf.len() {
-                return;
-            }
-        }
-    }
-
-    fn note_received(&mut self, idx: usize, n: usize, rng: &mut Rng, tick: u64, steady: bool) {
-        if let ConnState::Awaiting {
-            expect,
-            got,
-            sent_at,
-        } = self.conns[idx].state
-        {
-            let got = got + n;
-            if got >= expect {
-                self.completed += 1;
-                if steady {
-                    self.completed_steady += 1;
-                    self.latencies_ns.push(self.now - sent_at);
-                }
-                let role = self.conns[idx].role;
-                match role {
-                    Role::Churner => {
-                        let (s, id) = (self.conns[idx].stack, self.conns[idx].id);
-                        let _ = self.clients[s].close(id, self.now);
-                        self.by_sock[s].remove(&id);
-                        self.conns[idx].state = ConnState::Disconnected {
-                            reconnect_at_tick: tick + rng.gen_range(5u64..20),
-                        };
-                    }
-                    _ => {
-                        self.conns[idx].state = ConnState::Idle;
-                        self.conns[idx].next_tick = tick + rng.gen_range(2u64..12);
-                    }
-                }
-            } else {
-                self.conns[idx].state = ConnState::Awaiting {
-                    expect,
-                    got,
-                    sent_at,
-                };
-            }
-        }
-    }
-
-    /// Fire all due timers on every stack (wheel cascade included).
-    fn run_timers(&mut self) {
-        let now = self.now;
-        while let Some(t) = self.server.next_timeout() {
+    fn timers(&mut self, now: u64) {
+        while let Some(t) = self.stack.next_timeout() {
             if t > now {
                 break;
             }
-            self.server.on_timer(t);
-        }
-        for c in &mut self.clients {
-            while let Some(t) = c.next_timeout() {
-                if t > now {
-                    break;
-                }
-                c.on_timer(t);
-            }
+            self.stack.on_timer(t);
         }
     }
+}
 
-    /// Shuttle segments until quiescent, charging `ROUND_NS` per round.
-    fn pump(&mut self) {
-        loop {
-            let mut moved = false;
-            for s in 0..self.clients.len() {
-                while let Some((_dst, h, p)) = self.clients[s].poll_transmit(self.now) {
-                    let src = self.clients[s].local_ip;
-                    self.server.handle_segment(src, &h, &p, self.now);
-                    moved = true;
+/// Shuttle segments between lanes and server until quiescent, charging
+/// `ROUND_NS` per round. The server consumes client segments in lane
+/// order every round, so the exchange sequence is independent of how
+/// lanes are spread over workers.
+fn pump(
+    server: &mut Server,
+    txs: &[mpsc::Sender<Cmd>],
+    rxs: &[mpsc::Receiver<Reply>],
+    worker_of: &[usize],
+    now: &mut u64,
+) {
+    let n_lanes = worker_of.len();
+    loop {
+        for tx in txs {
+            tx.send(Cmd::Drain { now: *now }).expect("worker gone");
+        }
+        let mut by_lane: Vec<Vec<Seg>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        for rx in rxs {
+            match rx.recv().expect("worker gone") {
+                Reply::Segments(v) => {
+                    for (i, segs) in v {
+                        by_lane[i] = segs;
+                    }
                 }
+                Reply::Lanes(_) => unreachable!("lanes returned mid-run"),
             }
-            self.server_work();
-            // Server replies, routed back by destination IP.
-            while let Some((dst, h, p)) = self.server.poll_transmit(self.now) {
-                let s = self.stack_of_ip(dst);
-                self.clients[s].handle_segment(SERVER_IP, &h, &p, self.now);
+        }
+        let mut moved = false;
+        for (i, segs) in by_lane.iter().enumerate() {
+            let src = lane_ip(i);
+            for (h, p) in segs {
+                server.stack.handle_segment(src, h, p, *now);
                 moved = true;
             }
-            if !moved {
-                break;
-            }
-            self.now += ROUND_NS;
         }
-    }
-
-    fn stack_of_ip(&self, ip: Ipv4Addr) -> usize {
-        let o = ip.octets();
-        (o[2] as usize - 1) * 250 + (o[3] as usize - 1)
+        server.work(*now);
+        // Server replies, routed back by destination IP.
+        let mut back: Vec<Vec<Seg>> = (0..n_lanes).map(|_| Vec::new()).collect();
+        while let Some((dst, h, p)) = server.stack.poll_transmit(*now) {
+            back[lane_of_ip(dst)].push((h, p));
+            moved = true;
+        }
+        let mut per_worker: Vec<Vec<(usize, Vec<Seg>)>> =
+            (0..txs.len()).map(|_| Vec::new()).collect();
+        for (i, segs) in back.into_iter().enumerate() {
+            if !segs.is_empty() {
+                per_worker[worker_of[i]].push((i, segs));
+            }
+        }
+        for (w, segs) in per_worker.into_iter().enumerate() {
+            if !segs.is_empty() {
+                txs[w]
+                    .send(Cmd::Deliver { now: *now, segs })
+                    .expect("worker gone");
+            }
+        }
+        if !moved {
+            break;
+        }
+        *now += ROUND_NS;
     }
 }
 
@@ -444,117 +626,171 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 }
 
 fn main() {
-    let quick_flag = std::env::args().any(|a| a == "--quick");
-    if quick_flag {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
         // Keep the report's `quick` field consistent however we're invoked.
         std::env::set_var("NEAT_BENCH_QUICK", "1");
     }
     let quick = neat_bench::quick();
+    let shards_req: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("NEAT_SHARDS").ok())
+        .map(|s| s.parse().expect("--shards expects a positive integer"))
+        .unwrap_or(1)
+        .max(1);
+
     let n_conns: usize = if quick { 10_000 } else { 100_000 };
     let ramp_ticks: u64 = 50;
     let steady_ticks: u64 = if quick { 150 } else { 250 };
     let total_ticks = ramp_ticks + steady_ticks;
     let warmup_ticks = ramp_ticks + 20;
 
-    let mut rng = Rng::seed_from_u64(SEED);
-    let mut w = World::new(n_conns);
+    let client_cfg = TcpConfig {
+        initial_rto_ns: 20_000_000,
+        delayed_ack_ns: 0,
+        nagle: false,
+        // Churners must recycle ports within the run.
+        time_wait_ns: 50_000_000,
+        // Idle keepalivers exercise the wheel's coarse levels.
+        keepalive_ns: 100_000_000,
+        ..TcpConfig::default()
+    };
+    let n_lanes = n_conns.div_ceil(CONNS_PER_STACK);
+    let shards = shards_req.min(n_lanes);
+    // Lanes are constructed on the main thread, in lane order, so metric
+    // *registration* order (and thus the snapshot's key order) is fixed
+    // regardless of the shard count.
+    let mut lanes: Vec<Option<(usize, Lane)>> = (0..n_lanes)
+        .map(|i| {
+            let size = CONNS_PER_STACK.min(n_conns - i * CONNS_PER_STACK);
+            Some((i, Lane::new(i, size, client_cfg.clone())))
+        })
+        .collect();
+    let worker_of: Vec<usize> = (0..n_lanes).map(|i| i % shards).collect();
+    let mut server = Server::new();
+
+    println!("conn_scale: {n_conns} clients over {n_lanes} lanes, {shards} shard worker(s)");
+    let wall_start = std::time::Instant::now();
+
     let per_tick = n_conns.div_ceil(ramp_ticks as usize);
     let mut opened = 0usize;
+    let mut now = 0u64;
     let mut mem_per_conn_half = 0.0f64;
     let mut steady_sample: Vec<(u64, usize, f64)> = Vec::new();
+    let mut finished: Vec<(usize, Lane)> = Vec::with_capacity(n_lanes);
 
-    for tick in 0..total_ticks {
-        w.now = w.now.max(tick * TICK_NS);
-        let steady = tick >= warmup_ticks;
+    std::thread::scope(|s| {
+        let mut txs = Vec::with_capacity(shards);
+        let mut rxs = Vec::with_capacity(shards);
+        for w in 0..shards {
+            let (ctx, crx) = mpsc::channel::<Cmd>();
+            let (rtx, rrx) = mpsc::channel::<Reply>();
+            let mine: Vec<(usize, Lane)> = (0..n_lanes)
+                .filter(|i| worker_of[*i] == w)
+                .map(|i| lanes[i].take().expect("lane taken twice"))
+                .collect();
+            s.spawn(move || worker(mine, crx, rtx));
+            txs.push(ctx);
+            rxs.push(rrx);
+        }
 
-        // Ramp: open the next batch of connections.
-        if opened < n_conns {
+        for tick in 0..total_ticks {
+            now = now.max(tick * TICK_NS);
+            let steady = tick >= warmup_ticks;
+
+            // Ramp: open the next batch of connections (each lane opens
+            // its slice of the global range).
             let batch = per_tick.min(n_conns - opened);
-            for idx in opened..opened + batch {
-                w.open(idx, &mut rng, tick);
+            for tx in &txs {
+                tx.send(Cmd::Actions {
+                    tick,
+                    now,
+                    opened,
+                    batch,
+                    steady,
+                })
+                .expect("worker gone");
             }
             opened += batch;
-        }
-
-        // Role-driven client actions.
-        for idx in 0..w.conns.len() {
-            if w.conns[idx].next_tick > tick {
-                continue;
+            server.timers(now);
+            pump(&mut server, &txs, &rxs, &worker_of, &mut now);
+            for tx in &txs {
+                tx.send(Cmd::Events { tick, now, steady })
+                    .expect("worker gone");
             }
-            match (w.conns[idx].role, w.conns[idx].state) {
-                (_, ConnState::Disconnected { reconnect_at_tick }) if tick >= reconnect_at_tick => {
-                    w.open(idx, &mut rng, tick);
-                }
-                (Role::Steady, ConnState::Idle) | (Role::Churner, ConnState::Idle) => {
-                    w.request(idx);
-                    w.conns[idx].next_tick = tick + rng.gen_range(2u64..12);
-                }
-                (Role::SlowReader, ConnState::Idle) => {
-                    w.request(idx);
-                    w.conns[idx].next_tick = tick + 4;
-                }
-                (Role::SlowReader, ConnState::Awaiting { .. }) => {
-                    // Sip a few hundred bytes, then wait again.
-                    let (s, id) = (w.conns[idx].stack, w.conns[idx].id);
-                    let mut sip = [0u8; 256];
-                    if let Ok(n) = w.clients[s].recv(id, &mut sip) {
-                        w.note_received(idx, n, &mut rng, tick, steady);
-                    }
-                    w.conns[idx].next_tick = tick + 4;
-                }
-                (Role::Keepalive, ConnState::Idle) => {
-                    // Stays idle on purpose; push the next check far out.
-                    w.conns[idx].next_tick = tick + 1000;
-                }
-                _ => {}
+            pump(&mut server, &txs, &rxs, &worker_of, &mut now);
+
+            if tick == ramp_ticks / 2 {
+                mem_per_conn_half = server.stack.budget().bytes_per_conn();
+            }
+            if steady && (tick - warmup_ticks).is_multiple_of(50) {
+                steady_sample.push((
+                    tick,
+                    server.stack.conn_count(),
+                    server.stack.budget().bytes_per_conn(),
+                ));
             }
         }
 
-        w.run_timers();
-        w.pump();
-        for s in 0..w.clients.len() {
-            w.client_work(s, &mut rng, tick, steady);
+        for tx in &txs {
+            tx.send(Cmd::Finish).expect("worker gone");
         }
-        w.pump();
+        for rx in &rxs {
+            match rx.recv().expect("worker gone") {
+                Reply::Lanes(mut v) => finished.append(&mut v),
+                Reply::Segments(_) => unreachable!("drain after finish"),
+            }
+        }
+    });
+    finished.sort_by_key(|(i, _)| *i);
+    // Wall time is printed, never reported: the JSON must be identical
+    // across shard counts.
+    println!(
+        "conn_scale: simulated {} ms in {:.1}s wall",
+        total_ticks * TICK_NS / 1_000_000,
+        wall_start.elapsed().as_secs_f64()
+    );
 
-        if tick == ramp_ticks / 2 {
-            mem_per_conn_half = w.server.budget().bytes_per_conn();
-        }
-        if steady && (tick - warmup_ticks).is_multiple_of(50) {
-            steady_sample.push((
-                tick,
-                w.server.conn_count(),
-                w.server.budget().bytes_per_conn(),
-            ));
-        }
+    let mut completed = 0u64;
+    let mut completed_steady = 0u64;
+    let mut refused = 0u64;
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    for (_, lane) in &finished {
+        completed += lane.completed;
+        completed_steady += lane.completed_steady;
+        refused += lane.refused;
+        latencies_ns.extend_from_slice(&lane.latencies_ns);
     }
 
     // Headline numbers.
     if std::env::var("CONN_SCALE_DEBUG").is_ok() {
         let mut dist = std::collections::BTreeMap::new();
-        for id in w.server.socket_ids() {
-            if let Some(st) = w.server.state(id) {
+        for id in server.stack.socket_ids() {
+            if let Some(st) = server.stack.state(id) {
                 *dist.entry(format!("{st:?}")).or_insert(0u64) += 1;
             }
         }
         eprintln!("server socket states: {dist:?}");
         let mut cdist = std::collections::BTreeMap::new();
-        for c in &w.clients {
-            for id in c.socket_ids() {
-                if let Some(st) = c.state(id) {
+        for (_, lane) in &finished {
+            for id in lane.stack.socket_ids() {
+                if let Some(st) = lane.stack.state(id) {
                     *cdist.entry(format!("{st:?}")).or_insert(0u64) += 1;
                 }
             }
         }
         eprintln!("client socket states: {cdist:?}");
     }
-    w.server.publish_mem_gauges();
+    server.stack.publish_mem_gauges();
     let steady_secs = (steady_ticks - 20) as f64 * TICK_NS as f64 / 1e9;
-    let krps = w.completed_steady as f64 / steady_secs / 1e3;
-    let mem_per_conn = w.server.budget().bytes_per_conn();
-    w.latencies_ns.sort_unstable();
-    let p50_us = percentile(&w.latencies_ns, 0.50) as f64 / 1e3;
-    let p99_us = percentile(&w.latencies_ns, 0.99) as f64 / 1e3;
+    let krps = completed_steady as f64 / steady_secs / 1e3;
+    let mem_per_conn = server.stack.budget().bytes_per_conn();
+    latencies_ns.sort_unstable();
+    let p50_us = percentile(&latencies_ns, 0.50) as f64 / 1e3;
+    let p99_us = percentile(&latencies_ns, 0.99) as f64 / 1e3;
 
     let mut report = BenchReport::new("conn_scale");
     let mut t = Table::new(
@@ -564,9 +800,9 @@ fn main() {
     t.row(&["clients (target)".into(), n_conns.to_string()]);
     t.row(&[
         "server live conns (end)".into(),
-        w.server.conn_count().to_string(),
+        server.stack.conn_count().to_string(),
     ]);
-    t.row(&["requests completed".into(), w.completed.to_string()]);
+    t.row(&["requests completed".into(), completed.to_string()]);
     t.row(&["steady krps".into(), format!("{krps:.1}")]);
     t.row(&["p50 latency (us)".into(), format!("{p50_us:.1}")]);
     t.row(&["p99 latency (us)".into(), format!("{p99_us:.1}")]);
@@ -577,7 +813,7 @@ fn main() {
     t.row(&["bytes/conn @ end".into(), format!("{mem_per_conn:.0}")]);
     t.row(&[
         "budget refusals".into(),
-        (w.refused + w.server.budget().refused()).to_string(),
+        (refused + server.stack.budget().refused()).to_string(),
     ]);
     report.table(&t);
 

@@ -16,7 +16,15 @@
 use std::process::Command;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick") || neat_bench::quick();
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick") || neat_bench::quick();
+    // `--shards N` is forwarded to shard-aware experiments (conn_scale)
+    // via NEAT_SHARDS; shard-oblivious binaries ignore it.
+    let shards = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let bins = [
         "table1",
         "fig4_5",
@@ -30,6 +38,7 @@ fn main() {
         "security",
         "ablations",
         "conn_scale",
+        "par_scale",
     ];
     let _ = std::fs::remove_dir_all("results");
     let exe = std::env::current_exe().expect("self path");
@@ -40,6 +49,9 @@ fn main() {
         let mut cmd = Command::new(dir.join(b));
         if quick {
             cmd.env("NEAT_BENCH_QUICK", "1");
+        }
+        if let Some(s) = &shards {
+            cmd.env("NEAT_SHARDS", s);
         }
         match cmd.status() {
             Ok(status) if status.success() => {}

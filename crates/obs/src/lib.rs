@@ -25,8 +25,8 @@ pub mod stats;
 pub mod trace;
 
 pub use metrics::{
-    clear, counter, counter_add, gauge, gauge_set, histogram, reset, snapshot, Counter, Gauge,
-    HistogramHandle,
+    clear, counter, counter_add, gauge, gauge_set, histogram, reset, set_thread_enabled, snapshot,
+    thread_enabled, Counter, Gauge, HistogramHandle,
 };
 pub use stats::{Histogram, RateMeter};
 pub use trace::tracing;

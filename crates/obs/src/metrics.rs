@@ -11,7 +11,7 @@
 
 use crate::stats::Histogram;
 use neat_util::{Json, ToJson};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 #[derive(Clone, Copy)]
@@ -31,10 +31,29 @@ struct Registry {
 
 thread_local! {
     static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+    static ENABLED: Cell<bool> = const { Cell::new(true) };
 }
 
 fn with<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
     REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Disable (or re-enable) the metrics registry on the **current thread**.
+///
+/// Handles are indices into the registering thread's registry, so a handle
+/// created on the main thread must never be dereferenced on a worker whose
+/// registry has different (or no) registrations. Parallel executors call
+/// `set_thread_enabled(false)` at worker start: every handle operation and
+/// by-name registration on that thread becomes a no-op, which both prevents
+/// cross-registry indexing and keeps the main thread's snapshot independent
+/// of how work was spread across threads (determinism across shard counts).
+pub fn set_thread_enabled(on: bool) {
+    ENABLED.with(|e| e.set(on));
+}
+
+/// Whether the metrics registry is active on the current thread.
+pub fn thread_enabled() -> bool {
+    ENABLED.with(|e| e.get())
 }
 
 /// Handle to a registered counter (monotonic within a window).
@@ -43,7 +62,9 @@ pub struct Counter(usize);
 
 impl Counter {
     pub fn add(self, n: u64) {
-        with(|r| r.counters[self.0].1 += n);
+        if thread_enabled() {
+            with(|r| r.counters[self.0].1 += n);
+        }
     }
 
     pub fn inc(self) {
@@ -51,7 +72,11 @@ impl Counter {
     }
 
     pub fn get(self) -> u64 {
-        with(|r| r.counters[self.0].1)
+        if thread_enabled() {
+            with(|r| r.counters[self.0].1)
+        } else {
+            0
+        }
     }
 }
 
@@ -61,11 +86,17 @@ pub struct Gauge(usize);
 
 impl Gauge {
     pub fn set(self, v: f64) {
-        with(|r| r.gauges[self.0].1 = v);
+        if thread_enabled() {
+            with(|r| r.gauges[self.0].1 = v);
+        }
     }
 
     pub fn get(self) -> f64 {
-        with(|r| r.gauges[self.0].1)
+        if thread_enabled() {
+            with(|r| r.gauges[self.0].1)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -75,12 +106,18 @@ pub struct HistogramHandle(usize);
 
 impl HistogramHandle {
     pub fn observe(self, v: u64) {
-        with(|r| r.hists[self.0].1.record(v));
+        if thread_enabled() {
+            with(|r| r.hists[self.0].1.record(v));
+        }
     }
 
     /// A snapshot clone of the current histogram contents.
     pub fn get(self) -> Histogram {
-        with(|r| r.hists[self.0].1.clone())
+        if thread_enabled() {
+            with(|r| r.hists[self.0].1.clone())
+        } else {
+            Histogram::new()
+        }
     }
 }
 
@@ -89,6 +126,12 @@ impl HistogramHandle {
 /// Panics if `name` is already registered as a different metric kind —
 /// that is always a naming bug worth failing loudly on.
 pub fn counter(name: &str) -> Counter {
+    if !thread_enabled() {
+        // Dummy handle: every operation on it is a no-op on this thread
+        // (and would be out-of-bounds anywhere else, which is the point —
+        // it must never leak to an enabled thread).
+        return Counter(usize::MAX);
+    }
     with(|r| match r.names.get(name) {
         Some(Id::Counter(i)) => Counter(*i),
         Some(_) => panic!("metric {name:?} already registered with a different kind"),
@@ -103,6 +146,9 @@ pub fn counter(name: &str) -> Counter {
 
 /// Register (or look up) a gauge by name.
 pub fn gauge(name: &str) -> Gauge {
+    if !thread_enabled() {
+        return Gauge(usize::MAX);
+    }
     with(|r| match r.names.get(name) {
         Some(Id::Gauge(i)) => Gauge(*i),
         Some(_) => panic!("metric {name:?} already registered with a different kind"),
@@ -117,6 +163,9 @@ pub fn gauge(name: &str) -> Gauge {
 
 /// Register (or look up) a histogram by name.
 pub fn histogram(name: &str) -> HistogramHandle {
+    if !thread_enabled() {
+        return HistogramHandle(usize::MAX);
+    }
     with(|r| match r.names.get(name) {
         Some(Id::Hist(i)) => HistogramHandle(*i),
         Some(_) => panic!("metric {name:?} already registered with a different kind"),
@@ -228,6 +277,33 @@ mod tests {
         clear();
         let _ = counter("test.kind");
         let _ = gauge("test.kind");
+    }
+
+    #[test]
+    fn disabled_thread_is_inert_and_safe() {
+        clear();
+        let c = counter("test.cross");
+        c.add(2);
+        // A worker thread with metrics disabled can use a main-thread
+        // handle freely: no panic, no effect on its own (empty) registry.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                set_thread_enabled(false);
+                c.add(100);
+                assert_eq!(c.get(), 0);
+                let d = counter("test.worker_only");
+                d.inc();
+                gauge_set("test.worker_gauge", 1.0);
+                histogram("test.worker_hist").observe(5);
+                assert!(!thread_enabled());
+            })
+            .join()
+            .unwrap();
+        });
+        assert_eq!(c.get(), 2, "worker adds must not reach this registry");
+        let s = snapshot().render();
+        assert!(!s.contains("worker_only"), "{s}");
+        clear();
     }
 
     #[test]

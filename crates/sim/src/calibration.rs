@@ -93,6 +93,13 @@ pub const WAKE_LATENCY: Time = Time(20_000);
 /// the point of the MWAIT design versus kernel IPIs).
 pub const WAKE_REMOTE: Cycles = 60;
 
+/// Latency between a process faulting and its crash monitor receiving the
+/// notification (the kernel notices the exception and performs one IPC
+/// round to the reincarnation server). Also an engine invariant: this is
+/// the minimum horizon of any crash's cross-process effect, which the
+/// parallel executor checks against its synchronization window.
+pub const CRASH_NOTIFY_LATENCY: Time = Time(50_000);
+
 // ---------------------------------------------------------------------------
 // SYSCALL server / slow path (§3.1, §3.2)
 // ---------------------------------------------------------------------------

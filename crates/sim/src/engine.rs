@@ -1,7 +1,10 @@
-//! The discrete-event engine: event heap, dispatch, CPU-time accounting.
+//! The discrete-event engine: per-machine event heaps, dispatch, CPU-time
+//! accounting — organised so the same history can be produced serially or
+//! by parallel shard workers.
 //!
 //! The engine owns all machines and processes and advances simulated time by
-//! dispatching events in `(time, sequence)` order. Each dispatch:
+//! dispatching events in `(time, origin machine, origin sequence)` order.
+//! Each dispatch:
 //!
 //! 1. finds the destination process's hardware thread and computes the
 //!    *start* instant — after any queued work on that thread (FIFO server)
@@ -12,11 +15,38 @@
 //!    the SMT capacity penalty when the sibling hardware thread is busy;
 //! 4. schedules the outputs at the handler's *completion* instant.
 //!
-//! Determinism: the heap is ordered by `(time, seq)` with `seq` assigned at
-//! scheduling time, and all randomness flows from one seeded RNG.
+//! ## Scheduling domains and the determinism contract
+//!
+//! All mutable scheduling state is partitioned into per-machine
+//! **domains**: each machine owns its event heap, hardware threads, FIFO
+//! backlogs, process table, per-link batches, pid allocator, sequence
+//! counter, and RNG stream. Every event carries the identity of the domain
+//! that *scheduled* it plus that domain's private sequence counter, and the
+//! canonical dispatch order is `(time, origin domain, origin seq)` — a key
+//! each domain computes from purely local history. A handler only ever
+//! reads and writes its own domain (enforced by [`Ctx`]'s narrow surface),
+//! so the history of a domain depends only on the time-ordered set of
+//! events addressed to it, never on how domains interleave on host
+//! threads. That is what lets [`crate::Sim::run_sharded`] execute domains
+//! on real OS threads under conservative time windows and still produce
+//! bit-identical results to [`crate::Sim::run_until`] for any shard count
+//! — see `parallel.rs` and DESIGN.md "Parallel engine & determinism".
+//!
+//! Machine-local rules that uphold the contract (asserted, not implied):
+//!
+//! * `Ctx::spawn` targets a hardware thread of the calling process's own
+//!   machine (the harness-level [`Sim::spawn`] can target any machine);
+//! * `Ctx::is_alive` answers for processes of the caller's machine only;
+//! * cross-machine sends must declare at least
+//!   [`SimConfig::link_latency_ns`] of extra delivery delay (the
+//!   conservative lookahead of the parallel executor);
+//! * per-link coalescing applies to machine-local links only, and the
+//!   MWAIT wake-up charge is paid for machine-local destinations only
+//!   (cross-machine traffic is signalled by the receiving NIC's IRQ path,
+//!   whose receiver-side costs the calibration already carries).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use neat_util::Rng;
 
@@ -24,6 +54,7 @@ use crate::calibration;
 use crate::machine::{
     HwThread, HwThreadId, Machine, MachineId, MachineSpec, ThreadKind, ThreadStats,
 };
+use crate::parallel::ParStats;
 use crate::process::{Event, ProcId, Process};
 use crate::time::{Cycles, Time};
 
@@ -31,15 +62,25 @@ use crate::time::{Cycles, Time};
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Seed for the simulation-wide RNG; same seed ⇒ identical history.
+    /// Each machine derives an independent child stream from this seed, so
+    /// draws on one machine never perturb another machine's stream.
     pub seed: u64,
     /// Per-(src,dst)-link message coalescing horizon in nanoseconds: a
     /// `send()` joins the link's open batch instead of scheduling its own
     /// delivery, and the whole batch is delivered as one wakeup no later
     /// than `batch_ns` after the batch opened. `0` disables coalescing
     /// (every message is its own delivery event, the pre-batching model).
+    /// Coalescing applies to machine-local links only.
     pub batch_ns: u64,
     /// Flush an open batch early once it holds this many messages.
     pub batch_max: usize,
+    /// Declared minimum extra delivery delay of every cross-machine send,
+    /// in nanoseconds (asserted at send time). Together with the channel
+    /// latency this bounds the conservative synchronization window of
+    /// [`Sim::run_sharded`]: larger declared link latency ⇒ larger
+    /// windows ⇒ fewer barriers. `0` (the default) declares nothing and
+    /// keeps the window at the bare channel latency.
+    pub link_latency_ns: u64,
 }
 
 impl Default for SimConfig {
@@ -48,6 +89,7 @@ impl Default for SimConfig {
             seed: 0xEA7_F00D,
             batch_ns: 0,
             batch_max: 32,
+            link_latency_ns: 0,
         }
     }
 }
@@ -60,6 +102,7 @@ impl SimConfig {
             seed,
             batch_ns: 2_000,
             batch_max: 32,
+            ..SimConfig::default()
         }
     }
 }
@@ -89,6 +132,14 @@ impl BatchStats {
             self.batched_msgs as f64 / self.batch_deliveries as f64
         }
     }
+
+    fn merge(&mut self, o: &BatchStats) {
+        self.flush_timer += o.flush_timer;
+        self.flush_depth += o.flush_depth;
+        self.flush_close += o.flush_close;
+        self.batched_msgs += o.batched_msgs;
+        self.batch_deliveries += o.batch_deliveries;
+    }
 }
 
 /// One open per-link batch: messages coalescing toward a single delivery.
@@ -104,18 +155,28 @@ struct LinkBatch<M> {
     epoch: u64,
 }
 
-struct HeapEv<M> {
-    time: Time,
-    seq: u64,
-    kind: HeapKind<M>,
+/// The identity a scheduled event carries: which domain scheduled it and
+/// that domain's private sequence number — globally unique, and computable
+/// from the origin domain's local history alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Origin {
+    pub dom: u32,
+    pub seq: u64,
 }
 
-enum HeapKind<M> {
+pub(crate) struct HeapEv<M> {
+    pub time: Time,
+    pub origin: Origin,
+    pub kind: HeapKind<M>,
+}
+
+pub(crate) enum HeapKind<M> {
     /// Deliver an event to a process (immediately if its thread is free,
     /// else onto the thread's FIFO queue).
     Deliver { dst: ProcId, ev: Event<M> },
     /// A hardware thread finished its current work: pop its queue.
-    ThreadResume(HwThreadId),
+    /// Carries the thread's *local* index within its domain.
+    ThreadResume(u32),
     /// The `batch_ns` horizon of a per-link batch expired: deliver it.
     /// Stale if the batch was already flushed (epoch mismatch).
     FlushBatch {
@@ -127,7 +188,7 @@ enum HeapKind<M> {
 
 impl<M> PartialEq for HeapEv<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.origin == other.origin
     }
 }
 impl<M> Eq for HeapEv<M> {}
@@ -139,7 +200,7 @@ impl<M> PartialOrd for HeapEv<M> {
 impl<M> Ord for HeapEv<M> {
     // BinaryHeap is a max-heap; invert so the earliest event pops first.
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.origin).cmp(&(self.time, self.origin))
     }
 }
 
@@ -181,343 +242,353 @@ enum Output<M> {
     },
 }
 
-type CrashHook<M> = Box<dyn Fn(ProcId, &str) -> M>;
+/// Crash-monitor message constructor. `Send + Sync` because a crash inside
+/// a parallel shard worker invokes it on that worker's thread.
+type CrashHook<M> = Box<dyn Fn(ProcId, &str) -> M + Send + Sync>;
 
-/// The simulation world.
-pub struct Sim<M> {
-    now: Time,
-    seq: u64,
-    next_pid: u64,
-    queue: BinaryHeap<HeapEv<M>>,
-    machines: Vec<Machine>,
-    threads: Vec<HwThread>,
-    procs: HashMap<ProcId, ProcSlot<M>>,
-    rng: Rng,
-    /// `(monitor process, message constructor)` notified on crashes.
-    crash_monitor: Option<(ProcId, CrashHook<M>)>,
-    events_dispatched: u64,
-    /// Per-hardware-thread FIFO of events waiting for the thread
-    /// (the run queue of the FIFO server model).
-    pending: Vec<std::collections::VecDeque<(ProcId, Event<M>)>>,
-    /// Whether a ThreadResume marker is scheduled per thread.
-    resume_scheduled: Vec<bool>,
-    /// Coalescing horizon (zero = batching off) and early-flush depth.
-    batch_ns: Time,
-    batch_max: usize,
-    /// Open per-link batches keyed by `(src, dst)`.
-    batches: HashMap<(ProcId, ProcId), LinkBatch<M>>,
-    /// Monotone token distinguishing live batches from stale flush events.
-    batch_epoch: u64,
-    batch_stats: BatchStats,
+/// Bits reserved for a domain's local pid counter: pids are
+/// `(domain + 1) << PID_DOM_SHIFT | local`, so allocation is a purely
+/// domain-local operation and the owning domain can be recovered from the
+/// pid itself. `ProcId(0)` stays the reserved "external" sender.
+const PID_DOM_SHIFT: u32 = 40;
+
+pub(crate) fn domain_of_pid(pid: ProcId) -> u32 {
+    debug_assert!(pid.0 >> PID_DOM_SHIFT != 0, "pid {pid:?} has no domain");
+    (pid.0 >> PID_DOM_SHIFT) as u32 - 1
 }
 
-impl<M: 'static> Sim<M> {
-    pub fn new(config: SimConfig) -> Sim<M> {
-        Sim {
-            now: Time::ZERO,
+/// Location of a hardware thread: owning domain + index within it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ThreadLoc {
+    pub dom: u32,
+    pub idx: u32,
+}
+
+/// Immutable-during-run topology shared by every executor thread.
+pub(crate) struct Topo {
+    pub machines: Vec<Machine>,
+    /// Global `HwThreadId` → (domain, local index).
+    pub thread_loc: Vec<ThreadLoc>,
+}
+
+impl Topo {
+    pub(crate) fn loc(&self, t: HwThreadId) -> ThreadLoc {
+        self.thread_loc[t.0]
+    }
+}
+
+/// All mutable scheduling state of one machine. A domain is the unit of
+/// shard ownership: during a parallel window exactly one worker thread
+/// touches it.
+pub(crate) struct DomainState<M> {
+    pub dom: u32,
+    pub heap: BinaryHeap<HeapEv<M>>,
+    /// Private monotone event-sequence counter (origin identity).
+    pub seq: u64,
+    /// Private pid allocator (low bits of this domain's pids).
+    next_pid: u64,
+    pub rng: Rng,
+    /// This machine's hardware threads, indexed by local thread index.
+    pub threads: Vec<HwThread>,
+    /// Global ids of the local threads (export/debug naming).
+    pub thread_ids: Vec<HwThreadId>,
+    /// Per-local-thread FIFO of events waiting for the thread.
+    pending: Vec<VecDeque<(ProcId, Event<M>)>>,
+    /// Whether a ThreadResume marker is scheduled per local thread.
+    resume_scheduled: Vec<bool>,
+    procs: HashMap<ProcId, ProcSlot<M>>,
+    /// Open per-link batches keyed by `(src, dst)` (machine-local links).
+    batches: HashMap<(ProcId, ProcId), LinkBatch<M>>,
+    batch_epoch: u64,
+    pub batch_stats: BatchStats,
+    pub events_dispatched: u64,
+    pub spawns: u64,
+    pub crashes: u64,
+    pub exits: u64,
+}
+
+impl<M> DomainState<M> {
+    fn new(dom: u32, seed: u64) -> DomainState<M> {
+        // Independent per-machine stream: domain-separated SplitMix-style
+        // derivation so machine k's draws are stable however many other
+        // machines exist and wherever they execute.
+        let rng = Rng::seed_from_u64(seed ^ (dom as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        DomainState {
+            dom,
+            heap: BinaryHeap::new(),
             seq: 0,
             next_pid: 1,
-            queue: BinaryHeap::new(),
-            machines: Vec::new(),
+            rng,
             threads: Vec::new(),
-            procs: HashMap::new(),
-            rng: Rng::seed_from_u64(config.seed),
-            crash_monitor: None,
-            events_dispatched: 0,
+            thread_ids: Vec::new(),
             pending: Vec::new(),
             resume_scheduled: Vec::new(),
-            batch_ns: Time(config.batch_ns),
-            batch_max: config.batch_max.max(1),
+            procs: HashMap::new(),
             batches: HashMap::new(),
             batch_epoch: 0,
             batch_stats: BatchStats::default(),
+            events_dispatched: 0,
+            spawns: 0,
+            crashes: 0,
+            exits: 0,
         }
     }
 
-    /// Coalescing counters (occupancy, flush causes) for benches/tests.
-    pub fn batch_stats(&self) -> BatchStats {
-        self.batch_stats
-    }
-
-    fn ensure_thread_books(&mut self) {
-        while self.pending.len() < self.threads.len() {
-            self.pending.push(std::collections::VecDeque::new());
-            self.resume_scheduled.push(false);
-        }
-    }
-
-    /// Current simulated time.
-    pub fn now(&self) -> Time {
-        self.now
-    }
-
-    pub fn events_dispatched(&self) -> u64 {
-        self.events_dispatched
-    }
-
-    /// Add a machine; its hardware threads are created immediately.
-    pub fn add_machine(&mut self, spec: MachineSpec) -> MachineId {
-        let id = MachineId(self.machines.len());
-        let mut thread_ids = Vec::new();
-        for core in 0..spec.cores {
-            let base = self.threads.len();
-            for t in 0..spec.threads_per_core {
-                let tid = HwThreadId(self.threads.len());
-                let sibling = if spec.threads_per_core == 2 {
-                    // Sibling is the other thread of this core; fix up below.
-                    Some(HwThreadId(base + (1 - t as usize)))
-                } else {
-                    None
-                };
-                self.threads.push(HwThread {
-                    machine: id,
-                    core,
-                    thread: t,
-                    kind: ThreadKind::Cpu,
-                    freq: spec.freq,
-                    sibling,
-                    busy_until: Time::ZERO,
-                    stats: ThreadStats::default(),
-                    stats_since: Time::ZERO,
-                    util_ewma: 0.0,
-                    util_at: Time::ZERO,
-                });
-                thread_ids.push(tid);
-            }
-        }
-        self.machines.push(Machine {
-            id,
-            spec,
-            threads: thread_ids,
-        });
-        self.ensure_thread_books();
-        id
-    }
-
-    /// Add a device engine (e.g. a NIC pipeline) to a machine. Device
-    /// threads charge wall time directly and never sleep.
-    pub fn add_device_thread(&mut self, machine: MachineId) -> HwThreadId {
-        let tid = HwThreadId(self.threads.len());
-        self.threads.push(HwThread {
-            machine,
-            core: u32::MAX,
-            thread: 0,
-            kind: ThreadKind::Device,
-            freq: self.machines[machine.0].spec.freq,
-            sibling: None,
-            busy_until: Time::ZERO,
-            stats: ThreadStats::default(),
-            stats_since: Time::ZERO,
-            util_ewma: 0.0,
-            util_at: Time::ZERO,
-        });
-        self.ensure_thread_books();
-        tid
-    }
-
-    /// Hardware-thread id for `(machine, core, thread)`.
-    pub fn hw_thread(&self, machine: MachineId, core: u32, thread: u32) -> HwThreadId {
-        self.machines[machine.0].thread(core, thread)
-    }
-
-    /// The machine a hardware thread belongs to.
-    pub fn machine_of_thread(&self, t: HwThreadId) -> MachineId {
-        self.threads[t.0].machine
-    }
-
-    pub fn machine(&self, id: MachineId) -> &Machine {
-        &self.machines[id.0]
-    }
-
-    /// Spawn a process pinned to a hardware thread; it receives
-    /// [`Event::Start`] at the current time.
-    pub fn spawn(&mut self, thread: HwThreadId, proc: Box<dyn Process<M>>) -> ProcId {
-        let pid = ProcId(self.next_pid);
+    fn alloc_pid(&mut self) -> ProcId {
+        let pid = ProcId(((self.dom as u64 + 1) << PID_DOM_SHIFT) | self.next_pid);
         self.next_pid += 1;
-        let name = proc.name();
-        neat_obs::counter_add("sim.spawns", 1);
-        self.procs.insert(
-            pid,
-            ProcSlot {
-                proc: Some(proc),
-                thread,
-                name,
-                alive: true,
-            },
-        );
-        let now = self.now;
-        self.push(now, pid, Event::Start);
         pid
     }
 
-    /// Inject a message from "outside" (harness code) into a process.
-    pub fn send_external(&mut self, dst: ProcId, msg: M) {
-        let now = self.now;
-        self.push(
-            now + calibration::CHANNEL_LATENCY,
-            dst,
-            Event::Message {
-                from: ProcId(0),
-                msg,
-            },
-        );
-    }
-
-    /// Register the process to be notified (via a constructed message) when
-    /// any other process crashes — the reincarnation-server role.
-    pub fn set_crash_monitor(
-        &mut self,
-        monitor: ProcId,
-        hook: impl Fn(ProcId, &str) -> M + 'static,
-    ) {
-        self.crash_monitor = Some((monitor, Box::new(hook)));
-    }
-
-    /// Is the process still alive?
-    pub fn is_alive(&self, pid: ProcId) -> bool {
-        self.procs.get(&pid).map(|s| s.alive).unwrap_or(false)
-    }
-
-    pub fn proc_name(&self, pid: ProcId) -> Option<&str> {
-        self.procs.get(&pid).map(|s| s.name.as_str())
-    }
-
-    pub fn proc_thread(&self, pid: ProcId) -> Option<HwThreadId> {
-        self.procs.get(&pid).map(|s| s.thread)
-    }
-
-    /// Activity statistics of a hardware thread since the last reset.
-    pub fn thread_stats(&self, tid: HwThreadId) -> ThreadStats {
-        self.threads[tid.0].stats
-    }
-
-    pub fn thread_stats_since(&self, tid: HwThreadId) -> Time {
-        self.threads[tid.0].stats_since
-    }
-
-    /// Reset activity accounting on all threads (start of a measurement
-    /// window).
-    pub fn reset_all_stats(&mut self) {
-        let now = self.now;
-        for t in &mut self.threads {
-            t.reset_stats(now);
-        }
-    }
-
-    /// Export per-hardware-thread activity and engine totals into the
-    /// `neat_obs` metrics registry as gauges (`cpu.t<idx>.*`, `sim.*`).
-    /// Called by the harness at the end of a measurement window so the
-    /// bench reports carry the paper's Table-2-style CPU breakdowns.
-    pub fn export_obs(&self) {
-        for (idx, t) in self.threads.iter().enumerate() {
-            if t.stats.events == 0 && t.stats.active_ns() == 0 {
-                continue; // unused thread: keep the snapshot compact
-            }
-            let elapsed = self.now.since(t.stats_since);
-            let p = |what: &str| format!("cpu.t{idx}.{what}");
-            neat_obs::gauge_set(&p("load"), t.stats.load(elapsed));
-            neat_obs::gauge_set(&p("busy_ns"), t.stats.busy_ns as f64);
-            neat_obs::gauge_set(&p("poll_ns"), t.stats.poll_ns as f64);
-            neat_obs::gauge_set(&p("kernel_ns"), t.stats.kernel_ns as f64);
-            neat_obs::gauge_set(&p("events"), t.stats.events as f64);
-            neat_obs::gauge_set(&p("sleeps"), t.stats.sleeps as f64);
-            neat_obs::gauge_set(&p("max_queue"), t.stats.max_queue as f64);
-        }
-        neat_obs::gauge_set("sim.now_ns", self.now.as_nanos() as f64);
-        neat_obs::gauge_set("sim.events_dispatched", self.events_dispatched as f64);
-        neat_obs::gauge_set("sim.heap_len", self.queue.len() as f64);
-        neat_obs::gauge_set(
-            "sim.live_procs",
-            self.procs.values().filter(|s| s.alive).count() as f64,
-        );
-        let b = self.batch_stats;
-        neat_obs::gauge_set("sim.batch.flush_timer", b.flush_timer as f64);
-        neat_obs::gauge_set("sim.batch.flush_depth", b.flush_depth as f64);
-        neat_obs::gauge_set("sim.batch.flush_close", b.flush_close as f64);
-        neat_obs::gauge_set("sim.batch.batched_msgs", b.batched_msgs as f64);
-        neat_obs::gauge_set("sim.batch.deliveries", b.batch_deliveries as f64);
-        neat_obs::gauge_set("sim.batch.occupancy", b.occupancy());
+    fn next_origin(&mut self) -> Origin {
+        let o = Origin {
+            dom: self.dom,
+            seq: self.seq,
+        };
+        self.seq += 1;
+        o
     }
 
     fn push(&mut self, time: Time, dst: ProcId, ev: Event<M>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(HeapEv {
+        let origin = self.next_origin();
+        self.heap.push(HeapEv {
             time,
-            seq,
+            origin,
             kind: HeapKind::Deliver { dst, ev },
         });
     }
 
-    fn push_resume(&mut self, time: Time, thread: HwThreadId) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(HeapEv {
-            time,
-            seq,
-            kind: HeapKind::ThreadResume(thread),
-        });
+    fn ensure_thread_books(&mut self) {
+        while self.pending.len() < self.threads.len() {
+            self.pending.push(VecDeque::new());
+            self.resume_scheduled.push(false);
+        }
+    }
+}
+
+/// How the running kernel resolves a domain index to mutable state: the
+/// serial engine owns every domain; a shard worker owns a subset and
+/// forwards the rest through its outbox.
+pub(crate) enum DomMap<'a> {
+    /// `domains[i]` is domain `i` (the serial engine).
+    Identity,
+    /// `map[dom]` is the position in the owned slice, or `None` if the
+    /// domain belongs to another shard.
+    Partial(&'a [Option<usize>]),
+}
+
+/// A message crossing shard boundaries, exchanged at window barriers.
+pub(crate) struct Handoff<M> {
+    pub time: Time,
+    pub origin: Origin,
+    pub dst: ProcId,
+    pub ev: Event<M>,
+}
+
+/// Per-destination-shard buffers a worker fills during a window.
+pub(crate) type Outbox<M> = Vec<Vec<Handoff<M>>>;
+
+/// The executing kernel: the domain slice it may touch plus the routing
+/// table for everything else. Both the serial engine and each parallel
+/// shard worker drive dispatch through this one code path, which is what
+/// keeps their histories identical.
+pub(crate) struct Kernel<'a, M> {
+    pub domains: &'a mut [DomainState<M>],
+    pub map: DomMap<'a>,
+    pub topo: &'a Topo,
+    pub batch_ns: Time,
+    pub batch_max: usize,
+    pub link_latency: Time,
+    pub crash_monitor: Option<&'a (ProcId, CrashHook<M>)>,
+    /// Per-shard outboxes (parallel workers only). `None` means every
+    /// domain is local and cross-domain pushes go straight to its heap.
+    pub outbox: Option<(&'a [u32], &'a mut Outbox<M>)>,
+    pub tracing: bool,
+}
+
+impl<'a, M: 'static> Kernel<'a, M> {
+    fn pos(&self, dom: u32) -> Option<usize> {
+        match self.map {
+            DomMap::Identity => Some(dom as usize),
+            DomMap::Partial(map) => map[dom as usize],
+        }
     }
 
-    fn push_flush(&mut self, time: Time, src: ProcId, dst: ProcId, epoch: u64) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(HeapEv {
-            time,
-            seq,
-            kind: HeapKind::FlushBatch { src, dst, epoch },
-        });
+    /// Schedule a Deliver event originated by `origin` into `dom`'s heap,
+    /// or across the shard boundary via the outbox.
+    fn route(&mut self, dom: u32, time: Time, origin: Origin, dst: ProcId, ev: Event<M>) {
+        match self.pos(dom) {
+            Some(p) => self.domains[p].heap.push(HeapEv {
+                time,
+                origin,
+                kind: HeapKind::Deliver { dst, ev },
+            }),
+            None => {
+                let (shard_of, outbox) = self
+                    .outbox
+                    .as_mut()
+                    .expect("non-local domain without an outbox");
+                outbox[shard_of[dom as usize] as usize].push(Handoff {
+                    time,
+                    origin,
+                    dst,
+                    ev,
+                });
+            }
+        }
     }
 
-    /// Deliver a closed batch at `at` (>= now). Single-message batches
-    /// degrade to a plain `Message` so receivers and traces can't tell a
-    /// lone coalesced message from an unbatched one.
-    fn deliver_batch(&mut self, src: ProcId, dst: ProcId, msgs: Vec<M>, at: Time) {
+    /// Dispatch one event popped from the heap of the domain at `di`.
+    pub(crate) fn dispatch(&mut self, di: usize, ev: HeapEv<M>) {
+        let HeapEv { time, kind, .. } = ev;
+        match kind {
+            HeapKind::Deliver { dst, ev } => {
+                let d = &mut self.domains[di];
+                let Some(slot) = d.procs.get(&dst) else {
+                    return;
+                };
+                if !slot.alive {
+                    return;
+                }
+                let tid = slot.thread;
+                let lt = self.topo.loc(tid).idx as usize;
+                // FIFO server: if the thread is (or will be) busy, or has
+                // queued work, append; a resume marker fires at the end of
+                // the current work.
+                let busy_until = d.threads[lt].busy_until;
+                if busy_until > time || !d.pending[lt].is_empty() {
+                    d.pending[lt].push_back((dst, ev));
+                    // Queue-depth high-water mark (per-thread backlog; a
+                    // compare+store, cheap enough to keep always-on).
+                    let depth = d.pending[lt].len() as u64;
+                    let st = &mut d.threads[lt].stats;
+                    st.max_queue = st.max_queue.max(depth);
+                    if !d.resume_scheduled[lt] {
+                        d.resume_scheduled[lt] = true;
+                        let at = busy_until.max(time);
+                        let origin = d.next_origin();
+                        d.heap.push(HeapEv {
+                            time: at,
+                            origin,
+                            kind: HeapKind::ThreadResume(lt as u32),
+                        });
+                    }
+                } else {
+                    self.execute(di, lt, dst, ev, time);
+                }
+            }
+            HeapKind::FlushBatch { src, dst, epoch } => {
+                // Stale unless the batch is still open under this epoch.
+                let d = &mut self.domains[di];
+                let live = d
+                    .batches
+                    .get(&(src, dst))
+                    .map(|b| b.epoch == epoch)
+                    .unwrap_or(false);
+                if live {
+                    let b = d.batches.remove(&(src, dst)).unwrap();
+                    d.batch_stats.flush_timer += 1;
+                    // The horizon IS the delivery instant (`time ==
+                    // flush_at >= ready_at`), like interrupt moderation.
+                    self.deliver_batch(di, src, dst, b.msgs, time);
+                }
+            }
+            HeapKind::ThreadResume(lt) => {
+                let lt = lt as usize;
+                self.domains[di].resume_scheduled[lt] = false;
+                // Pop queued work until we find a live destination.
+                while let Some((dst, ev)) = self.domains[di].pending[lt].pop_front() {
+                    let alive = self.domains[di]
+                        .procs
+                        .get(&dst)
+                        .map(|s| s.alive)
+                        .unwrap_or(false);
+                    if !alive {
+                        continue; // messages to dead processes vanish
+                    }
+                    self.execute(di, lt, dst, ev, time);
+                    break;
+                }
+                // More work queued: chain the next marker.
+                let d = &mut self.domains[di];
+                if !d.pending[lt].is_empty() && !d.resume_scheduled[lt] {
+                    d.resume_scheduled[lt] = true;
+                    let at = d.threads[lt].busy_until.max(time);
+                    let origin = d.next_origin();
+                    d.heap.push(HeapEv {
+                        time: at,
+                        origin,
+                        kind: HeapKind::ThreadResume(lt as u32),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Deliver a closed batch at `at` (>= the current dispatch instant).
+    /// Single-message batches degrade to a plain `Message` so receivers
+    /// and traces can't tell a lone coalesced message from an unbatched
+    /// one. Batched links are machine-local, so delivery is a local push.
+    fn deliver_batch(&mut self, di: usize, src: ProcId, dst: ProcId, msgs: Vec<M>, at: Time) {
+        let d = &mut self.domains[di];
         if msgs.len() == 1 {
             let msg = msgs.into_iter().next().unwrap();
-            self.push(at, dst, Event::Message { from: src, msg });
+            d.push(at, dst, Event::Message { from: src, msg });
         } else {
-            self.batch_stats.batched_msgs += msgs.len() as u64;
-            self.batch_stats.batch_deliveries += 1;
-            self.push(at, dst, Event::Batch { from: src, msgs });
+            d.batch_stats.batched_msgs += msgs.len() as u64;
+            d.batch_stats.batch_deliveries += 1;
+            d.push(at, dst, Event::Batch { from: src, msgs });
         }
     }
 
     /// Route one `send()` through the per-link coalescer. `at` is the
     /// message's natural delivery instant (sender completion + channel
     /// latency); the batch may delay it up to the `batch_ns` horizon.
-    fn enqueue_batched(&mut self, src: ProcId, dst: ProcId, msg: M, at: Time) {
+    /// `now` is the current dispatch instant (deliveries never precede it).
+    fn enqueue_batched(
+        &mut self,
+        di: usize,
+        src: ProcId,
+        dst: ProcId,
+        msg: M,
+        at: Time,
+        now: Time,
+    ) {
         let key = (src, dst);
-        match self.batches.get_mut(&key) {
+        let batch_max = self.batch_max;
+        let d = &mut self.domains[di];
+        match d.batches.get_mut(&key) {
             Some(b) if at <= b.flush_at => {
                 b.msgs.push(msg);
                 b.ready_at = b.ready_at.max(at);
-                if b.msgs.len() >= self.batch_max {
+                if b.msgs.len() >= batch_max {
                     // Depth flush: deliver now-complete batch at its
                     // ready time; the scheduled FlushBatch goes stale.
-                    let b = self.batches.remove(&key).unwrap();
-                    self.batch_stats.flush_depth += 1;
-                    self.deliver_batch(src, dst, b.msgs, b.ready_at.max(self.now));
+                    let b = d.batches.remove(&key).unwrap();
+                    d.batch_stats.flush_depth += 1;
+                    let at = b.ready_at.max(now);
+                    self.deliver_batch(di, src, dst, b.msgs, at);
                 }
             }
             Some(_) => {
                 // The new message lands past the horizon: close the old
                 // batch (its flush event goes stale) and open a new one.
-                let old = self.batches.remove(&key).unwrap();
-                self.batch_stats.flush_close += 1;
-                let old_at = old.ready_at.max(self.now);
-                self.deliver_batch(src, dst, old.msgs, old_at);
-                self.open_batch(key, msg, at);
+                let old = d.batches.remove(&key).unwrap();
+                d.batch_stats.flush_close += 1;
+                let old_at = old.ready_at.max(now);
+                self.deliver_batch(di, src, dst, old.msgs, old_at);
+                self.open_batch(di, key, msg, at);
             }
-            None => self.open_batch(key, msg, at),
+            None => self.open_batch(di, key, msg, at),
         }
     }
 
-    fn open_batch(&mut self, key: (ProcId, ProcId), msg: M, at: Time) {
-        self.batch_epoch += 1;
-        let epoch = self.batch_epoch;
+    fn open_batch(&mut self, di: usize, key: (ProcId, ProcId), msg: M, at: Time) {
+        let d = &mut self.domains[di];
+        d.batch_epoch += 1;
+        let epoch = d.batch_epoch;
         let flush_at = at + self.batch_ns;
-        self.batches.insert(
+        d.batches.insert(
             key,
             LinkBatch {
                 msgs: vec![msg],
@@ -526,106 +597,31 @@ impl<M: 'static> Sim<M> {
                 epoch,
             },
         );
-        self.push_flush(flush_at, key.0, key.1, epoch);
+        let origin = d.next_origin();
+        d.heap.push(HeapEv {
+            time: flush_at,
+            origin,
+            kind: HeapKind::FlushBatch {
+                src: key.0,
+                dst: key.1,
+                epoch,
+            },
+        });
     }
 
-    /// Run until the event queue is exhausted or simulated time reaches
-    /// `until`. Returns the number of events dispatched.
-    pub fn run_until(&mut self, until: Time) -> u64 {
-        let mut dispatched = 0;
-        while let Some(top) = self.queue.peek() {
-            if top.time > until {
-                break;
-            }
-            let ev = self.queue.pop().unwrap();
-            self.now = ev.time;
-            self.dispatch(ev);
-            dispatched += 1;
-        }
-        if self.now < until {
-            self.now = until;
-        }
-        self.events_dispatched += dispatched;
-        dispatched
-    }
-
-    fn dispatch(&mut self, ev: HeapEv<M>) {
-        let HeapEv { time, kind, .. } = ev;
-        match kind {
-            HeapKind::Deliver { dst, ev } => {
-                let Some(slot) = self.procs.get(&dst) else {
-                    return;
-                };
-                if !slot.alive {
-                    return;
-                }
-                let tid = slot.thread;
-                // FIFO server: if the thread is (or will be) busy, or has
-                // queued work, append; a resume marker fires at the end of
-                // the current work.
-                let busy_until = self.threads[tid.0].busy_until;
-                if busy_until > time || !self.pending[tid.0].is_empty() {
-                    self.pending[tid.0].push_back((dst, ev));
-                    // Queue-depth high-water mark (per-thread backlog; a
-                    // compare+store, cheap enough to keep always-on).
-                    let depth = self.pending[tid.0].len() as u64;
-                    let st = &mut self.threads[tid.0].stats;
-                    st.max_queue = st.max_queue.max(depth);
-                    if !self.resume_scheduled[tid.0] {
-                        self.resume_scheduled[tid.0] = true;
-                        self.push_resume(busy_until.max(time), tid);
-                    }
-                } else {
-                    self.execute(tid, dst, ev, time);
-                }
-            }
-            HeapKind::FlushBatch { src, dst, epoch } => {
-                // Stale unless the batch is still open under this epoch.
-                let live = self
-                    .batches
-                    .get(&(src, dst))
-                    .map(|b| b.epoch == epoch)
-                    .unwrap_or(false);
-                if live {
-                    let b = self.batches.remove(&(src, dst)).unwrap();
-                    self.batch_stats.flush_timer += 1;
-                    // The horizon IS the delivery instant (`time ==
-                    // flush_at >= ready_at`), like interrupt moderation.
-                    self.deliver_batch(src, dst, b.msgs, time);
-                }
-            }
-            HeapKind::ThreadResume(tid) => {
-                self.resume_scheduled[tid.0] = false;
-                // Pop queued work until we find a live destination.
-                while let Some((dst, ev)) = self.pending[tid.0].pop_front() {
-                    let alive = self.procs.get(&dst).map(|s| s.alive).unwrap_or(false);
-                    if !alive {
-                        continue; // messages to dead processes vanish
-                    }
-                    self.execute(tid, dst, ev, time);
-                    break;
-                }
-                // More work queued: chain the next marker.
-                if !self.pending[tid.0].is_empty() && !self.resume_scheduled[tid.0] {
-                    self.resume_scheduled[tid.0] = true;
-                    let at = self.threads[tid.0].busy_until.max(time);
-                    self.push_resume(at, tid);
-                }
-            }
-        }
-    }
-
-    /// Run one handler on a free thread at `time` (>= thread.busy_until).
-    fn execute(&mut self, thread_id: HwThreadId, dst: ProcId, ev: Event<M>, time: Time) {
+    /// Run one handler on a free local thread at `time`
+    /// (>= thread.busy_until).
+    fn execute(&mut self, di: usize, lt: usize, dst: ProcId, ev: Event<M>, time: Time) {
+        let d = &mut self.domains[di];
         // Tracing hook: name the span before the event is consumed. Guarded
-        // so the disabled path pays one thread-local bool read, no format.
-        let span_name = if neat_obs::tracing() {
-            let pname = self.procs.get(&dst).map(|s| s.name.as_str()).unwrap_or("?");
+        // so the disabled path pays one bool read, no format.
+        let span_name = if self.tracing {
+            let pname = d.procs.get(&dst).map(|s| s.name.as_str()).unwrap_or("?");
             Some(format!("{pname} [{}]", ev.label()))
         } else {
             None
         };
-        let mut proc = match self.procs.get_mut(&dst) {
+        let mut proc = match d.procs.get_mut(&dst) {
             Some(slot) if slot.alive => match slot.proc.take() {
                 Some(p) => p,
                 None => return,
@@ -635,19 +631,21 @@ impl<M: 'static> Sim<M> {
 
         // --- CPU-time accounting: wake the thread, find the start instant.
         let start = {
-            let th = &mut self.threads[thread_id.0];
+            let th = &mut d.threads[lt];
             let woken = th.wake_for(time);
             woken.max(th.busy_until)
         };
-        let kind = self.threads[thread_id.0].kind;
-        let freq = self.threads[thread_id.0].freq;
+        let kind = d.threads[lt].kind;
+        let freq = d.threads[lt].freq;
         // SMT contention: slowdown scales with the sibling thread's recent
         // utilization — two saturated siblings each run at SMT_CAPACITY/2
-        // of a dedicated core's speed.
-        let smt_slow = match self.threads[thread_id.0].sibling {
+        // of a dedicated core's speed. Siblings share a core, so the
+        // lookup is domain-local by construction.
+        let smt_slow = match d.threads[lt].sibling {
             Some(sib) if kind == ThreadKind::Cpu => {
-                let s = &self.threads[sib.0];
-                let u = if s.busy_until > start || !self.pending[sib.0].is_empty() {
+                let sl = self.topo.loc(sib).idx as usize;
+                let s = &d.threads[sl];
+                let u = if s.busy_until > start || !d.pending[sl].is_empty() {
                     1.0
                 } else {
                     s.recent_util(start)
@@ -658,7 +656,10 @@ impl<M: 'static> Sim<M> {
         };
 
         let mut ctx = Ctx {
-            sim: self,
+            dom: d,
+            topo: self.topo,
+            batching: self.batch_ns.as_nanos() > 0,
+            sender_kind: kind,
             self_id: dst,
             start,
             charged: proc.dispatch_cost(),
@@ -689,14 +690,15 @@ impl<M: 'static> Sim<M> {
             ThreadKind::Device => Time(charged_ns + freq.cycles_to_time(charged).as_nanos()),
         };
         let end = start + work;
+        let d = &mut self.domains[di];
         {
-            let th = &mut self.threads[thread_id.0];
+            let th = &mut d.threads[lt];
             th.stats.smt_slow_sum += smt_slow;
             th.record_busy(start, end);
         }
         if let Some(name) = span_name {
             neat_obs::trace::complete(
-                thread_id.0 as u64,
+                d.thread_ids[lt].0 as u64,
                 name,
                 "dispatch",
                 start.as_nanos(),
@@ -705,6 +707,7 @@ impl<M: 'static> Sim<M> {
         }
 
         // --- Apply outputs at completion time.
+        let src_dom = d.dom;
         for out in outputs {
             match out {
                 Output::Send {
@@ -713,16 +716,34 @@ impl<M: 'static> Sim<M> {
                     extra_delay,
                 } => {
                     let at = end + calibration::CHANNEL_LATENCY + extra_delay;
-                    // Only latency-free local sends coalesce; anything with
-                    // explicit wire/propagation delay keeps its own event.
-                    if self.batch_ns.as_nanos() > 0 && extra_delay.as_nanos() == 0 {
-                        self.enqueue_batched(dst, to, msg, at);
+                    let to_dom = domain_of_pid(to);
+                    if to_dom == src_dom {
+                        // Only latency-free local sends coalesce; anything
+                        // with explicit wire/propagation delay keeps its
+                        // own event.
+                        if self.batch_ns.as_nanos() > 0 && extra_delay.as_nanos() == 0 {
+                            self.enqueue_batched(di, dst, to, msg, at, time);
+                        } else {
+                            let origin = self.domains[di].next_origin();
+                            self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
+                        }
                     } else {
-                        self.push(at, to, Event::Message { from: dst, msg });
+                        // Cross-machine: the topology promised at least
+                        // `link_latency` of wire delay — the conservative
+                        // lookahead the parallel executor relies on.
+                        assert!(
+                            extra_delay >= self.link_latency,
+                            "cross-machine send {dst:?}->{to:?} carries {}ns extra delay, \
+                             below the declared link latency of {}ns",
+                            extra_delay.as_nanos(),
+                            self.link_latency.as_nanos()
+                        );
+                        let origin = self.domains[di].next_origin();
+                        self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
                     }
                 }
                 Output::Timer { delay, token } => {
-                    self.push(end + delay, dst, Event::Timer { token });
+                    self.domains[di].push(end + delay, dst, Event::Timer { token });
                 }
                 Output::Spawn {
                     pid,
@@ -730,9 +751,11 @@ impl<M: 'static> Sim<M> {
                     proc,
                     delay,
                 } => {
+                    // Ctx::spawn asserted thread is on this machine.
+                    let d = &mut self.domains[di];
                     let name = proc.name();
-                    neat_obs::counter_add("sim.spawns", 1);
-                    self.procs.insert(
+                    d.spawns += 1;
+                    d.procs.insert(
                         pid,
                         ProcSlot {
                             proc: Some(proc),
@@ -741,10 +764,11 @@ impl<M: 'static> Sim<M> {
                             alive: true,
                         },
                     );
-                    self.push(end + delay, pid, Event::Start);
+                    d.push(end + delay, pid, Event::Start);
                 }
                 Output::Kill { pid, crash } => {
-                    self.reap(pid, if crash { DieMode::Crash } else { DieMode::Exit }, end);
+                    let mode = if crash { DieMode::Crash } else { DieMode::Exit };
+                    self.reap(pid, mode, end);
                 }
             }
         }
@@ -753,13 +777,13 @@ impl<M: 'static> Sim<M> {
         match die {
             Some(mode) => {
                 // Put the (now doomed) process back so reap can drop it.
-                if let Some(slot) = self.procs.get_mut(&dst) {
+                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
                     slot.proc = Some(proc);
                 }
                 self.reap(dst, mode, end);
             }
             None => {
-                if let Some(slot) = self.procs.get_mut(&dst) {
+                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
                     slot.proc = Some(proc);
                 }
             }
@@ -767,7 +791,15 @@ impl<M: 'static> Sim<M> {
     }
 
     fn reap(&mut self, pid: ProcId, mode: DieMode, at: Time) {
-        let (name, thread) = match self.procs.get_mut(&pid) {
+        let dom = domain_of_pid(pid);
+        let Some(p) = self.pos(dom) else {
+            panic!(
+                "kill of {pid:?} crosses a shard boundary; process management \
+                 is machine-local under run_sharded"
+            );
+        };
+        let d = &mut self.domains[p];
+        let (name, thread) = match d.procs.get_mut(&pid) {
             Some(slot) if slot.alive => {
                 slot.alive = false;
                 slot.proc = None; // all state dropped — stateless recovery
@@ -776,10 +808,10 @@ impl<M: 'static> Sim<M> {
             _ => return,
         };
         match mode {
-            DieMode::Crash => neat_obs::counter_add("sim.crashes", 1),
-            DieMode::Exit => neat_obs::counter_add("sim.exits", 1),
+            DieMode::Crash => d.crashes += 1,
+            DieMode::Exit => d.exits += 1,
         }
-        if neat_obs::tracing() {
+        if self.tracing {
             let what = match mode {
                 DieMode::Crash => "crash",
                 DieMode::Exit => "exit",
@@ -792,13 +824,16 @@ impl<M: 'static> Sim<M> {
             );
         }
         if mode == DieMode::Crash {
-            if let Some((monitor, hook)) = &self.crash_monitor {
+            if let Some((monitor, hook)) = self.crash_monitor {
                 let msg = hook(pid, &name);
                 let monitor = *monitor;
                 // Crash detection latency: the kernel notices the fault and
                 // notifies the monitor (one exception + IPC round).
-                self.push(
-                    at + Time::from_micros(50),
+                let origin = self.domains[p].next_origin();
+                self.route(
+                    domain_of_pid(monitor),
+                    at + calibration::CRASH_NOTIFY_LATENCY,
+                    origin,
                     monitor,
                     Event::Message {
                         from: ProcId(0),
@@ -810,13 +845,386 @@ impl<M: 'static> Sim<M> {
     }
 }
 
+/// The simulation world.
+pub struct Sim<M> {
+    now: Time,
+    /// Simulation seed: each machine derives its RNG stream from this.
+    seed: u64,
+    pub(crate) topo: Topo,
+    pub(crate) domains: Vec<DomainState<M>>,
+    /// `(monitor process, message constructor)` notified on crashes.
+    pub(crate) crash_monitor: Option<(ProcId, CrashHook<M>)>,
+    /// Coalescing horizon (zero = batching off) and early-flush depth.
+    pub(crate) batch_ns: Time,
+    pub(crate) batch_max: usize,
+    pub(crate) link_latency: Time,
+    /// Filled in by the last [`Sim::run_sharded`] call.
+    pub(crate) par_stats: ParStats,
+}
+
+impl<M: 'static> Sim<M> {
+    pub fn new(config: SimConfig) -> Sim<M> {
+        Sim {
+            now: Time::ZERO,
+            seed: config.seed,
+            topo: Topo {
+                machines: Vec::new(),
+                thread_loc: Vec::new(),
+            },
+            domains: Vec::new(),
+            crash_monitor: None,
+            batch_ns: Time(config.batch_ns),
+            batch_max: config.batch_max.max(1),
+            link_latency: Time(config.link_latency_ns),
+            par_stats: ParStats::default(),
+        }
+    }
+
+    /// Coalescing counters (occupancy, flush causes) for benches/tests,
+    /// merged across machines.
+    pub fn batch_stats(&self) -> BatchStats {
+        let mut s = BatchStats::default();
+        for d in &self.domains {
+            s.merge(&d.batch_stats);
+        }
+        s
+    }
+
+    /// Shard-execution statistics of the last [`Sim::run_sharded`] call
+    /// (zeroed if only the serial engine ran).
+    pub fn par_stats(&self) -> &ParStats {
+        &self.par_stats
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    pub fn events_dispatched(&self) -> u64 {
+        self.domains.iter().map(|d| d.events_dispatched).sum()
+    }
+
+    /// The conservative lookahead between machines: channel latency plus
+    /// the declared minimum cross-machine link latency. This is the window
+    /// size of [`Sim::run_sharded`].
+    pub fn lookahead(&self) -> Time {
+        calibration::CHANNEL_LATENCY + self.link_latency
+    }
+
+    /// Add a machine; its hardware threads are created immediately and it
+    /// becomes its own scheduling domain.
+    pub fn add_machine(&mut self, spec: MachineSpec) -> MachineId {
+        let id = MachineId(self.topo.machines.len());
+        let dom = id.0 as u32;
+        let mut d = DomainState::new(dom, self.seed);
+        let mut thread_ids = Vec::new();
+        for core in 0..spec.cores {
+            let base = self.topo.thread_loc.len();
+            for t in 0..spec.threads_per_core {
+                let tid = HwThreadId(self.topo.thread_loc.len());
+                let sibling = if spec.threads_per_core == 2 {
+                    // Sibling is the other thread of this core; fix up below.
+                    Some(HwThreadId(base + (1 - t as usize)))
+                } else {
+                    None
+                };
+                self.topo.thread_loc.push(ThreadLoc {
+                    dom,
+                    idx: d.threads.len() as u32,
+                });
+                d.threads.push(HwThread {
+                    machine: id,
+                    core,
+                    thread: t,
+                    kind: ThreadKind::Cpu,
+                    freq: spec.freq,
+                    sibling,
+                    busy_until: Time::ZERO,
+                    stats: ThreadStats::default(),
+                    stats_since: Time::ZERO,
+                    util_ewma: 0.0,
+                    util_at: Time::ZERO,
+                });
+                d.thread_ids.push(tid);
+                thread_ids.push(tid);
+            }
+        }
+        d.ensure_thread_books();
+        self.domains.push(d);
+        self.topo.machines.push(Machine {
+            id,
+            spec,
+            threads: thread_ids,
+        });
+        id
+    }
+
+    /// Add a device engine (e.g. a NIC pipeline) to a machine. Device
+    /// threads charge wall time directly and never sleep.
+    pub fn add_device_thread(&mut self, machine: MachineId) -> HwThreadId {
+        let tid = HwThreadId(self.topo.thread_loc.len());
+        let dom = machine.0 as u32;
+        let d = &mut self.domains[machine.0];
+        self.topo.thread_loc.push(ThreadLoc {
+            dom,
+            idx: d.threads.len() as u32,
+        });
+        d.threads.push(HwThread {
+            machine,
+            core: u32::MAX,
+            thread: 0,
+            kind: ThreadKind::Device,
+            freq: self.topo.machines[machine.0].spec.freq,
+            sibling: None,
+            busy_until: Time::ZERO,
+            stats: ThreadStats::default(),
+            stats_since: Time::ZERO,
+            util_ewma: 0.0,
+            util_at: Time::ZERO,
+        });
+        d.thread_ids.push(tid);
+        d.ensure_thread_books();
+        tid
+    }
+
+    /// Total hardware threads across all machines (global ids are
+    /// `0..num_hw_threads()`).
+    pub fn num_hw_threads(&self) -> usize {
+        self.topo.thread_loc.len()
+    }
+
+    /// Hardware-thread id for `(machine, core, thread)`.
+    pub fn hw_thread(&self, machine: MachineId, core: u32, thread: u32) -> HwThreadId {
+        self.topo.machines[machine.0].thread(core, thread)
+    }
+
+    /// The machine a hardware thread belongs to.
+    pub fn machine_of_thread(&self, t: HwThreadId) -> MachineId {
+        MachineId(self.topo.loc(t).dom as usize)
+    }
+
+    pub fn machine(&self, id: MachineId) -> &Machine {
+        &self.topo.machines[id.0]
+    }
+
+    /// Spawn a process pinned to a hardware thread; it receives
+    /// [`Event::Start`] at the current time. Harness-level: may target any
+    /// machine (handler-level [`Ctx::spawn`] is machine-local).
+    pub fn spawn(&mut self, thread: HwThreadId, proc: Box<dyn Process<M>>) -> ProcId {
+        let dom = self.topo.loc(thread).dom as usize;
+        let d = &mut self.domains[dom];
+        let pid = d.alloc_pid();
+        let name = proc.name();
+        d.spawns += 1;
+        d.procs.insert(
+            pid,
+            ProcSlot {
+                proc: Some(proc),
+                thread,
+                name,
+                alive: true,
+            },
+        );
+        let now = self.now;
+        d.push(now, pid, Event::Start);
+        pid
+    }
+
+    /// Inject a message from "outside" (harness code) into a process.
+    pub fn send_external(&mut self, dst: ProcId, msg: M) {
+        let now = self.now;
+        let dom = domain_of_pid(dst) as usize;
+        self.domains[dom].push(
+            now + calibration::CHANNEL_LATENCY,
+            dst,
+            Event::Message {
+                from: ProcId(0),
+                msg,
+            },
+        );
+    }
+
+    /// Register the process to be notified (via a constructed message) when
+    /// any other process crashes — the reincarnation-server role. The hook
+    /// is `Send + Sync` because crashes inside parallel shard workers
+    /// invoke it on the worker's thread.
+    pub fn set_crash_monitor(
+        &mut self,
+        monitor: ProcId,
+        hook: impl Fn(ProcId, &str) -> M + Send + Sync + 'static,
+    ) {
+        self.crash_monitor = Some((monitor, Box::new(hook)));
+    }
+
+    /// Is the process still alive? (Harness-level: any machine.)
+    pub fn is_alive(&self, pid: ProcId) -> bool {
+        let dom = domain_of_pid(pid) as usize;
+        self.domains
+            .get(dom)
+            .and_then(|d| d.procs.get(&pid))
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    pub fn proc_name(&self, pid: ProcId) -> Option<&str> {
+        let dom = domain_of_pid(pid) as usize;
+        self.domains
+            .get(dom)?
+            .procs
+            .get(&pid)
+            .map(|s| s.name.as_str())
+    }
+
+    pub fn proc_thread(&self, pid: ProcId) -> Option<HwThreadId> {
+        let dom = domain_of_pid(pid) as usize;
+        self.domains.get(dom)?.procs.get(&pid).map(|s| s.thread)
+    }
+
+    fn thread_ref(&self, tid: HwThreadId) -> &HwThread {
+        let loc = self.topo.loc(tid);
+        &self.domains[loc.dom as usize].threads[loc.idx as usize]
+    }
+
+    /// Activity statistics of a hardware thread since the last reset.
+    pub fn thread_stats(&self, tid: HwThreadId) -> ThreadStats {
+        self.thread_ref(tid).stats
+    }
+
+    pub fn thread_stats_since(&self, tid: HwThreadId) -> Time {
+        self.thread_ref(tid).stats_since
+    }
+
+    /// Reset activity accounting on all threads (start of a measurement
+    /// window).
+    pub fn reset_all_stats(&mut self) {
+        let now = self.now;
+        for d in &mut self.domains {
+            for t in &mut d.threads {
+                t.reset_stats(now);
+            }
+        }
+    }
+
+    /// Export per-hardware-thread activity and engine totals into the
+    /// `neat_obs` metrics registry as gauges (`cpu.t<idx>.*`, `sim.*`).
+    /// Called by the harness at the end of a measurement window so the
+    /// bench reports carry the paper's Table-2-style CPU breakdowns.
+    pub fn export_obs(&self) {
+        for (idx, loc) in self.topo.thread_loc.iter().enumerate() {
+            let t = &self.domains[loc.dom as usize].threads[loc.idx as usize];
+            if t.stats.events == 0 && t.stats.active_ns() == 0 {
+                continue; // unused thread: keep the snapshot compact
+            }
+            let elapsed = self.now.since(t.stats_since);
+            let p = |what: &str| format!("cpu.t{idx}.{what}");
+            neat_obs::gauge_set(&p("load"), t.stats.load(elapsed));
+            neat_obs::gauge_set(&p("busy_ns"), t.stats.busy_ns as f64);
+            neat_obs::gauge_set(&p("poll_ns"), t.stats.poll_ns as f64);
+            neat_obs::gauge_set(&p("kernel_ns"), t.stats.kernel_ns as f64);
+            neat_obs::gauge_set(&p("events"), t.stats.events as f64);
+            neat_obs::gauge_set(&p("sleeps"), t.stats.sleeps as f64);
+            neat_obs::gauge_set(&p("max_queue"), t.stats.max_queue as f64);
+        }
+        neat_obs::gauge_set("sim.now_ns", self.now.as_nanos() as f64);
+        neat_obs::gauge_set("sim.events_dispatched", self.events_dispatched() as f64);
+        neat_obs::gauge_set(
+            "sim.heap_len",
+            self.domains.iter().map(|d| d.heap.len()).sum::<usize>() as f64,
+        );
+        neat_obs::gauge_set(
+            "sim.live_procs",
+            self.domains
+                .iter()
+                .flat_map(|d| d.procs.values())
+                .filter(|s| s.alive)
+                .count() as f64,
+        );
+        neat_obs::gauge_set(
+            "sim.spawns",
+            self.domains.iter().map(|d| d.spawns).sum::<u64>() as f64,
+        );
+        neat_obs::gauge_set(
+            "sim.crashes",
+            self.domains.iter().map(|d| d.crashes).sum::<u64>() as f64,
+        );
+        neat_obs::gauge_set(
+            "sim.exits",
+            self.domains.iter().map(|d| d.exits).sum::<u64>() as f64,
+        );
+        let b = self.batch_stats();
+        neat_obs::gauge_set("sim.batch.flush_timer", b.flush_timer as f64);
+        neat_obs::gauge_set("sim.batch.flush_depth", b.flush_depth as f64);
+        neat_obs::gauge_set("sim.batch.flush_close", b.flush_close as f64);
+        neat_obs::gauge_set("sim.batch.batched_msgs", b.batched_msgs as f64);
+        neat_obs::gauge_set("sim.batch.deliveries", b.batch_deliveries as f64);
+        neat_obs::gauge_set("sim.batch.occupancy", b.occupancy());
+        self.par_stats.export_obs();
+    }
+
+    /// Run until the event queue is exhausted or simulated time reaches
+    /// `until`. Returns the number of events dispatched.
+    ///
+    /// Serial reference executor: picks the globally smallest
+    /// `(time, origin)` key across all domain heaps. `run_sharded`
+    /// produces the exact same history on worker threads.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        let mut dispatched = 0u64;
+        loop {
+            let mut best: Option<(Time, Origin, usize)> = None;
+            for (i, d) in self.domains.iter().enumerate() {
+                if let Some(top) = d.heap.peek() {
+                    let key = (top.time, top.origin);
+                    if best.map(|(t, o, _)| key < (t, o)).unwrap_or(true) {
+                        best = Some((top.time, top.origin, i));
+                    }
+                }
+            }
+            let Some((t, _, di)) = best else { break };
+            if t > until {
+                break;
+            }
+            let ev = self.domains[di].heap.pop().unwrap();
+            self.now = ev.time;
+            let mut kernel = Kernel {
+                domains: &mut self.domains,
+                map: DomMap::Identity,
+                topo: &self.topo,
+                batch_ns: self.batch_ns,
+                batch_max: self.batch_max,
+                link_latency: self.link_latency,
+                crash_monitor: self.crash_monitor.as_ref(),
+                outbox: None,
+                tracing: neat_obs::tracing(),
+            };
+            kernel.dispatch(di, ev);
+            self.domains[di].events_dispatched += 1;
+            dispatched += 1;
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        dispatched
+    }
+
+    pub(crate) fn set_now(&mut self, t: Time) {
+        self.now = t;
+    }
+}
+
 /// The capability handle a process receives while handling an event.
 ///
 /// Everything a process can do to the outside world goes through this —
-/// there is no other channel, which is what makes the isolation claim of the
-/// design hold by construction in this reproduction.
+/// there is no other channel, which is what makes the isolation claim of
+/// the design hold by construction in this reproduction. All state it can
+/// reach directly belongs to the executing process's machine; effects on
+/// other machines travel as messages, which is also what makes a handler
+/// safe to run inside a parallel shard worker.
 pub struct Ctx<'a, M> {
-    sim: &'a mut Sim<M>,
+    dom: &'a mut DomainState<M>,
+    topo: &'a Topo,
+    batching: bool,
+    sender_kind: ThreadKind,
     /// The process currently executing.
     pub self_id: ProcId,
     start: Time,
@@ -824,9 +1232,9 @@ pub struct Ctx<'a, M> {
     charged_ns: u64,
     outputs: Vec<Output<M>>,
     die: Option<DieMode>,
-    /// Threads already charged a wake store in this handler: the MWAIT
-    /// wake is paid once per sleeping destination per wakeup, not per
-    /// message (the batching amortization of §3.4).
+    /// Local thread indices already charged a wake store in this handler:
+    /// the MWAIT wake is paid once per sleeping destination per wakeup,
+    /// not per message (the batching amortization of §3.4).
     woken_threads: Vec<usize>,
     /// Destination of the previous `send` in this handler: an immediate
     /// follow-up send to the same process appends to the same channel run
@@ -871,29 +1279,27 @@ impl<'a, M: 'static> Ctx<'a, M> {
         // message pays its own kernel-call-class notification (§3.4 — the
         // scalar, pre-batching model). Device engines signal via IRQ,
         // which the receiver-side cold descriptor costs already model.
-        if self.sim.batch_ns.as_nanos() == 0 && extra_delay.as_nanos() == 0 {
-            let cpu_sender = self
-                .sim
-                .procs
-                .get(&self.self_id)
-                .map(|s| self.sim.threads[s.thread.0].kind == ThreadKind::Cpu)
-                .unwrap_or(false);
-            if cpu_sender {
-                self.charged += calibration::MSG_NOTIFY;
-            }
+        if !self.batching && extra_delay.as_nanos() == 0 && self.sender_kind == ThreadKind::Cpu {
+            self.charged += calibration::MSG_NOTIFY;
         }
-        if let Some(slot) = self.sim.procs.get(&dst) {
-            let tid = slot.thread.0;
-            let th = &self.sim.threads[tid];
-            if th.kind == ThreadKind::Cpu
-                && th.busy_until + calibration::SPIN_POLL_WINDOW < self.start
-                && !self.woken_threads.contains(&tid)
-            {
-                // Destination thread is (by now) asleep: pay the wake
-                // store — once per handler per thread; later messages in
-                // the same burst find it already waking.
-                self.woken_threads.push(tid);
-                self.charged += calibration::WAKE_REMOTE;
+        // The MWAIT wake store applies to machine-local destinations only:
+        // a cross-machine send reaches the peer through its NIC, whose IRQ
+        // path the receiver-side costs already model — and peeking at the
+        // remote thread's state here would break shard isolation.
+        if domain_of_pid(dst) == self.dom.dom {
+            if let Some(slot) = self.dom.procs.get(&dst) {
+                let lt = self.topo.loc(slot.thread).idx as usize;
+                let th = &self.dom.threads[lt];
+                if th.kind == ThreadKind::Cpu
+                    && th.busy_until + calibration::SPIN_POLL_WINDOW < self.start
+                    && !self.woken_threads.contains(&lt)
+                {
+                    // Destination thread is (by now) asleep: pay the wake
+                    // store — once per handler per thread; later messages
+                    // in the same burst find it already waking.
+                    self.woken_threads.push(lt);
+                    self.charged += calibration::WAKE_REMOTE;
+                }
             }
         }
         self.outputs.push(Output::Send {
@@ -909,10 +1315,19 @@ impl<'a, M: 'static> Ctx<'a, M> {
     }
 
     /// Spawn a new process (returns its pid immediately; it starts after
-    /// `delay` — process creation is not free, §3.4).
+    /// `delay` — process creation is not free, §3.4). The target thread
+    /// must belong to the calling process's machine: remote-machine
+    /// process management goes through a message to a peer on that
+    /// machine (or the harness between runs), never directly — that is
+    /// what keeps spawning deterministic under sharded execution.
     pub fn spawn(&mut self, thread: HwThreadId, proc: Box<dyn Process<M>>, delay: Time) -> ProcId {
-        let pid = ProcId(self.sim.next_pid);
-        self.sim.next_pid += 1;
+        assert_eq!(
+            self.topo.loc(thread).dom,
+            self.dom.dom,
+            "Ctx::spawn targets a thread on another machine; spawn via a \
+             process on that machine or from the harness instead"
+        );
+        let pid = self.dom.alloc_pid();
         self.outputs.push(Output::Spawn {
             pid,
             thread,
@@ -938,23 +1353,31 @@ impl<'a, M: 'static> Ctx<'a, M> {
         self.die = Some(DieMode::Exit);
     }
 
-    /// The simulation-wide deterministic RNG.
+    /// This machine's deterministic RNG stream (independent per machine,
+    /// derived from the simulation seed).
     pub fn rng(&mut self) -> &mut Rng {
-        &mut self.sim.rng
+        &mut self.dom.rng
     }
 
     /// Hardware-thread lookup helper for spawning onto specific cores.
     pub fn hw_thread(&self, machine: MachineId, core: u32, thread: u32) -> HwThreadId {
-        self.sim.hw_thread(machine, core, thread)
+        self.topo.machines[machine.0].thread(core, thread)
     }
 
-    /// Is another process currently alive? (Used by the driver to avoid
-    /// queueing packets to a crashed replica.)
+    /// Is another process on this machine currently alive? (Used by the
+    /// driver to avoid queueing packets to a crashed replica.) Liveness of
+    /// remote-machine processes is not observable from a handler — that
+    /// information travels by message.
     pub fn is_alive(&self, pid: ProcId) -> bool {
-        self.sim.is_alive(pid)
+        assert_eq!(
+            domain_of_pid(pid),
+            self.dom.dom,
+            "Ctx::is_alive queried a process on another machine; liveness \
+             is machine-local under the sharded engine"
+        );
+        self.dom.procs.get(&pid).map(|s| s.alive).unwrap_or(false)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,350 @@
+//! Sharded parallel execution of the simulation: real OS threads, one
+//! shard owning one or more machine domains, synchronized by conservative
+//! time windows.
+//!
+//! ## The window-sync rule
+//!
+//! The engine's *lookahead* is the minimum latency of any cross-machine
+//! effect: every cross-machine message costs at least
+//! [`calibration::CHANNEL_LATENCY`] plus the declared
+//! [`crate::SimConfig::link_latency_ns`], and a crash's monitor
+//! notification costs [`calibration::CRASH_NOTIFY_LATENCY`] (checked to be
+//! ≥ the lookahead when a monitor is installed). Each round:
+//!
+//! 1. all shards agree on `T` = the globally earliest pending event time
+//!    (an atomic min-reduce between two barriers);
+//! 2. every shard independently dispatches all of its events with
+//!    `time < T + lookahead`, in the canonical `(time, origin domain,
+//!    origin seq)` order, buffering cross-shard messages in an outbox;
+//! 3. at the window barrier, outboxes are exchanged and each shard pushes
+//!    the received events into the destination domains' heaps.
+//!
+//! Any event dispatched inside the window has `time ≥ T`, so any
+//! cross-machine message it emits lands at `≥ T + lookahead` — at or past
+//! the window's end. Cross-shard messages therefore never target the
+//! window currently executing, which is what makes per-shard execution
+//! race-free *and* order-exact.
+//!
+//! ## Why the result is bit-identical to the serial engine
+//!
+//! Domains only interact through timestamped messages, a handler can only
+//! touch its own domain's state (see `engine.rs`), and every event is
+//! dispatched in the same canonical `(time, origin, seq)` order within its
+//! domain whether domains interleave on one thread or run on many. The
+//! event *keys* are assigned by the origin domain from purely local
+//! history, so they do not depend on execution mode either. Hence: same
+//! seed ⇒ same per-domain histories ⇒ same merged history, for any shard
+//! count. `tests/parallel.rs` and the `par_scale` bench assert this.
+//!
+//! ## What `M: Send` does and does not cover
+//!
+//! [`Sim::run_sharded`] requires the message type to be `Send` (messages
+//! cross shard threads inside mailboxes). Process *state* is moved to
+//! worker threads behind [`ShardTask`]'s `unsafe impl Send`; the safety
+//! argument is confinement — a domain is touched by exactly one thread per
+//! window, with barriers and thread join providing happens-before — plus
+//! the caller contract that processes on *different machines* never share
+//! non-thread-safe state (e.g. `Rc`) except through messages. Topologies
+//! that do share such state across machines (the full-stack scenario
+//! harness does, for metrics collection) must keep using the serial
+//! [`Sim::run_until`]; purpose-built parallel topologies get the speedup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::calibration;
+use crate::engine::{
+    domain_of_pid, DomMap, DomainState, Handoff, HeapEv, HeapKind, Kernel, Outbox, Sim,
+};
+use crate::time::Time;
+
+/// Statistics of the last sharded run (deterministic: window count and
+/// per-shard event counts depend only on the event history, not on host
+/// scheduling).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParStats {
+    /// Worker threads used (0 = no sharded run has happened).
+    pub shards: usize,
+    /// Synchronization windows executed.
+    pub windows: u64,
+    /// Messages that crossed a shard boundary at a window barrier.
+    pub handoffs: u64,
+    /// Events dispatched by each shard (imbalance diagnostic).
+    pub per_shard_events: Vec<u64>,
+}
+
+impl ParStats {
+    /// Max/mean of per-shard event counts: 1.0 = perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.per_shard_events.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: u64 = self.per_shard_events.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = *self.per_shard_events.iter().max().unwrap() as f64;
+        max / (total as f64 / n as f64)
+    }
+
+    /// Export `sim.par.*` gauges (no-op if no sharded run has happened, so
+    /// serial benches keep their snapshot shape).
+    pub(crate) fn export_obs(&self) {
+        if self.shards == 0 {
+            return;
+        }
+        neat_obs::gauge_set("sim.par.shards", self.shards as f64);
+        neat_obs::gauge_set("sim.par.windows", self.windows as f64);
+        neat_obs::gauge_set("sim.par.handoffs", self.handoffs as f64);
+        neat_obs::gauge_set("sim.par.imbalance", self.imbalance());
+        for (k, &ev) in self.per_shard_events.iter().enumerate() {
+            neat_obs::gauge_set(&format!("sim.par.shard{k}.events"), ev as f64);
+        }
+    }
+}
+
+/// The domains a worker thread owns for the duration of a sharded run,
+/// plus its run counters.
+///
+/// # Safety
+///
+/// `DomainState` is not `Send` because process trait objects
+/// (`Box<dyn Process<M>>`) are not declared `Send`. The wrapper is sound
+/// because a `ShardTask` is moved to exactly one worker thread, all
+/// access during the run is by that thread alone (cross-shard effects
+/// travel as `M: Send` messages through mutex-protected mailboxes), and
+/// ownership returns to the spawning thread via `std::thread::scope`
+/// join — a happens-before edge on everything the worker touched. The
+/// remaining obligation is the documented caller contract: process state
+/// must not be shared across machines through non-thread-safe handles.
+struct ShardTask<M> {
+    domains: Vec<DomainState<M>>,
+    dispatched: u64,
+    handoffs: u64,
+}
+
+unsafe impl<M: Send> Send for ShardTask<M> {}
+
+/// Sentinel window value: no more events, stop.
+const DONE: u64 = u64::MAX;
+
+impl<M: Send + 'static> Sim<M> {
+    /// Run until `until` on `shards` worker threads, producing the exact
+    /// event history of [`Sim::run_until`] (bit-identical for any shard
+    /// count). Returns the number of events dispatched.
+    ///
+    /// Shards own whole machines (round-robin assignment), so `shards` is
+    /// clamped to the machine count; `shards <= 1` degenerates to the
+    /// serial engine.
+    pub fn run_sharded(&mut self, until: Time, shards: usize) -> u64 {
+        let ndoms = self.domains.len();
+        let shards = shards.max(1).min(ndoms.max(1));
+        if shards <= 1 {
+            let dispatched = self.run_until(until);
+            self.par_stats = ParStats {
+                shards: 1,
+                windows: 0,
+                handoffs: 0,
+                per_shard_events: vec![dispatched],
+            };
+            return dispatched;
+        }
+
+        let lookahead = self.lookahead();
+        assert!(lookahead.as_nanos() > 0, "lookahead must be positive");
+        if self.crash_monitor.is_some() {
+            // A crash's cross-process effect (the monitor notification) is
+            // the only engine-generated cross-machine message; it must not
+            // undercut the window either.
+            assert!(
+                calibration::CRASH_NOTIFY_LATENCY >= lookahead,
+                "declared link latency ({}ns) pushes the sync window past the \
+                 crash-notify latency ({}ns); shrink link_latency_ns or run serially",
+                self.link_latency.as_nanos(),
+                calibration::CRASH_NOTIFY_LATENCY.as_nanos()
+            );
+        }
+
+        // --- Partition machines across shards (round-robin).
+        let shard_of: Vec<u32> = (0..ndoms).map(|d| (d % shards) as u32).collect();
+        let mut tasks: Vec<ShardTask<M>> = (0..shards)
+            .map(|_| ShardTask {
+                domains: Vec::new(),
+                dispatched: 0,
+                handoffs: 0,
+            })
+            .collect();
+        for (dom, d) in self.domains.drain(..).enumerate() {
+            tasks[shard_of[dom] as usize].domains.push(d);
+        }
+        // Per-shard dom -> position-in-owned-slice maps.
+        let pos_maps: Vec<Vec<Option<usize>>> = (0..shards)
+            .map(|k| {
+                let mut map = vec![None; ndoms];
+                for (p, d) in tasks[k].domains.iter().enumerate() {
+                    map[d.dom as usize] = Some(p);
+                }
+                map
+            })
+            .collect();
+
+        // --- Shared synchronization state.
+        let barrier = Barrier::new(shards);
+        let window_end = AtomicU64::new(0);
+        let min_next = AtomicU64::new(u64::MAX);
+        let windows = AtomicU64::new(0);
+        let mailboxes: Vec<Mutex<Vec<Handoff<M>>>> =
+            (0..shards).map(|_| Mutex::new(Vec::new())).collect();
+
+        let topo = &self.topo;
+        let batch_ns = self.batch_ns;
+        let batch_max = self.batch_max;
+        let link_latency = self.link_latency;
+        let crash_monitor = self.crash_monitor.as_ref();
+        let shard_of_ref = &shard_of;
+        let barrier_ref = &barrier;
+        let window_ref = &window_end;
+        let min_ref = &min_next;
+        let windows_ref = &windows;
+        let mailboxes_ref = &mailboxes;
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = tasks
+                .drain(..)
+                .zip(pos_maps.iter())
+                .enumerate()
+                .map(|(k, (mut task, pos_map))| {
+                    s.spawn(move || {
+                        // Metric handles index the *registering* thread's
+                        // registry; worker-side updates would corrupt (or
+                        // panic on) this thread's empty one, and would make
+                        // the exported numbers depend on the shard layout.
+                        neat_obs::set_thread_enabled(false);
+                        let mut outbox: Outbox<M> = (0..shards).map(|_| Vec::new()).collect();
+                        loop {
+                            // 1. Agree on the earliest pending event time.
+                            let lmin = task
+                                .domains
+                                .iter()
+                                .filter_map(|d| d.heap.peek().map(|e| e.time.0))
+                                .min()
+                                .unwrap_or(u64::MAX);
+                            min_ref.fetch_min(lmin, Ordering::AcqRel);
+                            barrier_ref.wait();
+                            if k == 0 {
+                                let t = min_ref.swap(u64::MAX, Ordering::AcqRel);
+                                let w = if t == u64::MAX || t > until.0 {
+                                    DONE
+                                } else {
+                                    windows_ref.fetch_add(1, Ordering::Relaxed);
+                                    t.saturating_add(lookahead.0)
+                                };
+                                window_ref.store(w, Ordering::Release);
+                            }
+                            barrier_ref.wait();
+                            let wend = window_ref.load(Ordering::Acquire);
+                            if wend == DONE {
+                                break;
+                            }
+
+                            // 2. Dispatch everything inside the window, in
+                            // canonical order per domain. A dispatch can
+                            // only add *local-domain* events inside the
+                            // window (cross-machine effects land >= wend),
+                            // so a per-domain drain loop is exhaustive.
+                            {
+                                let mut kernel = Kernel {
+                                    domains: &mut task.domains,
+                                    map: DomMap::Partial(pos_map),
+                                    topo,
+                                    batch_ns,
+                                    batch_max,
+                                    link_latency,
+                                    crash_monitor,
+                                    outbox: Some((shard_of_ref.as_slice(), &mut outbox)),
+                                    tracing: false, // spans are thread-local
+                                };
+                                for di in 0..kernel.domains.len() {
+                                    loop {
+                                        let ready = matches!(
+                                            kernel.domains[di].heap.peek(),
+                                            Some(top) if top.time.0 < wend && top.time <= until
+                                        );
+                                        if !ready {
+                                            break;
+                                        }
+                                        let ev = kernel.domains[di].heap.pop().unwrap();
+                                        kernel.dispatch(di, ev);
+                                        kernel.domains[di].events_dispatched += 1;
+                                        task.dispatched += 1;
+                                    }
+                                }
+                            }
+
+                            // 3. Exchange cross-shard messages.
+                            for (dst, evs) in outbox.iter_mut().enumerate() {
+                                if !evs.is_empty() {
+                                    task.handoffs += evs.len() as u64;
+                                    mailboxes_ref[dst].lock().unwrap().append(evs);
+                                }
+                            }
+                            barrier_ref.wait();
+                            for h in mailboxes_ref[k].lock().unwrap().drain(..) {
+                                let dom = domain_of_pid(h.dst) as usize;
+                                let p = pos_map[dom].expect(
+                                    "handoff routed to a shard that does not own the domain",
+                                );
+                                task.domains[p].heap.push(HeapEv {
+                                    time: h.time,
+                                    origin: h.origin,
+                                    kind: HeapKind::Deliver {
+                                        dst: h.dst,
+                                        ev: h.ev,
+                                    },
+                                });
+                            }
+                            // Next round's min-reduce happens after every
+                            // shard passes the exchange barrier above, so
+                            // ingested events are always visible to it.
+                        }
+                        task
+                    })
+                })
+                .collect();
+            tasks = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+        });
+
+        // --- Reassemble domains in global order and merge counters.
+        let mut dispatched_total = 0u64;
+        let mut per_shard_events = Vec::with_capacity(shards);
+        let mut handoffs = 0u64;
+        let mut slots: Vec<Option<DomainState<M>>> = (0..ndoms).map(|_| None).collect();
+        for task in tasks {
+            dispatched_total += task.dispatched;
+            per_shard_events.push(task.dispatched);
+            handoffs += task.handoffs;
+            for d in task.domains {
+                let dom = d.dom as usize;
+                slots[dom] = Some(d);
+            }
+        }
+        self.domains = slots
+            .into_iter()
+            .map(|s| s.expect("domain lost during sharded run"))
+            .collect();
+        if self.now() < until {
+            self.set_now(until);
+        }
+        self.par_stats = ParStats {
+            shards,
+            windows: windows.load(Ordering::Relaxed),
+            handoffs,
+            per_shard_events,
+        };
+        dispatched_total
+    }
+}

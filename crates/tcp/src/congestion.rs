@@ -5,7 +5,11 @@
 use crate::types::CongestionAlgo;
 
 /// The interface the socket's send path consults.
-pub trait CongestionControl: std::fmt::Debug {
+///
+/// `Send` so a whole [`TcpStack`](crate::TcpStack) can migrate to a shard
+/// worker thread (conn_scale's lane executor); every controller is plain
+/// data.
+pub trait CongestionControl: std::fmt::Debug + Send {
     /// Current congestion window in bytes.
     fn cwnd(&self) -> usize;
 

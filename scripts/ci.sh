@@ -7,36 +7,61 @@
 # cargo registry cache. Any step that would touch the network is a bug.
 #
 # Usage:
-#   scripts/ci.sh            # both tiers (the full gate)
-#   scripts/ci.sh --tier1    # build + test + fmt + clippy only
-#   scripts/ci.sh --tier2    # quick benches + regression/determinism gates
-#                            # (expects a tier-1 build already present)
+#   scripts/ci.sh                 # every tier (the full gate)
+#   scripts/ci.sh --tier1         # build + test + fmt + clippy only
+#   scripts/ci.sh --tier2         # quick benches + regression gates
+#                                 # (expects a tier-1 build already present)
+#   scripts/ci.sh --determinism   # sharded conn_scale byte-identical gate
+#
+# Every gate step runs through `run`, which checks the exit status
+# explicitly. `set -e` alone is not enough: POSIX disables it inside any
+# conditional context, so `sh scripts/ci.sh --tier1 && deploy` or a
+# caller's `if scripts/ci.sh; then` would otherwise let a failing clippy
+# or test step fall through to the next command instead of failing the
+# gate.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
+run() {
+    echo "==> $*"
+    "$@"
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAILED (exit $status): $*" >&2
+        exit "$status"
+    fi
+}
+
 TIER1=1
 TIER2=1
+DET=1
 case "${1:-}" in
-    --tier1) TIER2=0 ;;
-    --tier2) TIER1=0 ;;
+    --tier1) TIER2=0; DET=0 ;;
+    --tier2) TIER1=0; DET=0 ;;
+    --determinism) TIER1=0; TIER2=0 ;;
     "") ;;
-    *) echo "unknown argument: $1 (want --tier1 or --tier2)" >&2; exit 2 ;;
+    *) echo "unknown argument: $1 (want --tier1, --tier2, or --determinism)" >&2; exit 2 ;;
 esac
 
-if [ "$TIER1" = 1 ]; then
-    echo "==> [tier1] cargo build --release --offline"
-    cargo build --release --offline
+# Tier 2 and the determinism gate need the release binaries; build them
+# if a tier-1 build from this or a cached run isn't already present.
+ensure_release_build() {
+    if [ ! -x target/release/run_all ]; then
+        run cargo build --release --offline
+    fi
+}
 
-    echo "==> [tier1] cargo test -q --offline"
-    cargo test -q --offline
+if [ "$TIER1" = 1 ]; then
+    run cargo build --release --offline
+
+    run cargo test -q --offline
 
     # Formatting is checked only when rustfmt is installed; minimal
     # toolchains without the rustfmt component still get a green gate.
     if cargo fmt --version >/dev/null 2>&1; then
-        echo "==> [tier1] cargo fmt --check"
-        cargo fmt --all -- --check
+        run cargo fmt --all -- --check
     else
         echo "==> [tier1] cargo fmt not available; skipping format check"
     fi
@@ -44,8 +69,7 @@ if [ "$TIER1" = 1 ]; then
     # Lints are a hard gate when clippy is installed; toolchains without
     # the component skip it rather than failing spuriously.
     if cargo clippy --version >/dev/null 2>&1; then
-        echo "==> [tier1] cargo clippy --all-targets -- -D warnings"
-        cargo clippy --all-targets --offline -- -D warnings
+        run cargo clippy --all-targets --offline -- -D warnings
     else
         echo "==> [tier1] cargo clippy not available; skipping lint gate"
     fi
@@ -54,28 +78,22 @@ if [ "$TIER1" = 1 ]; then
 fi
 
 if [ "$TIER2" = 1 ]; then
-    # Tier 2 needs the release binaries; build them if tier 1 didn't run
-    # in this invocation.
-    if [ ! -x target/release/run_all ]; then
-        echo "==> [tier2] cargo build --release --offline (tier1 artifacts missing)"
-        cargo build --release --offline
-    fi
+    ensure_release_build
 
     # Performance-regression gate: run the deterministic quick bench
-    # suite (which includes the 10k-client conn_scale smoke) and compare
-    # headline metrics against the committed baselines.
-    echo "==> [tier2] quick bench suite"
-    ./target/release/run_all --quick
+    # suite (which includes the 10k-client conn_scale smoke and the
+    # par_scale parallel-engine bench) and compare headline metrics
+    # against the committed baselines.
+    run ./target/release/run_all --quick
 
-    echo "==> [tier2] bench regression gate"
-    ./target/release/check_bench
+    run ./target/release/check_bench
 
     # Determinism gate: the quick conn_scale profile must be bit-stable —
     # same seed, same JSON, byte for byte. Catches nondeterminism leaking
     # into results (wall clock, map iteration order, uninitialised state).
     echo "==> [tier2] conn_scale determinism gate (two runs, byte-identical)"
     cp results/BENCH_conn_scale.json results/.conn_scale_run1.json
-    ./target/release/conn_scale --quick >/dev/null
+    run ./target/release/conn_scale --quick
     if ! cmp -s results/.conn_scale_run1.json results/BENCH_conn_scale.json; then
         echo "DETERMINISM FAILURE: two fixed-seed conn_scale runs differ:" >&2
         diff results/.conn_scale_run1.json results/BENCH_conn_scale.json >&2 || true
@@ -85,6 +103,28 @@ if [ "$TIER2" = 1 ]; then
     echo "==> determinism gate passed"
 
     echo "==> tier2 passed"
+fi
+
+if [ "$DET" = 1 ]; then
+    ensure_release_build
+
+    # Parallel-determinism gate: the sharded conn_scale executor must
+    # produce the same bytes at every shard count — shard workers may
+    # only change wall-clock time, never the history.
+    echo "==> [determinism] conn_scale --shards 1/2/4 (byte-identical JSON)"
+    for s in 1 2 4; do
+        run env -u NEAT_SHARDS ./target/release/conn_scale --quick --shards "$s"
+        cp results/BENCH_conn_scale.json "results/.conn_scale_shards$s.json"
+    done
+    for s in 2 4; do
+        if ! cmp -s results/.conn_scale_shards1.json "results/.conn_scale_shards$s.json"; then
+            echo "PARALLEL DETERMINISM FAILURE: --shards $s differs from --shards 1:" >&2
+            diff results/.conn_scale_shards1.json "results/.conn_scale_shards$s.json" >&2 || true
+            exit 1
+        fi
+    done
+    rm -f results/.conn_scale_shards1.json results/.conn_scale_shards2.json results/.conn_scale_shards4.json
+    echo "==> parallel determinism gate passed"
 fi
 
 echo "==> CI gate passed"
