@@ -72,12 +72,30 @@ pub struct ClientMetrics {
     pub requests_on_error_conns: u64,
     pub conns_finished: u64,
     pub conns_opened: u64,
+    /// Order-sensitive FNV-1a fold of every byte the client application
+    /// read, in delivery order across all its connections. Two fixed-seed
+    /// runs that delivered byte-identical streams produce equal digests,
+    /// so failover tests can assert the recovered byte stream exactly
+    /// matches the uncrashed one.
+    pub rx_digest: u64,
 }
 
 impl ClientMetrics {
     /// Error-adjusted completed count (httperf's reported number).
     pub fn reported_requests(&self) -> u64 {
         self.completed.saturating_sub(self.requests_on_error_conns)
+    }
+
+    fn digest_bytes(&mut self, data: &[u8]) {
+        let mut h = if self.rx_digest == 0 {
+            0xcbf2_9ce4_8422_2325 // FNV-1a offset basis
+        } else {
+            self.rx_digest
+        };
+        for &b in data {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        self.rx_digest = h;
     }
 }
 
@@ -244,6 +262,9 @@ impl HttperfProc {
                 SockEvent::Readable(sock) => {
                     let data = self.read_all(sock);
                     ctx.charge(calibration::copy_cost(data.len()));
+                    if !data.is_empty() {
+                        self.metrics.borrow_mut().digest_bytes(&data);
+                    }
                     let Some(run) = self.conns.get_mut(&sock) else {
                         continue;
                     };

@@ -18,8 +18,9 @@ use std::process::Command;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick") || neat_bench::quick();
-    // `--shards N` is forwarded to shard-aware experiments (conn_scale)
-    // via NEAT_SHARDS; shard-oblivious binaries ignore it.
+    // `--shards N` is forwarded to shard-aware experiments (conn_scale;
+    // failover accepts it for CI-matrix uniformity) via NEAT_SHARDS;
+    // shard-oblivious binaries ignore it.
     let shards = args
         .iter()
         .position(|a| a == "--shards")
@@ -34,6 +35,7 @@ fn main() {
         "fig12",
         "table2",
         "table3",
+        "failover",
         "fig13",
         "security",
         "ablations",

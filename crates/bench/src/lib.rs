@@ -15,6 +15,7 @@
 //! | `fig12`  | AMD: configurations under 1-request/connection load |
 //! | `table2` | NIC driver CPU usage breakdown under rising load |
 //! | `table3` | fault-injection campaign (transparent vs state-losing) |
+//! | `failover` | buddy-replica crash failover + live flow migration |
 //! | `fig13`  | expected state preserved vs max throughput |
 //! | `run_all`| everything above, writing `results/*.txt` + summary |
 

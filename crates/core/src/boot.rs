@@ -153,7 +153,7 @@ pub fn boot_neat(
                     ProcId(0), // learns the supervisor from Terminate
                     cfg.ip,
                     cfg.mac,
-                    cfg.tcp.clone(),
+                    &cfg,
                     arp_seed.clone(),
                 );
                 let pid = sim.spawn(t, Box::new(proc));
@@ -176,7 +176,7 @@ pub fn boot_neat(
                         ProcId(0),
                         None,
                         cfg.ip,
-                        cfg.tcp.clone(),
+                        &cfg,
                     )),
                 );
                 let udp = sim.spawn(
@@ -268,6 +268,18 @@ pub fn boot_neat(
         pid,
         name: name.to_string(),
     });
+    // Boot-time heads were built before the supervisor existed; tell them
+    // where it lives so supervisor-directed reports (`ReplRestored`) work
+    // outside the Terminate path too.
+    for &head in &sockets_heads {
+        sim.send_external(
+            head,
+            Msg::SetNeighbor {
+                role: NeighborRole::Supervisor,
+                pid: supervisor,
+            },
+        );
+    }
 
     NeatDeployment {
         machine,

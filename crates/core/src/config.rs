@@ -14,6 +14,38 @@ pub enum StackMode {
     Multi,
 }
 
+/// Which mechanism keeps the buddy's copy of per-flow state current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplMechanism {
+    /// Ship incremental TCB checkpoints after every flush (primary).
+    #[default]
+    Checkpoint,
+    /// Ship the deterministic input log; the buddy replays it through a
+    /// scratch stack on demand (State-Compute Replication style).
+    InputLog,
+}
+
+/// Buddy-replica flow replication (the transparent-recovery extension to
+/// §3.6, plus live flow migration for `scale_down`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Master switch. Off by default: replication costs one checkpoint
+    /// message per flush per replica, and the reliability benches measure
+    /// both modes.
+    pub enabled: bool,
+    /// Checkpoint streaming (default) or input-log replay.
+    pub mechanism: ReplMechanism,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            enabled: false,
+            mechanism: ReplMechanism::Checkpoint,
+        }
+    }
+}
+
 /// Configuration of one NEaT deployment on a server machine.
 #[derive(Debug, Clone)]
 pub struct NeatConfig {
@@ -31,6 +63,8 @@ pub struct NeatConfig {
     pub spawn_delay_ns: u64,
     /// Crash-to-restart delay for the supervisor's recovery path (§3.6).
     pub recovery_delay_ns: u64,
+    /// Buddy-replica flow replication (transparent recovery + migration).
+    pub replication: ReplicationConfig,
 }
 
 impl Default for NeatConfig {
@@ -49,6 +83,7 @@ impl Default for NeatConfig {
             },
             spawn_delay_ns: 2_000_000,    // 2 ms to fork+exec a replica
             recovery_delay_ns: 5_000_000, // 5 ms crash-detect + restart
+            replication: ReplicationConfig::default(),
         }
     }
 }
@@ -68,6 +103,19 @@ impl NeatConfig {
             replicas,
             ..Default::default()
         }
+    }
+
+    /// Builder-style switch: same deployment, buddy replication on.
+    pub fn replicated(mut self) -> NeatConfig {
+        self.replication.enabled = true;
+        self
+    }
+
+    /// Builder-style switch to the input-log replay mechanism.
+    pub fn with_input_log(mut self) -> NeatConfig {
+        self.replication.enabled = true;
+        self.replication.mechanism = ReplMechanism::InputLog;
+        self
     }
 }
 

@@ -37,6 +37,7 @@ pub mod boot;
 pub mod config;
 pub mod driver;
 pub mod fault;
+pub mod flow_repl;
 pub mod ip_comp;
 pub mod msg;
 pub mod netcode;
@@ -56,6 +57,6 @@ pub mod udp_comp;
 #[cfg(test)]
 mod tests_components;
 
-pub use config::{NeatConfig, StackMode};
-pub use msg::{ConnHandle, Msg};
+pub use config::{NeatConfig, ReplMechanism, ReplicationConfig, StackMode};
+pub use msg::{ConnHandle, InputRec, Msg, ReplFlow, ReplPayload};
 pub use placement::{Placement, Slot};

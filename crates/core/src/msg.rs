@@ -177,6 +177,48 @@ pub enum Msg {
     Terminate,
 
     // ------------------------------------------------------------------
+    // Buddy-replica flow replication & live migration (§3.6 extension)
+    // ------------------------------------------------------------------
+    /// Supervisor → stack replica: your checkpoint buddy is `buddy`
+    /// (`None` disables streaming, e.g. when the ring shrinks to one).
+    SetBuddy { buddy: Option<ProcId> },
+    /// Stack replica → its buddy: one replication delta for `queue` —
+    /// either TCB checkpoints or input-log records, per config.
+    ReplDelta { queue: usize, payload: ReplPayload },
+    /// Supervisor → buddy of a crashed replica: replica `old` serving
+    /// `queue` died; send your latest copy of its flows to `to` (the
+    /// freshly respawned head).
+    ReplHandoff {
+        queue: usize,
+        old: ProcId,
+        to: ProcId,
+    },
+    /// Buddy (failover) or victim (migration) → new owner: adopt these
+    /// flows. `old` is the replica they lived in before.
+    ReplRestore { old: ProcId, flows: Vec<ReplFlow> },
+    /// New owner → supervisor: flows adopted; re-steer them to `queue`
+    /// via exact-match NIC filters.
+    ReplRestored {
+        queue: usize,
+        flows: Vec<neat_net::FlowKey>,
+    },
+    /// New owner → app: your connection moved. `old` is the dead (or
+    /// migrated-from) handle, `new` the live one; `app_bytes` is how much
+    /// of the app's stream the restored state has already seen, so the
+    /// library can resend the tail that died in the old replica's buffers.
+    ConnMigrated {
+        old: ConnHandle,
+        new: ConnHandle,
+        app_bytes: u64,
+    },
+    /// Supervisor → terminating replica: don't just drain — actively hand
+    /// your established flows to `to` (live migration for scale-down).
+    MigrateOut { to: ProcId },
+    /// Supervisor → a buddy: drop the store held for `owner` (it was
+    /// removed in an orderly way, not crashed).
+    ReplForget { owner: ProcId },
+
+    // ------------------------------------------------------------------
     // Fault injection (Table 3)
     // ------------------------------------------------------------------
     /// Harness → any component: an injected fault activates — crash.
@@ -187,6 +229,82 @@ pub enum Msg {
     // ------------------------------------------------------------------
     /// Generic app kick/timer payload for workload processes.
     AppTick { token: u64 },
+}
+
+/// One replicated flow: everything the adopting stack needs to resume the
+/// connection and re-wire its app binding.
+#[derive(Debug, Clone)]
+pub struct ReplFlow {
+    /// The 4-tuple (remote side as src — the demux/steering orientation).
+    pub flow: neat_net::FlowKey,
+    /// Socket id the flow had in its previous owner (the app's dead
+    /// handle is `ConnHandle { stack: old, sock: old_sock }`).
+    pub old_sock: neat_tcp::SocketId,
+    /// The application process bound to the connection.
+    pub owner: ProcId,
+    /// Application stream bytes the checkpointed state had accepted from
+    /// the app (drives the library's resend-tail on migration).
+    pub app_bytes: u64,
+    /// Encoded [`neat_tcp::TcbImage`].
+    pub img: Vec<u8>,
+}
+
+/// The body of one replication delta.
+#[derive(Debug, Clone)]
+pub enum ReplPayload {
+    /// TCB checkpoints: `flows` supersede the buddy's copies; `closed`
+    /// flows are forgotten. `full` marks a from-scratch snapshot (buddy
+    /// drops everything it held for this queue first).
+    Checkpoint {
+        full: bool,
+        flows: Vec<ReplFlow>,
+        closed: Vec<neat_net::FlowKey>,
+    },
+    /// Deterministic input-log records; the buddy replays them through a
+    /// scratch stack when (and only when) state is actually needed.
+    Log { recs: Vec<InputRec> },
+}
+
+/// One record of the deterministic input log (State-Compute Replication).
+/// Replaying these through a fresh `SockServer` with the same config
+/// reproduces the exact socket table, ids included, because id and ISS
+/// allocation are deterministic counters.
+#[derive(Debug, Clone)]
+pub enum InputRec {
+    /// Primary's allocation counters at buddy-assignment time, so the
+    /// mirror's replayed socket ids / ISSs / ephemeral ports line up
+    /// exactly with the primary's.
+    SyncAlloc {
+        next_id: u64,
+        iss: u32,
+        next_port: u16,
+    },
+    /// App opened a listener.
+    Listen { port: u16, app: ProcId },
+    /// App requested an active open.
+    Connect {
+        remote: (Ipv4Addr, u16),
+        app: ProcId,
+        token: u64,
+        now: u64,
+    },
+    /// An inbound, already-parsed TCP segment (raw post-IP bytes).
+    Seg {
+        src: Ipv4Addr,
+        bytes: Vec<u8>,
+        now: u64,
+    },
+    /// App enqueued stream bytes.
+    Send {
+        sock: neat_tcp::SocketId,
+        data: Vec<u8>,
+    },
+    /// App closed a connection.
+    Close { sock: neat_tcp::SocketId, now: u64 },
+    /// End-of-flush boundary (wire output + event pump point).
+    Flush { now: u64 },
+    /// A timer tick fired.
+    Timer { now: u64 },
 }
 
 /// Pipeline neighbour roles for multi-component rewiring.

@@ -7,9 +7,10 @@
 //! fast-path messages. The paper's "mostly system-call-less" design means
 //! these messages model shared-memory queue operations, not kernel calls.
 
-use crate::msg::{ConnHandle, Msg};
+use crate::msg::{ConnHandle, Msg, ReplFlow};
+use neat_net::FlowKey;
 use neat_sim::ProcId;
-use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
+use neat_tcp::{SockEvent, SocketId, TcbImage, TcpConfig, TcpStack};
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
@@ -28,6 +29,11 @@ pub struct SockServer {
     /// Data accepted from apps but not yet pushed into the stack
     /// (send-buffer backpressure).
     backlog: HashMap<SocketId, VecDeque<u8>>,
+    /// Application stream bytes the stack has accepted per connection —
+    /// the replication-side half of the output-commit contract: a
+    /// migrated library compares this against its own sent counter and
+    /// resends the difference.
+    app_bytes: HashMap<SocketId, u64>,
     /// Messages owed to applications.
     to_app: Vec<(ProcId, Msg)>,
     /// Count of sockets opened/accepted (TCP_OPEN/TCP_CLOSE charging).
@@ -44,6 +50,7 @@ impl SockServer {
             listener_ports: HashMap::new(),
             connects: HashMap::new(),
             backlog: HashMap::new(),
+            app_bytes: HashMap::new(),
             to_app: Vec::new(),
             opened: 0,
             closed: 0,
@@ -96,6 +103,7 @@ impl SockServer {
                         if n == 0 {
                             break;
                         }
+                        *self.app_bytes.entry(sock).or_insert(0) += n as u64;
                     }
                     Err(_) => break,
                 }
@@ -187,6 +195,7 @@ impl SockServer {
                         ));
                     }
                     self.backlog.remove(&sock);
+                    self.app_bytes.remove(&sock);
                 }
             }
         }
@@ -266,6 +275,134 @@ impl SockServer {
     /// Ports currently being listened on.
     pub fn listen_ports(&self) -> Vec<u16> {
         self.listeners.keys().copied().collect()
+    }
+
+    /// Listening ports with their owning apps, sorted by port.
+    pub fn listeners(&self) -> Vec<(u16, ProcId)> {
+        let mut v: Vec<(u16, ProcId)> = self
+            .listeners
+            .iter()
+            .map(|(port, (_, app))| (*port, *app))
+            .collect();
+        v.sort_unstable_by_key(|(p, _)| *p);
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Flow replication & migration
+    // ------------------------------------------------------------------
+
+    /// Application bound to a connection socket, if any.
+    pub fn owner_of(&self, sock: SocketId) -> Option<ProcId> {
+        self.owners.get(&sock).copied()
+    }
+
+    /// App-stream bytes the stack has accepted on `sock`.
+    pub fn app_bytes_of(&self, sock: SocketId) -> u64 {
+        self.app_bytes.get(&sock).copied().unwrap_or(0)
+    }
+
+    /// Enable (or disable) checkpoint-delta tracking in the stack.
+    pub fn set_repl_tracking(&mut self, on: bool) {
+        self.stack.set_repl_tracking(on);
+    }
+
+    /// Drain this flush's checkpoint delta: dirty replicable flows as
+    /// ready-to-ship [`ReplFlow`]s, plus the flows that closed. Flows not
+    /// yet bound to an app (accept-queue residents) are skipped — there is
+    /// no application handle to rebind on the far side.
+    pub fn take_checkpoint_delta(&mut self) -> (Vec<ReplFlow>, Vec<FlowKey>) {
+        let dirty = self.stack.take_repl_dirty();
+        let closed = self.stack.take_repl_closed();
+        let mut flows = Vec::new();
+        for (id, flow, img) in dirty {
+            let Some(owner) = self.owners.get(&id).copied() else {
+                continue;
+            };
+            flows.push(ReplFlow {
+                flow,
+                old_sock: id,
+                owner,
+                app_bytes: self.app_bytes_of(id),
+                img: img.encode(),
+            });
+        }
+        (flows, closed)
+    }
+
+    /// Checkpoint every app-bound replicable connection (sent when a
+    /// buddy is first assigned, so its store starts complete).
+    pub fn full_checkpoint(&self) -> Vec<ReplFlow> {
+        self.stack
+            .export_all_conns()
+            .into_iter()
+            .filter_map(|(id, flow, img)| {
+                let owner = self.owners.get(&id).copied()?;
+                Some(ReplFlow {
+                    flow,
+                    old_sock: id,
+                    owner,
+                    app_bytes: self.app_bytes_of(id),
+                    img: img.encode(),
+                })
+            })
+            .collect()
+    }
+
+    /// Adopt replicated flows (failover restore or live-migration import).
+    /// `old` is the replica the flows lived in. Each successful restore
+    /// rebinds the owning app via [`Msg::ConnMigrated`] and is returned so
+    /// the supervisor can re-steer the flow to this replica's queue.
+    pub fn restore_flows(&mut self, me: ProcId, old: ProcId, flows: Vec<ReplFlow>) -> Vec<FlowKey> {
+        let mut restored = Vec::new();
+        for f in flows {
+            let Some(img) = TcbImage::decode(&f.img) else {
+                neat_obs::counter_add("repl.decode_errors", 1);
+                continue;
+            };
+            match self.stack.restore_conn(&img) {
+                Ok(new_id) => {
+                    self.owners.insert(new_id, f.owner);
+                    self.app_bytes.insert(new_id, f.app_bytes);
+                    self.opened += 1;
+                    self.to_app.push((
+                        f.owner,
+                        Msg::ConnMigrated {
+                            old: ConnHandle {
+                                stack: old,
+                                sock: f.old_sock,
+                            },
+                            new: ConnHandle {
+                                stack: me,
+                                sock: new_id,
+                            },
+                            app_bytes: f.app_bytes,
+                        },
+                    ));
+                    restored.push(f.flow);
+                }
+                Err(_) => {
+                    neat_obs::counter_add("repl.restore_refused", 1);
+                }
+            }
+        }
+        restored
+    }
+
+    /// Export every app-bound established flow for live migration and
+    /// remove them locally — silently (no FIN/RST/user event): the flows
+    /// keep living in the target replica. Unbound accept-queue residents
+    /// stay behind and drain normally.
+    pub fn export_for_migration(&mut self) -> Vec<ReplFlow> {
+        let exported = self.full_checkpoint();
+        for f in &exported {
+            self.stack.remove_conn(f.old_sock);
+            self.owners.remove(&f.old_sock);
+            self.app_bytes.remove(&f.old_sock);
+            self.backlog.remove(&f.old_sock);
+        }
+        self.closed += exported.len() as u64;
+        exported
     }
 }
 

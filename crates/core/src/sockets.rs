@@ -16,7 +16,7 @@
 
 use crate::msg::{ConnHandle, Msg};
 use neat_sim::{Ctx, ProcId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 pub use neat_tcp::Readiness;
 
@@ -102,6 +102,20 @@ struct RxState {
     eof: bool,
 }
 
+/// Retained tail of recently written bytes, kept per fd so a migrated
+/// connection can resend whatever the old replica accepted after its last
+/// replication checkpoint (the `app_bytes` gap in [`Msg::ConnMigrated`]).
+const TX_TAIL_CAP: usize = 64 * 1024;
+
+/// Per-fd transmit-side bookkeeping for transparent migration.
+#[derive(Debug, Default)]
+struct TxState {
+    /// Total bytes ever written on this fd.
+    sent_total: u64,
+    /// The last up-to-[`TX_TAIL_CAP`] of those bytes.
+    tail: VecDeque<u8>,
+}
+
 /// Per-process socket library state.
 #[derive(Debug)]
 pub struct SocketLib {
@@ -113,6 +127,11 @@ pub struct SocketLib {
     conn_of: HashMap<Fd, ConnHandle>,
     fd_of: HashMap<ConnHandle, Fd>,
     rx: HashMap<Fd, RxState>,
+    tx: HashMap<Fd, TxState>,
+    /// Stacks reported dead by the supervisor. In-flight messages from
+    /// them (e.g. an `Incoming` racing the crash report) must not bind a
+    /// fresh fd to a handle that can never carry data again.
+    dead_stacks: HashSet<ProcId>,
     next_fd: Fd,
     next_token: u64,
     /// In-flight active opens: token → (fd, chosen replica). Recording the
@@ -139,6 +158,8 @@ impl SocketLib {
             conn_of: HashMap::new(),
             fd_of: HashMap::new(),
             rx: HashMap::new(),
+            tx: HashMap::new(),
+            dead_stacks: HashSet::new(),
             next_fd: 3, // 0..2 are stdio, of course
             next_token: 1,
             pending_connect: HashMap::new(),
@@ -236,6 +257,12 @@ impl SocketLib {
         let len = data.len();
         ctx.charge(neat_sim::calibration::copy_cost(len));
         let to = self.route_override.unwrap_or(conn.stack);
+        let tx = self.tx.entry(fd).or_default();
+        tx.sent_total += len as u64;
+        tx.tail.extend(data.iter().copied());
+        while tx.tail.len() > TX_TAIL_CAP {
+            tx.tail.pop_front();
+        }
         ctx.send(
             to,
             Msg::ConnSend {
@@ -310,6 +337,7 @@ impl SocketLib {
         let fd = self.fd_of.remove(conn)?;
         self.conn_of.remove(&fd);
         self.rx.remove(&fd);
+        self.tx.remove(&fd);
         Some(fd)
     }
 
@@ -336,6 +364,11 @@ impl SocketLib {
                 vec![LibEvent::ListenReady { port: *port }]
             }
             Msg::Incoming { port, conn } => {
+                if self.dead_stacks.contains(&conn.stack) {
+                    // The accept raced the owning replica's crash report:
+                    // binding it would leak an fd that can never progress.
+                    return vec![];
+                }
                 let fd = self.alloc_fd();
                 self.bind(*conn, fd);
                 vec![LibEvent::Accepted { fd, port: *port }]
@@ -376,9 +409,64 @@ impl SocketLib {
                 }],
                 None => vec![],
             },
+            Msg::ConnMigrated {
+                old,
+                new,
+                app_bytes,
+            } => {
+                // The connection moved (failover or live migration): rebind
+                // the fd, then resend whatever the app wrote that the
+                // restored state never saw. No event — the application is
+                // not supposed to notice.
+                let Some(fd) = self.fd_of.remove(old) else {
+                    return vec![];
+                };
+                self.conn_of.insert(fd, *new);
+                self.fd_of.insert(*new, fd);
+                let gap = self
+                    .tx
+                    .get(&fd)
+                    .map(|t| t.sent_total.saturating_sub(*app_bytes))
+                    .unwrap_or(0);
+                if gap == 0 {
+                    return vec![];
+                }
+                let tail_bytes = match self.tx.get(&fd) {
+                    Some(t) if gap as usize <= t.tail.len() => {
+                        let skip = t.tail.len() - gap as usize;
+                        t.tail.iter().skip(skip).copied().collect::<Vec<u8>>()
+                    }
+                    _ => {
+                        // The gap outruns the retained tail: the stream
+                        // cannot be made whole, so surface a reset.
+                        if let Some(fd) = self.unbind(new) {
+                            self.lost_to_crash += 1;
+                            return vec![LibEvent::Closed {
+                                fd,
+                                err: Some(SockErr::ConnReset),
+                            }];
+                        }
+                        return vec![];
+                    }
+                };
+                let to = self.route_override.unwrap_or(new.stack);
+                ctx.charge(neat_sim::calibration::copy_cost(tail_bytes.len()));
+                ctx.send(
+                    to,
+                    Msg::ConnSend {
+                        sock: new.sock,
+                        data: tail_bytes,
+                    },
+                );
+                vec![]
+            }
             Msg::ReplicaRestarted { old, new } => {
-                // All handles on the dead replica are gone — stateless
-                // recovery (§3.6). Surface each as an aborted close.
+                // Handles still on the dead replica are gone — either
+                // stateless recovery (§3.6) or the flows buddy replication
+                // could not restore. Reap them *eagerly*: free the fd and
+                // its buffers now and tell the app with a reset, instead of
+                // leaving entries to be discovered on the next poll.
+                self.dead_stacks.insert(*old);
                 let dead: Vec<ConnHandle> = self
                     .fd_of
                     .keys()
@@ -391,7 +479,7 @@ impl SocketLib {
                         self.lost_to_crash += 1;
                         evs.push(LibEvent::Closed {
                             fd,
-                            err: Some(SockErr::ReplicaLost),
+                            err: Some(SockErr::ConnReset),
                         });
                     }
                 }
@@ -445,7 +533,28 @@ impl SocketLib {
             }
             Msg::ReplicaRemoved { stack } => {
                 self.replicas.retain(|r| r != stack);
-                vec![]
+                self.dead_stacks.insert(*stack);
+                // An orderly removal drains (or migrates) every connection
+                // first, so normally nothing is bound here. If the replica
+                // died mid-drain, its remaining handles are gone: reap them
+                // eagerly, as in the restart path.
+                let dead: Vec<ConnHandle> = self
+                    .fd_of
+                    .keys()
+                    .filter(|c| c.stack == *stack)
+                    .copied()
+                    .collect();
+                let mut evs = Vec::new();
+                for conn in dead {
+                    if let Some(fd) = self.unbind(&conn) {
+                        self.lost_to_crash += 1;
+                        evs.push(LibEvent::Closed {
+                            fd,
+                            err: Some(SockErr::ConnReset),
+                        });
+                    }
+                }
+                evs
             }
             _ => vec![],
         }

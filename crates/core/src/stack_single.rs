@@ -6,7 +6,8 @@
 //! coarser fault isolation: a fault anywhere in the replica loses the
 //! replica's entire state, including TCP connections (§3.7, Figure 13).
 
-use crate::msg::Msg;
+use crate::flow_repl::FlowRepl;
+use crate::msg::{InputRec, Msg};
 use crate::netcode::{FrameIo, RxClass};
 use crate::sock_server::SockServer;
 use neat_net::ethernet::MacAddr;
@@ -25,6 +26,7 @@ pub struct SingleStackProc {
     supervisor: ProcId,
     io: FrameIo,
     sock: SockServer,
+    repl: FlowRepl,
     udp_binds: HashMap<u16, ProcId>,
     /// Termination state (§3.4): no new work; report when drained.
     terminating: bool,
@@ -44,7 +46,7 @@ impl SingleStackProc {
         supervisor: ProcId,
         ip: Ipv4Addr,
         mac: MacAddr,
-        tcp_cfg: neat_tcp::TcpConfig,
+        cfg: &crate::config::NeatConfig,
         arp_seed: Vec<(Ipv4Addr, MacAddr)>,
     ) -> SingleStackProc {
         let mut io = FrameIo::new(ip, mac);
@@ -57,7 +59,8 @@ impl SingleStackProc {
             driver,
             supervisor,
             io,
-            sock: SockServer::new(ip, tcp_cfg),
+            sock: SockServer::new(ip, cfg.tcp.clone()),
+            repl: FlowRepl::new(cfg),
             udp_binds: HashMap::new(),
             terminating: false,
             drained_reported: false,
@@ -103,6 +106,13 @@ impl SingleStackProc {
         for seg in loopback {
             ctx.charge(calibration::TCP_RX_SEG);
             let src = self.io.ip;
+            if self.repl.logging() {
+                self.repl.record(InputRec::Seg {
+                    src,
+                    bytes: seg.clone(),
+                    now,
+                });
+            }
             if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, src) {
                 self.sock.stack.handle_segment(src, &h, &seg[range], now);
             }
@@ -115,6 +125,12 @@ impl SingleStackProc {
         for (app, msg) in self.sock.take_app_msgs() {
             ctx.charge(calibration::SOCK_OP);
             ctx.send(app, msg);
+        }
+        // Replication delta: the flush is atomic w.r.t. crashes (Poison is
+        // a message), so every output above is covered by this delta.
+        if let Some((buddy, delta)) = self.repl.collect_delta(&mut self.sock, self.queue, now) {
+            ctx.charge(calibration::SOCK_OP);
+            ctx.send(buddy, delta);
         }
         // Timer re-arm.
         if let Some(d) = self.sock.next_timeout() {
@@ -142,6 +158,13 @@ impl SingleStackProc {
         match self.io.classify_rx(&frame, now) {
             RxClass::Tcp { src, seg } => {
                 ctx.charge(calibration::IP_RX_PKT + calibration::TCP_RX_SEG);
+                if self.repl.logging() {
+                    self.repl.record(InputRec::Seg {
+                        src,
+                        bytes: seg.to_vec(),
+                        now,
+                    });
+                }
                 if let Ok((h, range)) = neat_net::TcpHeader::parse(&seg, src, self.io.ip) {
                     self.sock.stack.handle_segment(src, &h, &seg[range], now);
                 }
@@ -230,6 +253,9 @@ impl Process<Msg> for SingleStackProc {
             Event::Timer { .. } => {
                 self.armed = None;
                 let now = ctx.now().as_nanos();
+                if self.repl.logging() {
+                    self.repl.record(InputRec::Timer { now });
+                }
                 self.sock.on_timer(now);
                 self.flush(ctx);
             }
@@ -248,10 +274,77 @@ impl Process<Msg> for SingleStackProc {
                         return;
                     }
                     let now = ctx.now().as_nanos();
+                    if self.repl.logging() {
+                        match &m {
+                            Msg::Listen { port, app } => self.repl.record(InputRec::Listen {
+                                port: *port,
+                                app: *app,
+                            }),
+                            Msg::Connect { remote, app, token } => {
+                                self.repl.record(InputRec::Connect {
+                                    remote: *remote,
+                                    app: *app,
+                                    token: *token,
+                                    now,
+                                })
+                            }
+                            Msg::ConnSend { sock, data } => self.repl.record(InputRec::Send {
+                                sock: *sock,
+                                data: data.clone(),
+                            }),
+                            Msg::ConnClose { sock } => {
+                                self.repl.record(InputRec::Close { sock: *sock, now })
+                            }
+                            _ => {}
+                        }
+                    }
                     let ops = self.sock.handle_app(from, m, now);
                     ctx.charge(ops as u64 * calibration::SOCK_OP);
                     self.flush(ctx);
                 }
+                Msg::SetBuddy { buddy } => {
+                    self.repl.set_buddy(&mut self.sock, buddy);
+                    // Re-baseline immediately so the buddy's store starts
+                    // complete.
+                    self.flush(ctx);
+                }
+                Msg::ReplDelta { queue: _, payload } => {
+                    ctx.charge(calibration::SOCK_OP);
+                    self.repl.apply_delta(from, payload);
+                }
+                Msg::ReplHandoff { queue: _, old, to } => {
+                    let flows = self.repl.take_flows_for(old);
+                    ctx.charge(calibration::SOCK_OP);
+                    ctx.send(to, Msg::ReplRestore { old, flows });
+                }
+                Msg::ReplRestore { old, flows } => {
+                    let me = ctx.self_id;
+                    ctx.charge(flows.len() as u64 * calibration::TCP_OPEN);
+                    let restored = self.sock.restore_flows(me, old, flows);
+                    neat_obs::counter_add("repl.flows_restored", restored.len() as u64);
+                    ctx.send(
+                        self.supervisor,
+                        Msg::ReplRestored {
+                            queue: self.queue,
+                            flows: restored,
+                        },
+                    );
+                    self.flush(ctx);
+                }
+                Msg::MigrateOut { to } => {
+                    let flows = self.sock.export_for_migration();
+                    ctx.charge(flows.len() as u64 * calibration::TCP_CLOSE);
+                    neat_obs::counter_add("repl.flows_migrated", flows.len() as u64);
+                    ctx.send(
+                        to,
+                        Msg::ReplRestore {
+                            old: ctx.self_id,
+                            flows,
+                        },
+                    );
+                    self.flush(ctx);
+                }
+                Msg::ReplForget { owner } => self.repl.forget(owner),
                 Msg::UdpBind { port, app } => {
                     ctx.charge(calibration::SOCK_OP);
                     self.udp_binds.insert(port, app);

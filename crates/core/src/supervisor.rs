@@ -50,6 +50,13 @@ pub struct SupStats {
     pub stateful_losses: u64,
     pub scale_ups: u64,
     pub scale_downs_completed: u64,
+    /// Crash events that raced replica removal (concurrent scale-down):
+    /// the event is dropped or folded into the drain instead of
+    /// resurrecting a replica that no longer exists.
+    pub stale_crashes: u64,
+    /// Buddy handoffs that completed: the respawned head adopted the
+    /// crashed replica's flows before the fallback deadline.
+    pub handoffs_completed: u64,
 }
 
 /// Per-replica bookkeeping.
@@ -71,6 +78,16 @@ struct RespawnJob {
     thread: HwThreadId,
 }
 
+/// A buddy handoff in flight: the restart report to applications is held
+/// back until the respawned head confirms it adopted the dead replica's
+/// flows ([`Msg::ReplRestored`]) or the fallback timer gives up.
+#[derive(Debug)]
+struct PendingFailover {
+    old: ProcId,
+    new: ProcId,
+    token: u64,
+}
+
 /// The supervisor process.
 pub struct Supervisor {
     pub name: String,
@@ -85,6 +102,13 @@ pub struct Supervisor {
     /// Spare hardware threads for scale-up.
     spare: Vec<HwThreadId>,
     jobs: HashMap<u64, RespawnJob>,
+    /// Fallback timers for in-flight handoffs: token → queue.
+    fallback: HashMap<u64, usize>,
+    /// Handoffs awaiting [`Msg::ReplRestored`], keyed by queue.
+    pending_failover: HashMap<usize, PendingFailover>,
+    /// Last `(head, buddy)` told to each queue, to skip no-op
+    /// [`Msg::SetBuddy`] sends (each one forces a full re-checkpoint).
+    assigned: HashMap<usize, (ProcId, Option<ProcId>)>,
     next_token: u64,
     pub stats: Rc<RefCell<SupStats>>,
 }
@@ -114,6 +138,9 @@ impl Supervisor {
             apps: Vec::new(),
             spare,
             jobs: HashMap::new(),
+            fallback: HashMap::new(),
+            pending_failover: HashMap::new(),
+            assigned: HashMap::new(),
             next_token: 1,
             stats,
         }
@@ -159,6 +186,57 @@ impl Supervisor {
         None
     }
 
+    fn stale_crash(&mut self) {
+        self.stats.borrow_mut().stale_crashes += 1;
+        neat_obs::counter_add("sup.stale_crash", 1);
+    }
+
+    /// The buddy ring: `(queue, head)` of every live, non-terminating
+    /// replica, in queue order. Each head streams its flow state to the
+    /// next entry (wrapping).
+    fn ring(&self) -> Vec<(usize, ProcId)> {
+        self.replicas
+            .iter()
+            .filter(|r| r.alive && !r.terminating)
+            .filter_map(|r| self.sockets_head(r.queue).map(|h| (r.queue, h)))
+            .collect()
+    }
+
+    /// The head currently holding queue `q`'s replicated flows (its ring
+    /// successor), if replication is on and the ring has a successor.
+    fn buddy_head_of(&self, q: usize) -> Option<ProcId> {
+        if !self.cfg.replication.enabled {
+            return None;
+        }
+        let ring = self.ring();
+        if ring.len() < 2 {
+            return None;
+        }
+        let i = ring.iter().position(|(rq, _)| *rq == q)?;
+        Some(ring[(i + 1) % ring.len()].1)
+    }
+
+    /// (Re)issue `SetBuddy` across the ring after any membership or head
+    /// change. Only heads whose `(self, buddy)` pair actually changed are
+    /// told — a `SetBuddy` forces a full re-checkpoint, which is not free.
+    fn reassign_buddies(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.cfg.replication.enabled {
+            return;
+        }
+        let ring = self.ring();
+        for (i, &(q, head)) in ring.iter().enumerate() {
+            let buddy = if ring.len() < 2 {
+                None
+            } else {
+                Some(ring[(i + 1) % ring.len()].1)
+            };
+            if self.assigned.get(&q) != Some(&(head, buddy)) {
+                self.assigned.insert(q, (head, buddy));
+                ctx.send(head, Msg::SetBuddy { buddy });
+            }
+        }
+    }
+
     fn schedule_respawn(
         &mut self,
         ctx: &mut Ctx<'_, Msg>,
@@ -195,6 +273,32 @@ impl Supervisor {
             old_pid,
             thread,
         } = job;
+        // Stale-crash guards: between the crash and this timer the replica
+        // may have been removed (scale-down completed against a dead head)
+        // or marked terminating. Never `unwrap()` our way into respawning
+        // a replica that no longer exists.
+        if role != Role::Driver {
+            let Some(q) = queue else {
+                self.stale_crash();
+                return;
+            };
+            let Some(rec) = self.replicas.get(q) else {
+                self.stale_crash();
+                return;
+            };
+            if !rec.alive {
+                self.stale_crash();
+                return;
+            }
+            if rec.terminating {
+                // The crashed replica was picked for scale-down while this
+                // respawn was pending. Its connections died with it; finish
+                // the removal instead of resurrecting a draining replica.
+                self.stale_crash();
+                self.gc_drained(ctx, q);
+                return;
+            }
+        }
         self.stats.borrow_mut().recoveries += 1;
         neat_obs::counter_add("sup.recoveries", 1);
         if neat_obs::tracing() {
@@ -251,7 +355,9 @@ impl Supervisor {
                 }
             }
             Role::Single => {
-                let q = queue.unwrap();
+                let Some(q) = queue else {
+                    return;
+                };
                 let proc = SingleStackProc::new(
                     format!("neat.{q}"),
                     q,
@@ -259,17 +365,17 @@ impl Supervisor {
                     ctx.self_id,
                     self.cfg.ip,
                     self.cfg.mac,
-                    self.cfg.tcp.clone(),
+                    &self.cfg,
                     self.arp_seed.clone(),
                 );
                 let new = ctx.spawn(thread, Box::new(proc), delay);
                 self.replicas[q].comps.insert(Role::Single, (new, thread));
-                self.stats.borrow_mut().stateful_losses += 1;
-                neat_obs::counter_add("sup.stateful_losses", 1);
-                self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
+                self.head_restarted(ctx, q, old_pid, new);
             }
             Role::Tcp => {
-                let q = queue.unwrap();
+                let Some(q) = queue else {
+                    return;
+                };
                 let ip_pid = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
                 let proc = TcpProc::new(
                     format!("tcp.{q}"),
@@ -277,7 +383,7 @@ impl Supervisor {
                     ctx.self_id,
                     ip_pid,
                     self.cfg.ip,
-                    self.cfg.tcp.clone(),
+                    &self.cfg,
                 );
                 let new = ctx.spawn(thread, Box::new(proc), delay);
                 self.replicas[q].comps.insert(Role::Tcp, (new, thread));
@@ -290,12 +396,12 @@ impl Supervisor {
                         },
                     );
                 }
-                self.stats.borrow_mut().stateful_losses += 1;
-                neat_obs::counter_add("sup.stateful_losses", 1);
-                self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
+                self.head_restarted(ctx, q, old_pid, new);
             }
             Role::Ip => {
-                let q = queue.unwrap();
+                let Some(q) = queue else {
+                    return;
+                };
                 let rec = &self.replicas[q];
                 let tcp = rec.comps.get(&Role::Tcp).map(|(p, _)| *p);
                 let udp = rec.comps.get(&Role::Udp).map(|(p, _)| *p);
@@ -325,7 +431,9 @@ impl Supervisor {
                 }
             }
             Role::Pf => {
-                let q = queue.unwrap();
+                let Some(q) = queue else {
+                    return;
+                };
                 let ip = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
                 let proc = PfProc::new(format!("pf.{q}"), q, self.driver, ip, Vec::new());
                 let new = ctx.spawn(thread, Box::new(proc), delay);
@@ -333,7 +441,9 @@ impl Supervisor {
                 // PF announces itself to the driver on Start.
             }
             Role::Udp => {
-                let q = queue.unwrap();
+                let Some(q) = queue else {
+                    return;
+                };
                 let ip = self.replicas[q].comps.get(&Role::Ip).map(|(p, _)| *p);
                 let proc = UdpProc::new(format!("udp.{q}"), q, ip, self.cfg.ip);
                 let new = ctx.spawn(thread, Box::new(proc), delay);
@@ -349,6 +459,47 @@ impl Supervisor {
                 }
             }
         }
+    }
+
+    /// A socket-owning head (TCP comp or single stack) was respawned as
+    /// `new`. With a buddy holding the dead head's flows, start a
+    /// transparent handoff and hold back the restart report until the
+    /// flows are adopted; otherwise fall straight back to stateless
+    /// recovery (§3.6) and report the loss.
+    fn head_restarted(&mut self, ctx: &mut Ctx<'_, Msg>, q: usize, old_pid: ProcId, new: ProcId) {
+        let buddy = self.buddy_head_of(q).filter(|b| *b != new);
+        if let Some(b) = buddy {
+            ctx.send(
+                b,
+                Msg::ReplHandoff {
+                    queue: q,
+                    old: old_pid,
+                    to: new,
+                },
+            );
+            let token = self.next_token;
+            self.next_token += 1;
+            self.fallback.insert(token, q);
+            self.pending_failover.insert(
+                q,
+                PendingFailover {
+                    old: old_pid,
+                    new,
+                    token,
+                },
+            );
+            // Fallback: if the restore never confirms (e.g. the buddy dies
+            // too), report the restart anyway so apps reap dead handles.
+            ctx.set_timer(
+                Time::from_nanos(self.cfg.spawn_delay_ns + self.cfg.recovery_delay_ns),
+                token,
+            );
+        } else {
+            self.stats.borrow_mut().stateful_losses += 1;
+            neat_obs::counter_add("sup.stateful_losses", 1);
+            self.notify_apps(ctx, || Msg::ReplicaRestarted { old: old_pid, new });
+        }
+        self.reassign_buddies(ctx);
     }
 
     fn scale_up(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -372,7 +523,7 @@ impl Supervisor {
                     ctx.self_id,
                     self.cfg.ip,
                     self.cfg.mac,
-                    self.cfg.tcp.clone(),
+                    &self.cfg,
                     self.arp_seed.clone(),
                 );
                 let pid = ctx.spawn(t, Box::new(proc), delay);
@@ -393,7 +544,7 @@ impl Supervisor {
                         ctx.self_id,
                         None,
                         self.cfg.ip,
-                        self.cfg.tcp.clone(),
+                        &self.cfg,
                     )),
                     delay,
                 );
@@ -463,6 +614,7 @@ impl Supervisor {
         if neat_obs::tracing() {
             neat_obs::trace::instant(0, "scale-up", "lifecycle", ctx.now().as_nanos());
         }
+        self.reassign_buddies(ctx);
     }
 
     fn scale_down(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -477,7 +629,13 @@ impl Supervisor {
         if live.len() <= 1 {
             return;
         }
-        let q = *live.last().unwrap();
+        let Some(&q) = live.last() else {
+            return;
+        };
+        let head = self.sockets_head(q);
+        // Migration target: the victim's ring successor, resolved while
+        // the victim is still a ring member.
+        let target = self.buddy_head_of(q).filter(|t| Some(*t) != head);
         self.replicas[q].terminating = true;
         // New connections avoid this queue; existing ones keep flowing.
         ctx.send(
@@ -487,9 +645,17 @@ impl Supervisor {
                 accepting: false,
             },
         );
-        if let Some(head) = self.sockets_head(q) {
-            ctx.send(head, Msg::Terminate);
+        if let Some(h) = head {
+            // Live migration: instead of waiting for every connection to
+            // drain, hand the established flows to a surviving replica
+            // over the same transfer path failover uses. The victim then
+            // drains (now trivially) and is garbage-collected as usual.
+            if let Some(t) = target {
+                ctx.send(h, Msg::MigrateOut { to: t });
+            }
+            ctx.send(h, Msg::Terminate);
         }
+        self.reassign_buddies(ctx);
     }
 
     fn gc_drained(&mut self, ctx: &mut Ctx<'_, Msg>, queue: usize) {
@@ -515,8 +681,25 @@ impl Supervisor {
             }
         }
         ctx.send(self.driver, Msg::ReplicaDown { queue });
+        self.assigned.remove(&queue);
+        self.pending_failover.remove(&queue);
         if let Some(h) = head {
-            self.notify_apps(ctx, || Msg::ReplicaRemoved { stack: h });
+            if self.cfg.replication.enabled {
+                // Drop any replication state still held for the dead head.
+                for (_, other) in self.ring() {
+                    ctx.send(other, Msg::ReplForget { owner: h });
+                }
+                // Report the removal *after* any in-flight `ConnMigrated`
+                // (two message hops away): apps must rebind migrated flows
+                // before they reap the dead head's remaining handles.
+                let margin = Time::from_nanos(200_000);
+                for app in self.apps.clone() {
+                    ctx.send_delayed(app, Msg::ReplicaRemoved { stack: h }, margin);
+                }
+                ctx.send_delayed(self.syscall, Msg::ReplicaRemoved { stack: h }, margin);
+            } else {
+                self.notify_apps(ctx, || Msg::ReplicaRemoved { stack: h });
+            }
         }
         self.stats.borrow_mut().scale_downs_completed += 1;
         neat_obs::counter_add("sup.scale_downs", 1);
@@ -540,10 +723,32 @@ impl Process<Msg> for Supervisor {
                     self.on_event(ctx, Event::Message { from, msg });
                 }
             }
-            Event::Start => {}
+            Event::Start => {
+                // Initial buddy-ring assignment (no-op unless replication
+                // is enabled in the config).
+                self.reassign_buddies(ctx);
+            }
             Event::Timer { token } => {
                 if let Some(job) = self.jobs.remove(&token) {
                     self.respawn(ctx, job);
+                } else if let Some(q) = self.fallback.remove(&token) {
+                    let current = self
+                        .pending_failover
+                        .get(&q)
+                        .is_some_and(|p| p.token == token);
+                    if current {
+                        if let Some(p) = self.pending_failover.remove(&q) {
+                            // The handoff never confirmed (e.g. the buddy
+                            // died too): fall back to the stateless-recovery
+                            // report so apps reap the dead handles.
+                            self.stats.borrow_mut().stateful_losses += 1;
+                            neat_obs::counter_add("sup.stateful_losses", 1);
+                            self.notify_apps(ctx, || Msg::ReplicaRestarted {
+                                old: p.old,
+                                new: p.new,
+                            });
+                        }
+                    }
                 }
             }
             Event::Message { msg, .. } => match msg {
@@ -551,6 +756,21 @@ impl Process<Msg> for Supervisor {
                     self.stats.borrow_mut().crashes_seen += 1;
                     neat_obs::counter_add("sup.crashes_seen", 1);
                     if let Some((queue, role, thread)) = self.find_crashed(pid) {
+                        // A crash can race a concurrent scale-down: the
+                        // replica is already draining and its connections
+                        // died with it — finish the removal instead of
+                        // resurrecting a terminating replica.
+                        if let Some(q) = queue {
+                            if self
+                                .replicas
+                                .get(q)
+                                .is_some_and(|r| r.terminating && r.alive)
+                            {
+                                self.stale_crash();
+                                self.gc_drained(ctx, q);
+                                return;
+                            }
+                        }
                         // If the pipeline head died, tell the driver to
                         // hold (drop) that queue's packets meanwhile.
                         if matches!(role, Role::Pf | Role::Single) {
@@ -567,6 +787,26 @@ impl Process<Msg> for Supervisor {
                 Msg::ScaleUp => self.scale_up(ctx),
                 Msg::ScaleDown => self.scale_down(ctx),
                 Msg::Drained { queue } => self.gc_drained(ctx, queue),
+                Msg::ReplRestored { queue, flows } => {
+                    // Re-steer every adopted flow to its (new) queue with
+                    // exact-match NIC filters. Idempotent for failover
+                    // (same queue as RSS); load-bearing for migration.
+                    for flow in &flows {
+                        ctx.send(self.driver, Msg::NicAddFilter { flow: *flow, queue });
+                    }
+                    if let Some(p) = self.pending_failover.remove(&queue) {
+                        self.fallback.remove(&p.token);
+                        self.stats.borrow_mut().handoffs_completed += 1;
+                        neat_obs::counter_add("sup.handoffs_completed", 1);
+                        // Deferred restart report: each app's ConnMigrated
+                        // rebinds (sent one hop earlier by the head) land
+                        // first, so adopted flows are not reaped as dead.
+                        self.notify_apps(ctx, || Msg::ReplicaRestarted {
+                            old: p.old,
+                            new: p.new,
+                        });
+                    }
+                }
                 _ => {}
             },
         }

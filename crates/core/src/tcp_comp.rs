@@ -4,7 +4,8 @@
 //! read/write control state, and in-flight data" (§6.6) — which is why only
 //! TCP faults cause visible state loss in the fault-injection experiments.
 
-use crate::msg::{Msg, NeighborRole};
+use crate::flow_repl::FlowRepl;
+use crate::msg::{InputRec, Msg, NeighborRole};
 use crate::sock_server::SockServer;
 use neat_sim::{calibration, Ctx, Event, ProcId, Process, Time};
 use std::net::Ipv4Addr;
@@ -16,6 +17,7 @@ pub struct TcpProc {
     supervisor: ProcId,
     ip: Option<ProcId>,
     sock: SockServer,
+    repl: FlowRepl,
     terminating: bool,
     drained_reported: bool,
     armed: Option<u64>,
@@ -30,14 +32,15 @@ impl TcpProc {
         supervisor: ProcId,
         ip: Option<ProcId>,
         local_ip: Ipv4Addr,
-        tcp_cfg: neat_tcp::TcpConfig,
+        cfg: &crate::config::NeatConfig,
     ) -> TcpProc {
         TcpProc {
             name: name.into(),
             queue,
             supervisor,
             ip,
-            sock: SockServer::new(local_ip, tcp_cfg),
+            sock: SockServer::new(local_ip, cfg.tcp.clone()),
+            repl: FlowRepl::new(cfg),
             terminating: false,
             drained_reported: false,
             armed: None,
@@ -67,6 +70,12 @@ impl TcpProc {
             ctx.charge(calibration::SOCK_OP);
             ctx.send(app, msg);
         }
+        // Replication delta last: crashes arrive as messages, so the whole
+        // flush is atomic — every output above is covered by this delta.
+        if let Some((buddy, delta)) = self.repl.collect_delta(&mut self.sock, self.queue, now) {
+            ctx.charge(calibration::SOCK_OP);
+            ctx.send(buddy, delta);
+        }
         if let Some(d) = self.sock.next_timeout() {
             if self.armed.map(|a| d < a).unwrap_or(true) {
                 self.armed = Some(d);
@@ -94,6 +103,13 @@ impl Process<Msg> for TcpProc {
                 Msg::IpRxTcp { src, seg } => {
                     ctx.charge(calibration::TCP_RX_SEG);
                     let now = ctx.now().as_nanos();
+                    if self.repl.logging() {
+                        self.repl.record(InputRec::Seg {
+                            src,
+                            bytes: seg.to_vec(),
+                            now,
+                        });
+                    }
                     if let Ok((h, range)) =
                         neat_net::TcpHeader::parse(&seg, src, self.sock.stack.local_ip)
                     {
@@ -124,6 +140,9 @@ impl Process<Msg> for TcpProc {
             Event::Timer { .. } => {
                 self.armed = None;
                 let now = ctx.now().as_nanos();
+                if self.repl.logging() {
+                    self.repl.record(InputRec::Timer { now });
+                }
                 self.sock.on_timer(now);
                 self.flush(ctx);
             }
@@ -131,6 +150,13 @@ impl Process<Msg> for TcpProc {
                 Msg::IpRxTcp { src, seg } => {
                     ctx.charge(calibration::TCP_RX_SEG);
                     let now = ctx.now().as_nanos();
+                    if self.repl.logging() {
+                        self.repl.record(InputRec::Seg {
+                            src,
+                            bytes: seg.to_vec(),
+                            now,
+                        });
+                    }
                     if let Ok((h, range)) =
                         neat_net::TcpHeader::parse(&seg, src, self.sock.stack.local_ip)
                     {
@@ -146,10 +172,77 @@ impl Process<Msg> for TcpProc {
                         return;
                     }
                     let now = ctx.now().as_nanos();
+                    if self.repl.logging() {
+                        match &m {
+                            Msg::Listen { port, app } => self.repl.record(InputRec::Listen {
+                                port: *port,
+                                app: *app,
+                            }),
+                            Msg::Connect { remote, app, token } => {
+                                self.repl.record(InputRec::Connect {
+                                    remote: *remote,
+                                    app: *app,
+                                    token: *token,
+                                    now,
+                                })
+                            }
+                            Msg::ConnSend { sock, data } => self.repl.record(InputRec::Send {
+                                sock: *sock,
+                                data: data.clone(),
+                            }),
+                            Msg::ConnClose { sock } => {
+                                self.repl.record(InputRec::Close { sock: *sock, now })
+                            }
+                            _ => {}
+                        }
+                    }
                     let ops = self.sock.handle_app(from, m, now);
                     ctx.charge(ops as u64 * calibration::SOCK_OP);
                     self.flush(ctx);
                 }
+                Msg::SetBuddy { buddy } => {
+                    self.repl.set_buddy(&mut self.sock, buddy);
+                    // Re-baseline immediately so the buddy's store starts
+                    // complete.
+                    self.flush(ctx);
+                }
+                Msg::ReplDelta { queue: _, payload } => {
+                    ctx.charge(calibration::SOCK_OP);
+                    self.repl.apply_delta(from, payload);
+                }
+                Msg::ReplHandoff { queue: _, old, to } => {
+                    let flows = self.repl.take_flows_for(old);
+                    ctx.charge(calibration::SOCK_OP);
+                    ctx.send(to, Msg::ReplRestore { old, flows });
+                }
+                Msg::ReplRestore { old, flows } => {
+                    let me = ctx.self_id;
+                    ctx.charge(flows.len() as u64 * calibration::TCP_OPEN);
+                    let restored = self.sock.restore_flows(me, old, flows);
+                    neat_obs::counter_add("repl.flows_restored", restored.len() as u64);
+                    ctx.send(
+                        self.supervisor,
+                        Msg::ReplRestored {
+                            queue: self.queue,
+                            flows: restored,
+                        },
+                    );
+                    self.flush(ctx);
+                }
+                Msg::MigrateOut { to } => {
+                    let flows = self.sock.export_for_migration();
+                    ctx.charge(flows.len() as u64 * calibration::TCP_CLOSE);
+                    neat_obs::counter_add("repl.flows_migrated", flows.len() as u64);
+                    ctx.send(
+                        to,
+                        Msg::ReplRestore {
+                            old: ctx.self_id,
+                            flows,
+                        },
+                    );
+                    self.flush(ctx);
+                }
+                Msg::ReplForget { owner } => self.repl.forget(owner),
                 Msg::SetNeighbor { role, pid } => match role {
                     NeighborRole::Ip => self.ip = Some(pid),
                     NeighborRole::Supervisor => self.supervisor = pid,

@@ -347,7 +347,10 @@ fn loopback_connects_within_one_replica() {
             ProcId(0),
             ip,
             neat_net::MacAddr::local(1),
-            neat_tcp::TcpConfig::default(),
+            &crate::config::NeatConfig {
+                tcp: neat_tcp::TcpConfig::default(),
+                ..crate::config::NeatConfig::single(1)
+            },
             vec![],
         )),
     );

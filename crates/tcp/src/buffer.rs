@@ -93,6 +93,21 @@ impl SendBuffer {
         }
         self.data.len().saturating_sub(off as usize)
     }
+
+    /// Copy of every buffered byte, base first (checkpoint capture).
+    pub fn contents(&self) -> Vec<u8> {
+        self.data.iter().copied().collect()
+    }
+
+    /// Rebuild a buffer from a checkpoint. `cap` is widened to fit the
+    /// snapshot so a restore can never silently truncate the stream.
+    pub fn from_parts(base: SeqNum, data: Vec<u8>, cap: usize) -> SendBuffer {
+        SendBuffer {
+            base,
+            cap: cap.max(data.len()),
+            data: data.into(),
+        }
+    }
 }
 
 /// In-order received bytes awaiting the application.
@@ -143,6 +158,19 @@ impl RecvBuffer {
     /// Allocated heap bytes (capacity, not configured cap).
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity()
+    }
+
+    /// Copy of every buffered byte (checkpoint capture).
+    pub fn contents(&self) -> Vec<u8> {
+        self.data.iter().copied().collect()
+    }
+
+    /// Rebuild a buffer from a checkpoint (cap widened to fit).
+    pub fn from_parts(data: Vec<u8>, cap: usize) -> RecvBuffer {
+        RecvBuffer {
+            cap: cap.max(data.len()),
+            data: data.into(),
+        }
     }
 }
 

@@ -36,7 +36,8 @@ mod proptests;
 
 pub use budget::ConnBudget;
 pub use demux::DemuxTable;
-pub use socket::TcpSocket;
+pub use rto::RttSnapshot;
+pub use socket::{TcbImage, TcpSocket};
 pub use stack::TcpStack;
 pub use types::{CongestionAlgo, Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
 pub use wheel::TimerWheel;

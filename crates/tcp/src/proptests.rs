@@ -459,3 +459,100 @@ fn demux_matches_hashmap_model() {
         },
     );
 }
+
+/// TcbImage: the encode/decode pair used on the replication channel is
+/// exactly the identity on the image space — a flow survives any number
+/// of checkpoint → restore hops unchanged — and no truncated prefix of a
+/// valid image decodes into a phantom flow.
+#[test]
+fn tcb_image_encode_decode_round_trips() {
+    use crate::rto::RttSnapshot;
+    use crate::socket::TcbImage;
+    use crate::types::TcpState;
+    const STATES: [TcpState; 11] = [
+        TcpState::Closed,
+        TcpState::Listen,
+        TcpState::SynSent,
+        TcpState::SynReceived,
+        TcpState::Established,
+        TcpState::FinWait1,
+        TcpState::FinWait2,
+        TcpState::Closing,
+        TcpState::TimeWait,
+        TcpState::CloseWait,
+        TcpState::LastAck,
+    ];
+    check(
+        "tcb_image_encode_decode_round_trips",
+        Config::default().cases(256),
+        |rng| {
+            (
+                vec_of(rng, 40..41, |r| r.gen::<u64>()), // scalar field pool
+                vec_of(rng, 0..600, |r| r.gen::<u8>()),  // send stream bytes
+                vec_of(rng, 0..600, |r| r.gen::<u8>()),  // recv stream bytes
+            )
+        },
+        |(pool, send_data, recv_data)| {
+            if pool.is_empty() {
+                return Ok(()); // shrunk away — nothing to build from
+            }
+            let w = |i: usize| pool[i % pool.len()];
+            // Odd words become Some(value): options and flags get both
+            // arms exercised without a dedicated generator each.
+            let opt = |x: u64| if x & 1 == 1 { Some(x >> 1) } else { None };
+            let img = TcbImage {
+                state: STATES[w(0) as usize % STATES.len()],
+                local_ip: Ipv4Addr::from(w(1) as u32),
+                local_port: w(2) as u16,
+                remote_ip: Ipv4Addr::from(w(3) as u32),
+                remote_port: w(4) as u16,
+                iss: SeqNum(w(5) as u32),
+                irs: SeqNum(w(6) as u32),
+                snd_nxt: SeqNum(w(7) as u32),
+                snd_wnd: w(8),
+                snd_wl1: SeqNum(w(9) as u32),
+                snd_wl2: SeqNum(w(10) as u32),
+                mss: w(11) as u16,
+                snd_wscale: w(12) as u8,
+                rcv_wscale: w(13) as u8,
+                syn_sent: w(14) & 1 == 1,
+                send_base: SeqNum(w(15) as u32),
+                send_data,
+                send_cap: w(16),
+                rcv_nxt: SeqNum(w(17) as u32),
+                recv_data,
+                recv_cap: w(18),
+                peer_fin_rcvd: w(19) & 1 == 1,
+                close_requested: w(20) & 1 == 1,
+                fin_seq: opt(w(21)).map(|v| SeqNum(v as u32)),
+                rtx_deadline: opt(w(22)),
+                rtx_now: w(23) & 1 == 1,
+                retries: w(24) as u32,
+                dup_acks: w(25) as u32,
+                rtt: RttSnapshot {
+                    srtt_bits: opt(w(26)),
+                    rttvar_bits: w(27),
+                    rto_ns: w(28),
+                    base_rto_ns: w(29),
+                    backoffs: w(30) as u32,
+                },
+                ack_pending: w(31) as u32,
+                ack_deadline: opt(w(32)),
+                ack_now: w(33) & 1 == 1,
+                time_wait_deadline: opt(w(34)),
+                probe_deadline: opt(w(35)),
+                keepalive_deadline: opt(w(36)),
+                tx_segments: w(37),
+                rx_segments: w(38),
+                retransmits: w(39),
+            };
+            let wire = img.encode();
+            let got = TcbImage::decode(&wire);
+            prop_assert_eq!(got.as_ref(), Some(&img));
+            for cut in [0, 1, wire.len() / 2, wire.len() - 1] {
+                prop_assert_eq!(TcbImage::decode(&wire[..cut]), None);
+            }
+            Ok(())
+        },
+    );
+}

@@ -20,7 +20,7 @@
 
 use crate::budget::ConnBudget;
 use crate::demux::DemuxTable;
-use crate::socket::TcpSocket;
+use crate::socket::{TcbImage, TcpSocket};
 use crate::types::{Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
 use crate::wheel::TimerWheel;
 use neat_net::{FlowKey, SeqNum, TcpFlags, TcpHeader};
@@ -107,6 +107,16 @@ pub struct TcpStack {
     timers: TimerWheel,
     /// Accounted connection memory (and the optional bound on it).
     budget: ConnBudget,
+    /// Checkpoint-delta tracking for buddy replication: every socket that
+    /// was touched since the last [`TcpStack::take_repl_dirty`] drain.
+    repl_track: bool,
+    repl_dirty: FxHashSet<SocketId>,
+    /// Flows that closed since the last drain (buddy forgets them).
+    repl_closed: Vec<FlowKey>,
+    /// Flows handed to another replica: late segments for them are dropped
+    /// silently instead of answered with a RST that would kill the
+    /// migrated connection. A fresh SYN lifts the quarantine.
+    migrated_out: FxHashSet<FlowKey>,
     pub stats: StackStats,
     obs: StackObs,
 }
@@ -136,6 +146,10 @@ impl TcpStack {
             events: VecDeque::new(),
             timers: TimerWheel::new(0),
             budget,
+            repl_track: false,
+            repl_dirty: FxHashSet::default(),
+            repl_closed: Vec::new(),
+            migrated_out: FxHashSet::default(),
             stats: StackStats::default(),
             obs: StackObs::new(),
         }
@@ -167,6 +181,9 @@ impl TcpStack {
     fn mark_dirty(&mut self, id: SocketId) {
         if self.dirty_set.insert(id) {
             self.dirty.push_back(id);
+        }
+        if self.repl_track {
+            self.repl_dirty.insert(id);
         }
     }
 
@@ -451,6 +468,19 @@ impl TcpStack {
             self.deliver(id, h, payload, now);
             return;
         }
+        // A flow we migrated away: the steering filter update races the
+        // last in-flight segments. Drop them silently — a RST here would
+        // tear down the connection its new owner just resumed. A fresh
+        // SYN means 4-tuple reuse, so lift the quarantine and fall through
+        // to normal listener handling.
+        if !self.migrated_out.is_empty() && self.migrated_out.contains(&flow) {
+            if h.flags.syn && !h.flags.ack {
+                self.migrated_out.remove(&flow);
+            } else {
+                self.stats.demux_misses += 1;
+                return;
+            }
+        }
         // No connection: maybe a listener (SYN only).
         if h.flags.syn && !h.flags.ack {
             if let Some(l) = self.listeners.get_mut(&h.dst_port) {
@@ -633,12 +663,139 @@ impl TcpStack {
                     l.accept_q.retain(|x| *x != id);
                 }
             }
+            if self.repl_track {
+                self.repl_dirty.remove(&id);
+                self.repl_closed.push(flow);
+            }
         }
     }
 
     /// All live socket ids (diagnostics).
     pub fn socket_ids(&self) -> Vec<SocketId> {
         self.sockets.keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Flow replication & migration (checkpoint export / restore)
+    // ------------------------------------------------------------------
+
+    /// Turn checkpoint-delta tracking on (or off). While on, every socket
+    /// touched between [`TcpStack::take_repl_dirty`] drains is remembered
+    /// so the owning replica can ship incremental TCB checkpoints to its
+    /// buddy.
+    pub fn set_repl_tracking(&mut self, on: bool) {
+        self.repl_track = on;
+        if !on {
+            self.repl_dirty.clear();
+            self.repl_closed.clear();
+        }
+    }
+
+    /// Drain the set of sockets touched since the last call, as
+    /// `(id, flow, image)` checkpoints. Only states that carry resumable
+    /// stream state are exported; handshake-phase sockets re-handshake on
+    /// their own. Sorted by socket id for deterministic replication
+    /// traffic.
+    pub fn take_repl_dirty(&mut self) -> Vec<(SocketId, FlowKey, TcbImage)> {
+        if self.repl_dirty.is_empty() {
+            return Vec::new();
+        }
+        let mut ids: Vec<SocketId> = self.repl_dirty.drain().collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for id in ids {
+            if let Some(s) = self.sockets.get(&id) {
+                if TcbImage::replicable(s.state()) {
+                    let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+                    out.push((id, flow, s.snapshot()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drain the flows that fully closed since the last call (the buddy
+    /// drops its copy so the replica store stays bounded).
+    pub fn take_repl_closed(&mut self) -> Vec<FlowKey> {
+        std::mem::take(&mut self.repl_closed)
+    }
+
+    /// Checkpoint every replicable connection (full checkpoint on buddy
+    /// assignment, and the export half of live migration). Sorted by
+    /// socket id for determinism.
+    pub fn export_all_conns(&self) -> Vec<(SocketId, FlowKey, TcbImage)> {
+        let mut ids: Vec<SocketId> = self
+            .sockets
+            .keys()
+            .copied()
+            .filter(|id| !self.listener_of.contains_key(id))
+            .collect();
+        ids.sort_unstable();
+        let mut out = Vec::new();
+        for id in ids {
+            let s = &self.sockets[&id];
+            if TcbImage::replicable(s.state()) {
+                let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+                out.push((id, flow, s.snapshot()));
+            }
+        }
+        out
+    }
+
+    /// Install a connection from a checkpoint (failover restore or live
+    /// migration import). The socket gets a fresh local id; deadlines in
+    /// the image are absolute sim times, so an expired deadline simply
+    /// fires on the next timer tick — the retransmission that resyncs the
+    /// peer.
+    pub fn restore_conn(&mut self, img: &TcbImage) -> Result<SocketId, TcpError> {
+        let flow = FlowKey::tcp(img.remote_ip, img.remote_port, img.local_ip, img.local_port);
+        if self.conns.contains_key(&flow) {
+            return Err(TcpError::AddrInUse);
+        }
+        if !self.budget.admit(base_conn_cost()) {
+            return Err(TcpError::NoMemory);
+        }
+        self.migrated_out.remove(&flow);
+        let id = self.alloc_id();
+        let sock = TcpSocket::restore(id, &self.cfg, img);
+        self.install_socket(flow, sock);
+        self.stats.conns_opened += 1;
+        Ok(id)
+    }
+
+    /// Allocation counters `(next_id, iss_counter, next_port)` — the
+    /// deterministic state an input-log mirror must share with its
+    /// primary so replayed allocations produce identical ids and ISSs.
+    pub fn alloc_state(&self) -> (u64, u32, u16) {
+        (self.next_id, self.iss_counter, self.next_port)
+    }
+
+    /// Adopt a primary's allocation counters (input-log mirror bootstrap).
+    pub fn sync_alloc(&mut self, next_id: u64, iss: u32, next_port: u16) {
+        self.next_id = self.next_id.max(next_id);
+        self.iss_counter = iss;
+        if (self.port_lo..=self.port_hi).contains(&next_port) {
+            self.next_port = next_port;
+        }
+    }
+
+    /// Silently remove a connection that was migrated to another replica:
+    /// no FIN, no RST, no user event — the flow lives on elsewhere. The
+    /// flow key is quarantined so late in-flight segments are dropped
+    /// rather than RST'd.
+    pub fn remove_conn(&mut self, id: SocketId) -> bool {
+        let Some(mut s) = self.sockets.remove(&id) else {
+            return false;
+        };
+        let flow = FlowKey::tcp(s.remote_ip, s.remote_port, s.local_ip, s.local_port);
+        self.conns.remove(&flow);
+        self.timers.cancel(id.0);
+        let bytes = s.swap_accounted(0);
+        self.budget.on_close(bytes as u64);
+        self.pending_of.remove(&id);
+        self.repl_dirty.remove(&id);
+        self.migrated_out.insert(flow);
+        true
     }
 }
 

@@ -91,15 +91,17 @@ if [ "$TIER2" = 1 ]; then
     # Determinism gate: the quick conn_scale profile must be bit-stable —
     # same seed, same JSON, byte for byte. Catches nondeterminism leaking
     # into results (wall clock, map iteration order, uninitialised state).
-    echo "==> [tier2] conn_scale determinism gate (two runs, byte-identical)"
-    cp results/BENCH_conn_scale.json results/.conn_scale_run1.json
-    run ./target/release/conn_scale --quick
-    if ! cmp -s results/.conn_scale_run1.json results/BENCH_conn_scale.json; then
-        echo "DETERMINISM FAILURE: two fixed-seed conn_scale runs differ:" >&2
-        diff results/.conn_scale_run1.json results/BENCH_conn_scale.json >&2 || true
-        exit 1
-    fi
-    rm -f results/.conn_scale_run1.json
+    echo "==> [tier2] conn_scale + failover determinism gate (two runs, byte-identical)"
+    for b in conn_scale failover; do
+        cp "results/BENCH_$b.json" "results/.${b}_run1.json"
+        run env NEAT_BENCH_QUICK=1 "./target/release/$b" --quick
+        if ! cmp -s "results/.${b}_run1.json" "results/BENCH_$b.json"; then
+            echo "DETERMINISM FAILURE: two fixed-seed $b runs differ:" >&2
+            diff "results/.${b}_run1.json" "results/BENCH_$b.json" >&2 || true
+            exit 1
+        fi
+        rm -f "results/.${b}_run1.json"
+    done
     echo "==> determinism gate passed"
 
     echo "==> tier2 passed"
@@ -124,6 +126,23 @@ if [ "$DET" = 1 ]; then
         fi
     done
     rm -f results/.conn_scale_shards1.json results/.conn_scale_shards2.json results/.conn_scale_shards4.json
+
+    # Failover runs the core-stack testbed (serial engine — its message
+    # type is not Send), so this leg guards that its report is independent
+    # of the requested shard count and of anything else environmental.
+    echo "==> [determinism] failover --shards 1/2/4 (byte-identical JSON)"
+    for s in 1 2 4; do
+        run env -u NEAT_SHARDS ./target/release/failover --quick --shards "$s"
+        cp results/BENCH_failover.json "results/.failover_shards$s.json"
+    done
+    for s in 2 4; do
+        if ! cmp -s results/.failover_shards1.json "results/.failover_shards$s.json"; then
+            echo "DETERMINISM FAILURE: failover --shards $s differs from --shards 1:" >&2
+            diff results/.failover_shards1.json "results/.failover_shards$s.json" >&2 || true
+            exit 1
+        fi
+    done
+    rm -f results/.failover_shards1.json results/.failover_shards2.json results/.failover_shards4.json
     echo "==> parallel determinism gate passed"
 fi
 

@@ -22,6 +22,7 @@ ORDER = [
     ("fig12", "Paper: single-replica multi-component beats two replicas at 8 connections (sleep latency); replicas win at higher loads."),
     ("table2", "Paper: load 6/60/88/97% -> kernel 33.3/14.2/5.4/0.1%, polling 51.8/27.9/19.7/7.4%, at 3/45/90/242 krps."),
     ("table3", "Paper: 53.8% fully transparent recovery, 46.2% TCP connections lost, over 100 failing runs."),
+    ("failover", "Not in the paper as a table: §3.6's replication argument made concrete — buddy-replica flow replication turns TCP crashes transparent; the same transfer path live-migrates flows on scale-down."),
     ("fig13", "Paper: both axes improve with replicas; multi-component preserves more state than single at equal replica count."),
     ("security", "Paper (§3.8, qualitative): consecutive connections handled by processes with unpredictably different layouts."),
     ("ablations", "Not in the paper: isolating the design choices (tracking filters, TSO, congestion control, wake latency, \u00a73.4 batching + zero-copy)."),

@@ -257,6 +257,12 @@ fn run(batch_ns: u64) -> (BTreeMap<usize, Vec<u8>>, u64) {
             pid: drv,
         },
     );
+    // Keep the stack on plain TcpConfig::default() (no GSO bursts, stock
+    // RTO): the assertions below calibrate against that wire behaviour.
+    let stack_cfg = neat::config::NeatConfig {
+        tcp: TcpConfig::default(),
+        ..neat::config::NeatConfig::single(1)
+    };
     let stack = sim.spawn(
         sim.hw_thread(srv_m, 1, 0),
         Box::new(SingleStackProc::new(
@@ -266,7 +272,7 @@ fn run(batch_ns: u64) -> (BTreeMap<usize, Vec<u8>>, u64) {
             ProcId(0),
             SERVER_IP,
             MacAddr::local(1),
-            TcpConfig::default(),
+            &stack_cfg,
             vec![(CLIENT_IP, MacAddr::local(2))],
         )),
     );

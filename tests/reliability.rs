@@ -183,6 +183,146 @@ fn repeated_crashes_keep_recovering() {
 }
 
 #[test]
+fn replicated_tcp_crash_is_transparent() {
+    // With buddy replication on, the TCP component crash that loses state
+    // in `multi_component_tcp_crash_loses_state_but_recovers` becomes
+    // fully transparent: the buddy hands the dead replica's flows to the
+    // respawned head and clients never notice.
+    let mut tb = loaded_testbed(NeatConfig::multi(2).replicated(), 4);
+    tb.sim.run_until(Time::from_millis(150));
+    let errs_before = tb.total_errors();
+
+    poison(&mut tb, 0, Role::Tcp);
+    let after = tb.measure(Time::from_millis(100), Time::from_millis(300));
+
+    let stats = tb.deployment.sup_stats.borrow().clone();
+    assert_eq!(stats.crashes_seen, 1);
+    assert_eq!(stats.recoveries, 1);
+    assert_eq!(
+        stats.stateful_losses, 0,
+        "replication preserves the TCP state across the crash"
+    );
+    assert!(
+        stats.handoffs_completed >= 1,
+        "the buddy completed a flow handoff: {stats:?}"
+    );
+    let lost: u64 = tb
+        .web_metrics
+        .iter()
+        .map(|m| m.borrow().conns_lost_to_crash)
+        .sum();
+    assert_eq!(lost, 0, "no established connection died with the replica");
+    assert_eq!(
+        tb.total_errors(),
+        errs_before,
+        "clients saw no error from the crash"
+    );
+    assert!(after.requests > 500, "service continued: {after:?}");
+}
+
+/// One fixed-seed replicated run with a TCP crash at 150 ms; returns the
+/// per-client received-byte-stream digests at 500 ms virtual time.
+fn crashed_run_digests() -> Vec<u64> {
+    let mut tb = loaded_testbed(NeatConfig::multi(2).replicated(), 4);
+    tb.sim.run_until(Time::from_millis(150));
+    poison(&mut tb, 0, Role::Tcp);
+    tb.sim.run_until(Time::from_millis(500));
+    tb.client_metrics
+        .iter()
+        .map(|m| m.borrow().rx_digest)
+        .collect()
+}
+
+#[test]
+fn replicated_crash_recovery_is_byte_identical() {
+    // Recovery is not just "no errors": the exact byte sequence every
+    // client application reads — across the crash, the handoff, and the
+    // resumed connections — must be reproducible. Two identically seeded
+    // runs have to deliver identical streams.
+    let a = crashed_run_digests();
+    let b = crashed_run_digests();
+    assert!(
+        a.iter().all(|&d| d != 0),
+        "every client received data: {a:?}"
+    );
+    assert_eq!(
+        a, b,
+        "fixed-seed crash recovery delivers byte-identical client streams"
+    );
+}
+
+#[test]
+fn scale_down_migrates_flows_without_client_errors() {
+    // Live migration rides the same transfer path as crash failover:
+    // `ScaleDown` drains the highest-numbered replica by moving its
+    // established flows to the survivor, with zero client-visible impact.
+    let mut tb = loaded_testbed(NeatConfig::multi(2).replicated(), 4);
+    tb.sim.run_until(Time::from_millis(150));
+    let errs_before = tb.total_errors();
+
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    let deadline = tb.sim.now() + Time::from_millis(500);
+    while tb.deployment.sup_stats.borrow().scale_downs_completed == 0 && tb.sim.now() < deadline {
+        let next = tb.sim.now() + Time::from_millis(10);
+        tb.sim.run_until(next);
+    }
+    let after = tb.measure(Time::from_millis(50), Time::from_millis(200));
+
+    let stats = tb.deployment.sup_stats.borrow().clone();
+    assert_eq!(stats.scale_downs_completed, 1, "the drain finished");
+    let lost: u64 = tb
+        .web_metrics
+        .iter()
+        .map(|m| m.borrow().conns_lost_to_crash)
+        .sum();
+    assert_eq!(lost, 0, "migration must not drop established connections");
+    assert_eq!(
+        tb.total_errors(),
+        errs_before,
+        "clients saw no error from the migration"
+    );
+    assert!(
+        after.requests > 500,
+        "the survivor serves the migrated flows: {after:?}"
+    );
+}
+
+#[test]
+fn crash_during_scale_down_is_a_stale_crash_not_a_panic() {
+    // Regression for the supervisor crash races: a replica picked for
+    // scale-down can still crash while draining. The supervisor must
+    // classify that as a stale crash and finish the removal — not
+    // `unwrap()` on a record it already retired, and not resurrect a
+    // terminating replica.
+    let mut tb = loaded_testbed(NeatConfig::multi(2).replicated(), 4);
+    tb.sim.run_until(Time::from_millis(150));
+
+    tb.sim
+        .send_external(tb.deployment.supervisor, Msg::ScaleDown);
+    // ScaleDown drains the highest-numbered live replica; kill its TCP
+    // head immediately, mid-drain.
+    poison(&mut tb, 1, Role::Tcp);
+    tb.sim.run_until(tb.sim.now() + Time::from_millis(300));
+
+    let stats = tb.deployment.sup_stats.borrow().clone();
+    assert_eq!(stats.crashes_seen, 1);
+    assert_eq!(
+        stats.stale_crashes, 1,
+        "the crash of a draining replica is stale, not a respawn: {stats:?}"
+    );
+    assert_eq!(
+        stats.scale_downs_completed, 1,
+        "the scale-down still completes against the dead head"
+    );
+    let after = tb.measure(Time::from_millis(50), Time::from_millis(200));
+    assert!(
+        after.requests > 500,
+        "the surviving replica keeps serving: {after:?}"
+    );
+}
+
+#[test]
 fn aslr_layouts_differ_across_replicas_and_restarts() {
     use neat::security::AslrObserver;
     use neat_util::Rng;
