@@ -15,7 +15,7 @@ use neat::netcode::{FrameIo, RxClass};
 use neat_net::ethernet::MacAddr;
 use neat_net::ipv4::IpProtocol;
 use neat_sim::{calibration, Ctx, Event, Histogram, ProcId, Process, Time};
-use neat_tcp::{SockEvent, SocketId, TcpConfig, TcpStack};
+use neat_tcp::{SockEvent, SockOpt, SocketId, TcpConfig, TcpStack};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -40,6 +40,10 @@ pub struct HttperfConfig {
     /// Think time between receiving a response and issuing the next
     /// request (0 = closed loop at full speed).
     pub think_ns: u64,
+    /// Socket options applied to every connection right after `connect`
+    /// (httperf's `--sock-opt` style flags: congestion algorithm, initial
+    /// cwnd, receive-buffer size).
+    pub sock_opts: Vec<SockOpt>,
 }
 
 impl Default for HttperfConfig {
@@ -53,6 +57,7 @@ impl Default for HttperfConfig {
             port_range: (49_152, 50_151),
             open_spacing_ns: 20_000,
             think_ns: 0,
+            sock_opts: Vec::new(),
         }
     }
 }
@@ -192,6 +197,9 @@ impl HttperfProc {
             .stack
             .connect(self.cfg.target.0, self.cfg.target.1, now)
         {
+            for &opt in &self.cfg.sock_opts {
+                let _ = self.stack.set_opt(sock, opt);
+            }
             self.metrics.borrow_mut().conns_opened += 1;
             self.conns.insert(
                 sock,

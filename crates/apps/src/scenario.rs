@@ -84,6 +84,10 @@ pub struct TestbedSpec {
     /// (`None` = calibrated lighttpd). Benches set a small value to model
     /// a lightweight app and expose the stack's own throughput ceiling.
     pub web_request_cycles: Option<u64>,
+    /// Socket options applied on both sides of every connection: the web
+    /// servers set them on each accept, the httperf clients on each
+    /// connect (the `cc_compare` bench selects controllers this way).
+    pub sock_opts: Vec<neat_tcp::SockOpt>,
 }
 
 impl TestbedSpec {
@@ -102,6 +106,7 @@ impl TestbedSpec {
             wire_faults: neat_nic::FaultConfig::default(),
             batch_ns: 2_000,
             web_request_cycles: None,
+            sock_opts: Vec::new(),
         }
     }
 
@@ -250,6 +255,9 @@ impl Testbed {
             if let Some(c) = spec.web_request_cycles {
                 proc = proc.with_request_cycles(c);
             }
+            if !spec.sock_opts.is_empty() {
+                proc = proc.with_sock_opts(spec.sock_opts.clone());
+            }
             let t = resolve(&sim, server_machine, *slot);
             web_threads.push(t);
             webs.push(sim.spawn(t, Box::new(proc)));
@@ -274,6 +282,7 @@ impl Testbed {
                 port_range: (range_lo, range_lo + 2_999),
                 open_spacing_ns: 50_000,
                 think_ns: spec.workload.think_ns,
+                sock_opts: spec.sock_opts.clone(),
             };
             let metrics = Rc::new(RefCell::new(ClientMetrics::default()));
             let proc = HttperfProc::new(
@@ -632,6 +641,7 @@ impl MonoTestbed {
                 port_range: (range_lo, range_lo + 2_999),
                 open_spacing_ns: 50_000,
                 think_ns: spec.workload.think_ns,
+                sock_opts: Vec::new(),
             };
             let metrics = Rc::new(RefCell::new(ClientMetrics::default()));
             let proc = HttperfProc::new(

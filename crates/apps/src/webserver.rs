@@ -7,7 +7,7 @@
 
 use crate::http;
 use neat::msg::Msg;
-use neat::sockets::{Fd, LibEvent, SockErr, SocketLib};
+use neat::sockets::{Fd, LibEvent, SockErr, SockOpt, SocketLib};
 use neat_sim::{calibration, Ctx, Event, Process};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -86,6 +86,9 @@ pub struct WebServerProc {
     /// calibrated lighttpd cost; benches lower it to model a lightweight
     /// app (null-RPC style) when measuring the stack's own ceiling.
     pub request_cycles: u64,
+    /// Socket options applied to every accepted connection (lighttpd's
+    /// per-vhost socket tuning: congestion algorithm, buffers).
+    sock_opts: Vec<SockOpt>,
     pub metrics: Rc<RefCell<WebMetrics>>,
     obs: WebObs,
 }
@@ -125,6 +128,7 @@ impl WebServerProc {
             max_requests_per_conn,
             conns: HashMap::new(),
             request_cycles: calibration::WEB_REQUEST,
+            sock_opts: Vec::new(),
             metrics,
             obs: WebObs::new(),
         }
@@ -133,6 +137,12 @@ impl WebServerProc {
     /// Override the per-request application cost (stack-ceiling benches).
     pub fn with_request_cycles(mut self, cycles: u64) -> WebServerProc {
         self.request_cycles = cycles;
+        self
+    }
+
+    /// Apply these socket options to every accepted connection.
+    pub fn with_sock_opts(mut self, opts: Vec<SockOpt>) -> WebServerProc {
+        self.sock_opts = opts;
         self
     }
 
@@ -239,6 +249,9 @@ impl Process<Msg> for WebServerProc {
                         LibEvent::ListenReady { .. } => {}
                         LibEvent::Accepted { fd, .. } => {
                             ctx.charge(calibration::WEB_ACCEPT);
+                            for &opt in &self.sock_opts {
+                                let _ = self.lib.set_opt(ctx, fd, opt);
+                            }
                             let mut m = self.metrics.borrow_mut();
                             m.conns_accepted += 1;
                             self.obs.conns_accepted.inc();

@@ -39,6 +39,7 @@ fn main() {
         "fig13",
         "security",
         "ablations",
+        "cc_compare",
         "conn_scale",
         "par_scale",
     ];

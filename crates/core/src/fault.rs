@@ -39,7 +39,14 @@ impl CodeSizes {
             + loc(include_str!("../../tcp/src/buffer.rs"))
             + loc(include_str!("../../tcp/src/assembler.rs"))
             + loc(include_str!("../../tcp/src/rto.rs"))
-            + loc(include_str!("../../tcp/src/congestion.rs"))
+            + loc(include_str!("../../tcp/src/tcb.rs"))
+            + loc(include_str!("../../tcp/src/components/mod.rs"))
+            + loc(include_str!("../../tcp/src/components/conn_mgmt.rs"))
+            + loc(include_str!("../../tcp/src/components/reliability.rs"))
+            + loc(include_str!("../../tcp/src/components/flow_control.rs"))
+            + loc(include_str!(
+                "../../tcp/src/components/congestion_control.rs"
+            ))
             + loc(include_str!("../../tcp/src/types.rs"))
             + loc(include_str!("tcp_comp.rs"))
             + loc(include_str!("sock_server.rs"));

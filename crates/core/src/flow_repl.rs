@@ -294,6 +294,12 @@ fn replay(srv: &mut SockServer, rec: InputRec) {
         InputRec::Close { sock, now } => {
             srv.handle_app(NOBODY, Msg::ConnClose { sock }, now);
         }
+        InputRec::SetOpt { sock, opt } => {
+            // Same pre-log-flow guard as Send.
+            if srv.stack.state(sock).is_some() {
+                srv.handle_app(NOBODY, Msg::SetSockOpt { sock, opt }, 0);
+            }
+        }
         InputRec::Timer { now } => srv.on_timer(now),
         InputRec::Flush { now } => {
             srv.process_events(NOBODY);

@@ -113,6 +113,12 @@ pub enum Msg {
     ConnData { conn: ConnHandle, data: Vec<u8> },
     /// App → replica: close (graceful).
     ConnClose { sock: neat_tcp::SocketId },
+    /// App → replica: apply a per-socket option (congestion algorithm,
+    /// initial cwnd, receive-buffer size) to an open connection.
+    SetSockOpt {
+        sock: neat_tcp::SocketId,
+        opt: neat_tcp::SockOpt,
+    },
     /// Replica → app: the peer closed its direction (EOF after data).
     ConnEof { conn: ConnHandle },
     /// Replica → app: connection fully closed (or aborted).
@@ -301,6 +307,11 @@ pub enum InputRec {
     },
     /// App closed a connection.
     Close { sock: neat_tcp::SocketId, now: u64 },
+    /// App set a per-socket option.
+    SetOpt {
+        sock: neat_tcp::SocketId,
+        opt: neat_tcp::SockOpt,
+    },
     /// End-of-flush boundary (wire output + event pump point).
     Flush { now: u64 },
     /// A timer tick fired.

@@ -89,6 +89,10 @@ impl SockServer {
                 let _ = self.stack.close(sock, now);
                 1
             }
+            Msg::SetSockOpt { sock, opt } => {
+                let _ = self.stack.set_opt(sock, opt);
+                1
+            }
             _ => 0,
         }
     }

@@ -19,6 +19,7 @@ use neat_sim::{Ctx, ProcId};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 pub use neat_tcp::Readiness;
+pub use neat_tcp::{SockOpt, SockOptKind};
 
 /// An application-level file descriptor.
 pub type Fd = u32;
@@ -139,6 +140,10 @@ pub struct SocketLib {
     /// reconciled against the supervisor's restart report instead of
     /// leaking the entry forever.
     pending_connect: HashMap<u64, (Fd, ProcId)>,
+    /// Last-set per-fd socket options: the library-side shadow `get_opt`
+    /// answers from, and the flush source when an option is set while the
+    /// `connect()` is still in flight (applied as soon as the fd binds).
+    opts: HashMap<Fd, Vec<SockOpt>>,
     /// Connections lost to replica crashes (reliability accounting).
     pub lost_to_crash: u64,
     registered: bool,
@@ -163,6 +168,7 @@ impl SocketLib {
             next_fd: 3, // 0..2 are stdio, of course
             next_token: 1,
             pending_connect: HashMap::new(),
+            opts: HashMap::new(),
             lost_to_crash: 0,
             registered: false,
             route_override: None,
@@ -283,6 +289,59 @@ impl SocketLib {
         Ok(())
     }
 
+    /// POSIX `setsockopt()` on a connection fd: select the congestion
+    /// algorithm, override the initial cwnd, or resize the receive
+    /// buffer. Options set while the `connect()` is still in flight are
+    /// buffered and applied the moment the fd binds; on a bound fd the
+    /// option reaches the owning replica immediately.
+    pub fn set_opt(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd, opt: SockOpt) -> Result<(), SockErr> {
+        let bound = self.conn_of.contains_key(&fd);
+        let pending = self.pending_connect.values().any(|&(pfd, _)| pfd == fd);
+        if !bound && !pending {
+            return Err(SockErr::NotConnected);
+        }
+        let shadow = self.opts.entry(fd).or_default();
+        match shadow.iter_mut().find(|o| o.kind() == opt.kind()) {
+            Some(slot) => *slot = opt,
+            None => shadow.push(opt),
+        }
+        if let Some(conn) = self.conn_of.get(&fd) {
+            let to = self.route_override.unwrap_or(conn.stack);
+            ctx.send(
+                to,
+                Msg::SetSockOpt {
+                    sock: conn.sock,
+                    opt,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// POSIX `getsockopt()`: read back the last value set on this fd.
+    /// Answers from the library-side shadow (no slow-path round trip);
+    /// `None` means the option was never set here, i.e. the stack default
+    /// applies.
+    pub fn get_opt(&self, fd: Fd, kind: SockOptKind) -> Option<SockOpt> {
+        self.opts
+            .get(&fd)?
+            .iter()
+            .copied()
+            .find(|o| o.kind() == kind)
+    }
+
+    /// Flush options set before the fd was bound to its connection.
+    fn flush_opts(&mut self, ctx: &mut Ctx<'_, Msg>, fd: Fd) {
+        let Some(conn) = self.conn_of.get(&fd) else {
+            return;
+        };
+        let to = self.route_override.unwrap_or(conn.stack);
+        let sock = conn.sock;
+        for &opt in self.opts.get(&fd).into_iter().flatten() {
+            ctx.send(to, Msg::SetSockOpt { sock, opt });
+        }
+    }
+
     /// Unified non-blocking readiness query. Mirrors `poll(2)` semantics:
     /// `readable` is also set at EOF so the reader observes it via `recv`.
     pub fn poll(&self, fd: Fd) -> Readiness {
@@ -338,6 +397,7 @@ impl SocketLib {
         self.conn_of.remove(&fd);
         self.rx.remove(&fd);
         self.tx.remove(&fd);
+        self.opts.remove(&fd);
         Some(fd)
     }
 
@@ -376,15 +436,19 @@ impl SocketLib {
             Msg::ConnOpen { conn, token } => match self.pending_connect.remove(token) {
                 Some((fd, _)) => {
                     self.bind(*conn, fd);
+                    self.flush_opts(ctx, fd);
                     vec![LibEvent::Connected { fd }]
                 }
                 None => vec![],
             },
             Msg::ConnFailed { token } => match self.pending_connect.remove(token) {
-                Some((fd, _)) => vec![LibEvent::ConnectFailed {
-                    fd,
-                    err: SockErr::ConnRefused,
-                }],
+                Some((fd, _)) => {
+                    self.opts.remove(&fd);
+                    vec![LibEvent::ConnectFailed {
+                        fd,
+                        err: SockErr::ConnRefused,
+                    }]
+                }
                 None => vec![],
             },
             Msg::ConnData { conn, data } => match self.fd_of.get(conn) {

@@ -267,7 +267,8 @@ impl Process<Msg> for SingleStackProc {
                 m @ (Msg::Listen { .. }
                 | Msg::Connect { .. }
                 | Msg::ConnSend { .. }
-                | Msg::ConnClose { .. }) => {
+                | Msg::ConnClose { .. }
+                | Msg::SetSockOpt { .. }) => {
                     // Refuse new listens/connects while terminating; data
                     // on existing connections still flows.
                     if self.terminating && matches!(m, Msg::Listen { .. } | Msg::Connect { .. }) {
@@ -295,6 +296,10 @@ impl Process<Msg> for SingleStackProc {
                             Msg::ConnClose { sock } => {
                                 self.repl.record(InputRec::Close { sock: *sock, now })
                             }
+                            Msg::SetSockOpt { sock, opt } => self.repl.record(InputRec::SetOpt {
+                                sock: *sock,
+                                opt: *opt,
+                            }),
                             _ => {}
                         }
                     }

@@ -167,7 +167,8 @@ impl Process<Msg> for TcpProc {
                 m @ (Msg::Listen { .. }
                 | Msg::Connect { .. }
                 | Msg::ConnSend { .. }
-                | Msg::ConnClose { .. }) => {
+                | Msg::ConnClose { .. }
+                | Msg::SetSockOpt { .. }) => {
                     if self.terminating && matches!(m, Msg::Listen { .. } | Msg::Connect { .. }) {
                         return;
                     }
@@ -193,6 +194,10 @@ impl Process<Msg> for TcpProc {
                             Msg::ConnClose { sock } => {
                                 self.repl.record(InputRec::Close { sock: *sock, now })
                             }
+                            Msg::SetSockOpt { sock, opt } => self.repl.record(InputRec::SetOpt {
+                                sock: *sock,
+                                opt: *opt,
+                            }),
                             _ => {}
                         }
                     }

@@ -157,7 +157,8 @@ impl Process<Msg> for KernelCtxProc {
                 m @ (Msg::Listen { .. }
                 | Msg::Connect { .. }
                 | Msg::ConnSend { .. }
-                | Msg::ConnClose { .. }) => {
+                | Msg::ConnClose { .. }
+                | Msg::SetSockOpt { .. }) => {
                     self.obs.syscalls.inc();
                     let now = ctx.now().as_nanos();
                     // Syscall path: boundary crossing + VFS + locks.

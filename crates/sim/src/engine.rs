@@ -406,444 +406,8 @@ pub(crate) struct Kernel<'a, M> {
     pub tracing: bool,
 }
 
-impl<'a, M: 'static> Kernel<'a, M> {
-    fn pos(&self, dom: u32) -> Option<usize> {
-        match self.map {
-            DomMap::Identity => Some(dom as usize),
-            DomMap::Partial(map) => map[dom as usize],
-        }
-    }
-
-    /// Schedule a Deliver event originated by `origin` into `dom`'s heap,
-    /// or across the shard boundary via the outbox.
-    fn route(&mut self, dom: u32, time: Time, origin: Origin, dst: ProcId, ev: Event<M>) {
-        match self.pos(dom) {
-            Some(p) => self.domains[p].heap.push(HeapEv {
-                time,
-                origin,
-                kind: HeapKind::Deliver { dst, ev },
-            }),
-            None => {
-                let (shard_of, outbox) = self
-                    .outbox
-                    .as_mut()
-                    .expect("non-local domain without an outbox");
-                outbox[shard_of[dom as usize] as usize].push(Handoff {
-                    time,
-                    origin,
-                    dst,
-                    ev,
-                });
-            }
-        }
-    }
-
-    /// Dispatch one event popped from the heap of the domain at `di`.
-    pub(crate) fn dispatch(&mut self, di: usize, ev: HeapEv<M>) {
-        let HeapEv { time, kind, .. } = ev;
-        match kind {
-            HeapKind::Deliver { dst, ev } => {
-                let d = &mut self.domains[di];
-                let Some(slot) = d.procs.get(&dst) else {
-                    return;
-                };
-                if !slot.alive {
-                    return;
-                }
-                let tid = slot.thread;
-                let lt = self.topo.loc(tid).idx as usize;
-                // FIFO server: if the thread is (or will be) busy, or has
-                // queued work, append; a resume marker fires at the end of
-                // the current work.
-                let busy_until = d.threads[lt].busy_until;
-                if busy_until > time || !d.pending[lt].is_empty() {
-                    d.pending[lt].push_back((dst, ev));
-                    // Queue-depth high-water mark (per-thread backlog; a
-                    // compare+store, cheap enough to keep always-on).
-                    let depth = d.pending[lt].len() as u64;
-                    let st = &mut d.threads[lt].stats;
-                    st.max_queue = st.max_queue.max(depth);
-                    if !d.resume_scheduled[lt] {
-                        d.resume_scheduled[lt] = true;
-                        let at = busy_until.max(time);
-                        let origin = d.next_origin();
-                        d.heap.push(HeapEv {
-                            time: at,
-                            origin,
-                            kind: HeapKind::ThreadResume(lt as u32),
-                        });
-                    }
-                } else {
-                    self.execute(di, lt, dst, ev, time);
-                }
-            }
-            HeapKind::FlushBatch { src, dst, epoch } => {
-                // Stale unless the batch is still open under this epoch.
-                let d = &mut self.domains[di];
-                let live = d
-                    .batches
-                    .get(&(src, dst))
-                    .map(|b| b.epoch == epoch)
-                    .unwrap_or(false);
-                if live {
-                    let b = d.batches.remove(&(src, dst)).unwrap();
-                    d.batch_stats.flush_timer += 1;
-                    // The horizon IS the delivery instant (`time ==
-                    // flush_at >= ready_at`), like interrupt moderation.
-                    self.deliver_batch(di, src, dst, b.msgs, time);
-                }
-            }
-            HeapKind::ThreadResume(lt) => {
-                let lt = lt as usize;
-                self.domains[di].resume_scheduled[lt] = false;
-                // Pop queued work until we find a live destination.
-                while let Some((dst, ev)) = self.domains[di].pending[lt].pop_front() {
-                    let alive = self.domains[di]
-                        .procs
-                        .get(&dst)
-                        .map(|s| s.alive)
-                        .unwrap_or(false);
-                    if !alive {
-                        continue; // messages to dead processes vanish
-                    }
-                    self.execute(di, lt, dst, ev, time);
-                    break;
-                }
-                // More work queued: chain the next marker.
-                let d = &mut self.domains[di];
-                if !d.pending[lt].is_empty() && !d.resume_scheduled[lt] {
-                    d.resume_scheduled[lt] = true;
-                    let at = d.threads[lt].busy_until.max(time);
-                    let origin = d.next_origin();
-                    d.heap.push(HeapEv {
-                        time: at,
-                        origin,
-                        kind: HeapKind::ThreadResume(lt as u32),
-                    });
-                }
-            }
-        }
-    }
-
-    /// Deliver a closed batch at `at` (>= the current dispatch instant).
-    /// Single-message batches degrade to a plain `Message` so receivers
-    /// and traces can't tell a lone coalesced message from an unbatched
-    /// one. Batched links are machine-local, so delivery is a local push.
-    fn deliver_batch(&mut self, di: usize, src: ProcId, dst: ProcId, msgs: Vec<M>, at: Time) {
-        let d = &mut self.domains[di];
-        if msgs.len() == 1 {
-            let msg = msgs.into_iter().next().unwrap();
-            d.push(at, dst, Event::Message { from: src, msg });
-        } else {
-            d.batch_stats.batched_msgs += msgs.len() as u64;
-            d.batch_stats.batch_deliveries += 1;
-            d.push(at, dst, Event::Batch { from: src, msgs });
-        }
-    }
-
-    /// Route one `send()` through the per-link coalescer. `at` is the
-    /// message's natural delivery instant (sender completion + channel
-    /// latency); the batch may delay it up to the `batch_ns` horizon.
-    /// `now` is the current dispatch instant (deliveries never precede it).
-    fn enqueue_batched(
-        &mut self,
-        di: usize,
-        src: ProcId,
-        dst: ProcId,
-        msg: M,
-        at: Time,
-        now: Time,
-    ) {
-        let key = (src, dst);
-        let batch_max = self.batch_max;
-        let d = &mut self.domains[di];
-        match d.batches.get_mut(&key) {
-            Some(b) if at <= b.flush_at => {
-                b.msgs.push(msg);
-                b.ready_at = b.ready_at.max(at);
-                if b.msgs.len() >= batch_max {
-                    // Depth flush: deliver now-complete batch at its
-                    // ready time; the scheduled FlushBatch goes stale.
-                    let b = d.batches.remove(&key).unwrap();
-                    d.batch_stats.flush_depth += 1;
-                    let at = b.ready_at.max(now);
-                    self.deliver_batch(di, src, dst, b.msgs, at);
-                }
-            }
-            Some(_) => {
-                // The new message lands past the horizon: close the old
-                // batch (its flush event goes stale) and open a new one.
-                let old = d.batches.remove(&key).unwrap();
-                d.batch_stats.flush_close += 1;
-                let old_at = old.ready_at.max(now);
-                self.deliver_batch(di, src, dst, old.msgs, old_at);
-                self.open_batch(di, key, msg, at);
-            }
-            None => self.open_batch(di, key, msg, at),
-        }
-    }
-
-    fn open_batch(&mut self, di: usize, key: (ProcId, ProcId), msg: M, at: Time) {
-        let d = &mut self.domains[di];
-        d.batch_epoch += 1;
-        let epoch = d.batch_epoch;
-        let flush_at = at + self.batch_ns;
-        d.batches.insert(
-            key,
-            LinkBatch {
-                msgs: vec![msg],
-                flush_at,
-                ready_at: at,
-                epoch,
-            },
-        );
-        let origin = d.next_origin();
-        d.heap.push(HeapEv {
-            time: flush_at,
-            origin,
-            kind: HeapKind::FlushBatch {
-                src: key.0,
-                dst: key.1,
-                epoch,
-            },
-        });
-    }
-
-    /// Run one handler on a free local thread at `time`
-    /// (>= thread.busy_until).
-    fn execute(&mut self, di: usize, lt: usize, dst: ProcId, ev: Event<M>, time: Time) {
-        let d = &mut self.domains[di];
-        // Tracing hook: name the span before the event is consumed. Guarded
-        // so the disabled path pays one bool read, no format.
-        let span_name = if self.tracing {
-            let pname = d.procs.get(&dst).map(|s| s.name.as_str()).unwrap_or("?");
-            Some(format!("{pname} [{}]", ev.label()))
-        } else {
-            None
-        };
-        let mut proc = match d.procs.get_mut(&dst) {
-            Some(slot) if slot.alive => match slot.proc.take() {
-                Some(p) => p,
-                None => return,
-            },
-            _ => return,
-        };
-
-        // --- CPU-time accounting: wake the thread, find the start instant.
-        let start = {
-            let th = &mut d.threads[lt];
-            let woken = th.wake_for(time);
-            woken.max(th.busy_until)
-        };
-        let kind = d.threads[lt].kind;
-        let freq = d.threads[lt].freq;
-        // SMT contention: slowdown scales with the sibling thread's recent
-        // utilization — two saturated siblings each run at SMT_CAPACITY/2
-        // of a dedicated core's speed. Siblings share a core, so the
-        // lookup is domain-local by construction.
-        let smt_slow = match d.threads[lt].sibling {
-            Some(sib) if kind == ThreadKind::Cpu => {
-                let sl = self.topo.loc(sib).idx as usize;
-                let s = &d.threads[sl];
-                let u = if s.busy_until > start || !d.pending[sl].is_empty() {
-                    1.0
-                } else {
-                    s.recent_util(start)
-                };
-                1.0 + (2.0 / calibration::SMT_CAPACITY - 1.0) * u
-            }
-            _ => 1.0,
-        };
-
-        let mut ctx = Ctx {
-            dom: d,
-            topo: self.topo,
-            batching: self.batch_ns.as_nanos() > 0,
-            sender_kind: kind,
-            self_id: dst,
-            start,
-            charged: proc.dispatch_cost(),
-            charged_ns: 0,
-            outputs: Vec::new(),
-            die: None,
-            woken_threads: Vec::new(),
-            last_send_dst: None,
-        };
-        match ev {
-            Event::Batch { from, msgs } => proc.on_batch(&mut ctx, from, msgs),
-            ev => proc.on_event(&mut ctx, ev),
-        }
-        let Ctx {
-            charged,
-            charged_ns,
-            outputs,
-            die,
-            ..
-        } = ctx;
-
-        // --- Completion time.
-        let work = match kind {
-            ThreadKind::Cpu => {
-                let base = freq.cycles_to_time(charged);
-                Time((base.as_nanos() as f64 * smt_slow) as u64 + charged_ns)
-            }
-            ThreadKind::Device => Time(charged_ns + freq.cycles_to_time(charged).as_nanos()),
-        };
-        let end = start + work;
-        let d = &mut self.domains[di];
-        {
-            let th = &mut d.threads[lt];
-            th.stats.smt_slow_sum += smt_slow;
-            th.record_busy(start, end);
-        }
-        if let Some(name) = span_name {
-            neat_obs::trace::complete(
-                d.thread_ids[lt].0 as u64,
-                name,
-                "dispatch",
-                start.as_nanos(),
-                end.as_nanos(),
-            );
-        }
-
-        // --- Apply outputs at completion time.
-        let src_dom = d.dom;
-        for out in outputs {
-            match out {
-                Output::Send {
-                    dst: to,
-                    msg,
-                    extra_delay,
-                } => {
-                    let at = end + calibration::CHANNEL_LATENCY + extra_delay;
-                    let to_dom = domain_of_pid(to);
-                    if to_dom == src_dom {
-                        // Only latency-free local sends coalesce; anything
-                        // with explicit wire/propagation delay keeps its
-                        // own event.
-                        if self.batch_ns.as_nanos() > 0 && extra_delay.as_nanos() == 0 {
-                            self.enqueue_batched(di, dst, to, msg, at, time);
-                        } else {
-                            let origin = self.domains[di].next_origin();
-                            self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
-                        }
-                    } else {
-                        // Cross-machine: the topology promised at least
-                        // `link_latency` of wire delay — the conservative
-                        // lookahead the parallel executor relies on.
-                        assert!(
-                            extra_delay >= self.link_latency,
-                            "cross-machine send {dst:?}->{to:?} carries {}ns extra delay, \
-                             below the declared link latency of {}ns",
-                            extra_delay.as_nanos(),
-                            self.link_latency.as_nanos()
-                        );
-                        let origin = self.domains[di].next_origin();
-                        self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
-                    }
-                }
-                Output::Timer { delay, token } => {
-                    self.domains[di].push(end + delay, dst, Event::Timer { token });
-                }
-                Output::Spawn {
-                    pid,
-                    thread,
-                    proc,
-                    delay,
-                } => {
-                    // Ctx::spawn asserted thread is on this machine.
-                    let d = &mut self.domains[di];
-                    let name = proc.name();
-                    d.spawns += 1;
-                    d.procs.insert(
-                        pid,
-                        ProcSlot {
-                            proc: Some(proc),
-                            thread,
-                            name,
-                            alive: true,
-                        },
-                    );
-                    d.push(end + delay, pid, Event::Start);
-                }
-                Output::Kill { pid, crash } => {
-                    let mode = if crash { DieMode::Crash } else { DieMode::Exit };
-                    self.reap(pid, mode, end);
-                }
-            }
-        }
-
-        // --- Self-termination or put the process back.
-        match die {
-            Some(mode) => {
-                // Put the (now doomed) process back so reap can drop it.
-                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
-                    slot.proc = Some(proc);
-                }
-                self.reap(dst, mode, end);
-            }
-            None => {
-                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
-                    slot.proc = Some(proc);
-                }
-            }
-        }
-    }
-
-    fn reap(&mut self, pid: ProcId, mode: DieMode, at: Time) {
-        let dom = domain_of_pid(pid);
-        let Some(p) = self.pos(dom) else {
-            panic!(
-                "kill of {pid:?} crosses a shard boundary; process management \
-                 is machine-local under run_sharded"
-            );
-        };
-        let d = &mut self.domains[p];
-        let (name, thread) = match d.procs.get_mut(&pid) {
-            Some(slot) if slot.alive => {
-                slot.alive = false;
-                slot.proc = None; // all state dropped — stateless recovery
-                (slot.name.clone(), slot.thread)
-            }
-            _ => return,
-        };
-        match mode {
-            DieMode::Crash => d.crashes += 1,
-            DieMode::Exit => d.exits += 1,
-        }
-        if self.tracing {
-            let what = match mode {
-                DieMode::Crash => "crash",
-                DieMode::Exit => "exit",
-            };
-            neat_obs::trace::instant(
-                thread.0 as u64,
-                format!("{what}: {name}"),
-                "lifecycle",
-                at.as_nanos(),
-            );
-        }
-        if mode == DieMode::Crash {
-            if let Some((monitor, hook)) = self.crash_monitor {
-                let msg = hook(pid, &name);
-                let monitor = *monitor;
-                // Crash detection latency: the kernel notices the fault and
-                // notifies the monitor (one exception + IPC round).
-                let origin = self.domains[p].next_origin();
-                self.route(
-                    domain_of_pid(monitor),
-                    at + calibration::CRASH_NOTIFY_LATENCY,
-                    origin,
-                    monitor,
-                    Event::Message {
-                        from: ProcId(0),
-                        msg,
-                    },
-                );
-            }
-        }
-    }
-}
+#[path = "engine_kernel.rs"]
+mod engine_kernel;
 
 /// The simulation world.
 pub struct Sim<M> {
@@ -1379,358 +943,5 @@ impl<'a, M: 'static> Ctx<'a, M> {
     }
 }
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[derive(Debug)]
-    enum TMsg {
-        Ping(u32),
-        Pong(u32),
-        Die,
-    }
-
-    struct Echo {
-        got: Vec<u32>,
-    }
-    impl Process<TMsg> for Echo {
-        fn name(&self) -> String {
-            "echo".into()
-        }
-        fn on_event(&mut self, ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-            if let Event::Message { from, msg } = ev {
-                match msg {
-                    TMsg::Ping(n) => {
-                        self.got.push(n);
-                        ctx.charge(1000);
-                        ctx.send(from, TMsg::Pong(n));
-                    }
-                    TMsg::Die => ctx.crash_self(),
-                    TMsg::Pong(_) => {}
-                }
-            }
-        }
-    }
-
-    struct Collector {
-        pongs: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
-        peer: Option<ProcId>,
-        to_send: u32,
-    }
-    impl Process<TMsg> for Collector {
-        fn name(&self) -> String {
-            "collector".into()
-        }
-        fn on_event(&mut self, ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-            match ev {
-                Event::Start => {
-                    if let Some(p) = self.peer {
-                        for i in 0..self.to_send {
-                            ctx.send(p, TMsg::Ping(i));
-                        }
-                    }
-                }
-                Event::Message {
-                    msg: TMsg::Pong(n), ..
-                } => self.pongs.borrow_mut().push(n),
-                _ => {}
-            }
-        }
-    }
-
-    fn two_proc_sim() -> (
-        Sim<TMsg>,
-        ProcId,
-        ProcId,
-        std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
-    ) {
-        let mut sim = Sim::new(SimConfig::default());
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t0 = sim.hw_thread(m, 0, 0);
-        let t1 = sim.hw_thread(m, 1, 0);
-        let echo = sim.spawn(t0, Box::new(Echo { got: vec![] }));
-        let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-        let coll = sim.spawn(
-            t1,
-            Box::new(Collector {
-                pongs: pongs.clone(),
-                peer: Some(echo),
-                to_send: 5,
-            }),
-        );
-        (sim, echo, coll, pongs)
-    }
-
-    #[test]
-    fn messages_round_trip_in_order() {
-        let (mut sim, _, _, pongs) = two_proc_sim();
-        sim.run_until(Time::from_millis(10));
-        assert_eq!(*pongs.borrow(), vec![0, 1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn charged_cycles_advance_busy_time() {
-        let (mut sim, echo, _, _) = two_proc_sim();
-        sim.run_until(Time::from_millis(10));
-        let tid = sim.proc_thread(echo).unwrap();
-        let st = sim.thread_stats(tid);
-        assert_eq!(st.events, 6, "start + 5 pings");
-        // 5 pings x >=1000 cycles at 1.9GHz -> >= 2631ns busy
-        assert!(st.busy_ns >= 2_500, "busy {}ns", st.busy_ns);
-    }
-
-    #[test]
-    fn crash_drops_state_and_messages() {
-        let (mut sim, echo, coll, pongs) = two_proc_sim();
-        sim.run_until(Time::from_millis(1));
-        assert!(sim.is_alive(echo));
-        sim.send_external(echo, TMsg::Die);
-        sim.run_until(Time::from_millis(2));
-        assert!(!sim.is_alive(echo));
-        let before = pongs.borrow().len();
-        // Messages to the dead process vanish; collector gets nothing new.
-        sim.send_external(echo, TMsg::Ping(99));
-        sim.run_until(Time::from_millis(5));
-        assert_eq!(pongs.borrow().len(), before);
-        assert!(sim.is_alive(coll));
-    }
-
-    #[test]
-    fn crash_monitor_is_notified() {
-        let (mut sim, echo, coll, pongs) = two_proc_sim();
-        // Reuse collector as the "monitor": crashes arrive as Pong(4242).
-        sim.set_crash_monitor(coll, |_pid, _| TMsg::Pong(4242));
-        sim.run_until(Time::from_millis(1));
-        sim.send_external(echo, TMsg::Die);
-        sim.run_until(Time::from_millis(2));
-        assert!(pongs.borrow().contains(&4242));
-    }
-
-    #[test]
-    fn determinism_same_seed_same_history() {
-        let run = || {
-            let (mut sim, _, _, pongs) = two_proc_sim();
-            sim.run_until(Time::from_millis(10));
-            let got = pongs.borrow().clone();
-            (sim.now(), sim.events_dispatched(), got)
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn spawn_from_ctx_starts_later() {
-        struct Spawner {
-            thread: Option<HwThreadId>,
-        }
-        impl Process<TMsg> for Spawner {
-            fn name(&self) -> String {
-                "spawner".into()
-            }
-            fn on_event(&mut self, ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-                if let Event::Start = ev {
-                    let t = self.thread.unwrap();
-                    ctx.spawn(t, Box::new(Echo { got: vec![] }), Time::from_millis(3));
-                }
-            }
-        }
-        let mut sim: Sim<TMsg> = Sim::new(SimConfig::default());
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t0 = sim.hw_thread(m, 0, 0);
-        let t1 = sim.hw_thread(m, 1, 0);
-        sim.spawn(t0, Box::new(Spawner { thread: Some(t1) }));
-        sim.run_until(Time::from_millis(1));
-        // Child not yet started (delay 3ms) — but it exists as alive.
-        sim.run_until(Time::from_millis(10));
-        let st = sim.thread_stats(t1);
-        assert_eq!(st.events, 1, "child's Start dispatched after the delay");
-    }
-
-    #[test]
-    fn batching_coalesces_per_link_and_preserves_order() {
-        // A burst of sends inside one handler must arrive as one Batch
-        // wakeup, in send order, when coalescing is on.
-        struct Sink {
-            got: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
-            wakeups: std::rc::Rc<std::cell::RefCell<u64>>,
-        }
-        impl Process<TMsg> for Sink {
-            fn name(&self) -> String {
-                "sink".into()
-            }
-            fn on_event(&mut self, _ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-                if let Event::Message {
-                    msg: TMsg::Ping(n), ..
-                } = ev
-                {
-                    *self.wakeups.borrow_mut() += 1;
-                    self.got.borrow_mut().push(n);
-                }
-            }
-            fn on_batch(&mut self, ctx: &mut Ctx<'_, TMsg>, from: ProcId, msgs: Vec<TMsg>) {
-                *self.wakeups.borrow_mut() += 1;
-                for msg in msgs {
-                    if let TMsg::Ping(n) = msg {
-                        self.got.borrow_mut().push(n);
-                    }
-                    let _ = (from, &ctx);
-                }
-            }
-        }
-        let mut sim: Sim<TMsg> = Sim::new(SimConfig {
-            batch_ns: 2_000,
-            ..SimConfig::default()
-        });
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t0 = sim.hw_thread(m, 0, 0);
-        let t1 = sim.hw_thread(m, 1, 0);
-        let got = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-        let wakeups = std::rc::Rc::new(std::cell::RefCell::new(0u64));
-        let sink = sim.spawn(
-            t0,
-            Box::new(Sink {
-                got: got.clone(),
-                wakeups: wakeups.clone(),
-            }),
-        );
-        let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-        sim.spawn(
-            t1,
-            Box::new(Collector {
-                pongs: pongs.clone(),
-                peer: Some(sink),
-                to_send: 8,
-            }),
-        );
-        sim.run_until(Time::from_millis(10));
-        assert_eq!(*got.borrow(), (0..8).collect::<Vec<u32>>(), "FIFO order");
-        assert_eq!(*wakeups.borrow(), 1, "one wakeup for the whole burst");
-        let bs = sim.batch_stats();
-        assert_eq!(bs.batch_deliveries, 1);
-        assert_eq!(bs.batched_msgs, 8);
-        assert_eq!(bs.flush_timer, 1, "horizon flush delivered it");
-    }
-
-    #[test]
-    fn batch_max_flushes_early() {
-        // A silent consumer, so only the ping direction produces batches.
-        struct Quiet {
-            got: std::rc::Rc<std::cell::RefCell<Vec<u32>>>,
-        }
-        impl Process<TMsg> for Quiet {
-            fn name(&self) -> String {
-                "quiet".into()
-            }
-            fn on_event(&mut self, _ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-                if let Event::Message {
-                    msg: TMsg::Ping(n), ..
-                } = ev
-                {
-                    self.got.borrow_mut().push(n);
-                }
-            }
-        }
-        let mut sim: Sim<TMsg> = Sim::new(SimConfig {
-            batch_ns: 1_000_000, // horizon far away: only depth can flush early
-            batch_max: 4,
-            ..SimConfig::default()
-        });
-        let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-        let t0 = sim.hw_thread(m, 0, 0);
-        let t1 = sim.hw_thread(m, 1, 0);
-        let got = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-        let quiet = sim.spawn(t0, Box::new(Quiet { got: got.clone() }));
-        let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-        sim.spawn(
-            t1,
-            Box::new(Collector {
-                pongs: pongs.clone(),
-                peer: Some(quiet),
-                to_send: 9,
-            }),
-        );
-        sim.run_until(Time::from_millis(20));
-        let bs = sim.batch_stats();
-        assert_eq!(bs.flush_depth, 2, "9 msgs at depth 4: two early flushes");
-        assert_eq!(bs.flush_timer, 1, "the trailing message rides the horizon");
-        assert_eq!(*got.borrow(), (0..9).collect::<Vec<u32>>());
-    }
-
-    #[test]
-    fn batched_and_unbatched_histories_match() {
-        // The coalescer may merge wakeups and shift delivery instants, but
-        // the application-visible stream (payloads, per-link order) must
-        // be identical with batching on and off.
-        let run = |batch_ns: u64| {
-            let mut sim: Sim<TMsg> = Sim::new(SimConfig {
-                batch_ns,
-                ..SimConfig::default()
-            });
-            let m = sim.add_machine(MachineSpec::amd_opteron_6168());
-            let t0 = sim.hw_thread(m, 0, 0);
-            let t1 = sim.hw_thread(m, 1, 0);
-            let echo = sim.spawn(t0, Box::new(Echo { got: vec![] }));
-            let pongs = std::rc::Rc::new(std::cell::RefCell::new(vec![]));
-            sim.spawn(
-                t1,
-                Box::new(Collector {
-                    pongs: pongs.clone(),
-                    peer: Some(echo),
-                    to_send: 32,
-                }),
-            );
-            sim.run_until(Time::from_millis(50));
-            let out = pongs.borrow().clone();
-            out
-        };
-        assert_eq!(run(0), run(2_000));
-    }
-
-    #[test]
-    fn smt_sibling_slows_execution() {
-        struct Burn;
-        impl Process<TMsg> for Burn {
-            fn name(&self) -> String {
-                "burn".into()
-            }
-            fn on_event(&mut self, ctx: &mut Ctx<'_, TMsg>, ev: Event<TMsg>) {
-                if let Event::Message { .. } = ev {
-                    ctx.charge(1_000_000);
-                }
-            }
-        }
-        // Run a stream of work alone vs. with a busy SMT sibling: in steady
-        // state each thread of a busy pair runs 2/SMT_CAPACITY slower.
-        let solo_busy = {
-            let mut sim: Sim<TMsg> = Sim::new(SimConfig::default());
-            let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
-            let t0 = sim.hw_thread(m, 0, 0);
-            let p = sim.spawn(t0, Box::new(Burn));
-            sim.run_until(Time::from_micros(1));
-            sim.reset_all_stats();
-            for _ in 0..20 {
-                sim.send_external(p, TMsg::Ping(0));
-            }
-            sim.run_until(Time::from_millis(100));
-            sim.thread_stats(t0).busy_ns
-        };
-        let paired_busy = {
-            let mut sim: Sim<TMsg> = Sim::new(SimConfig::default());
-            let m = sim.add_machine(MachineSpec::xeon_e5520_dual());
-            let t0 = sim.hw_thread(m, 0, 0);
-            let t1 = sim.hw_thread(m, 0, 1);
-            let a = sim.spawn(t0, Box::new(Burn));
-            let b = sim.spawn(t1, Box::new(Burn));
-            sim.run_until(Time::from_micros(1));
-            sim.reset_all_stats();
-            for _ in 0..20 {
-                sim.send_external(a, TMsg::Ping(0));
-                sim.send_external(b, TMsg::Ping(0));
-            }
-            sim.run_until(Time::from_millis(100));
-            sim.thread_stats(t0).busy_ns
-        };
-        assert!(
-            paired_busy as f64 > solo_busy as f64 * 1.3,
-            "SMT contention should slow the thread: solo={solo_busy} paired={paired_busy}"
-        );
-    }
-}
+#[path = "engine_tests.rs"]
+mod tests;

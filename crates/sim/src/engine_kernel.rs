@@ -1,0 +1,450 @@
+//! The dispatch core of the discrete-event engine (a child module of
+//! `engine` — split out so each engine source file stays within the CI
+//! module-size guard while keeping private-item access).
+//!
+//! [`Kernel`] is the borrowed view a dispatch step operates on: the
+//! domains it may touch, the topology, and the shard outboxes. Both the
+//! serial `Sim::run_until` loop and the parallel shard workers drive
+//! the same `Kernel` code, which is what makes their histories
+//! bit-identical.
+
+use super::*;
+
+impl<'a, M: 'static> Kernel<'a, M> {
+    fn pos(&self, dom: u32) -> Option<usize> {
+        match self.map {
+            DomMap::Identity => Some(dom as usize),
+            DomMap::Partial(map) => map[dom as usize],
+        }
+    }
+
+    /// Schedule a Deliver event originated by `origin` into `dom`'s heap,
+    /// or across the shard boundary via the outbox.
+    fn route(&mut self, dom: u32, time: Time, origin: Origin, dst: ProcId, ev: Event<M>) {
+        match self.pos(dom) {
+            Some(p) => self.domains[p].heap.push(HeapEv {
+                time,
+                origin,
+                kind: HeapKind::Deliver { dst, ev },
+            }),
+            None => {
+                let (shard_of, outbox) = self
+                    .outbox
+                    .as_mut()
+                    .expect("non-local domain without an outbox");
+                outbox[shard_of[dom as usize] as usize].push(Handoff {
+                    time,
+                    origin,
+                    dst,
+                    ev,
+                });
+            }
+        }
+    }
+
+    /// Dispatch one event popped from the heap of the domain at `di`.
+    pub(crate) fn dispatch(&mut self, di: usize, ev: HeapEv<M>) {
+        let HeapEv { time, kind, .. } = ev;
+        match kind {
+            HeapKind::Deliver { dst, ev } => {
+                let d = &mut self.domains[di];
+                let Some(slot) = d.procs.get(&dst) else {
+                    return;
+                };
+                if !slot.alive {
+                    return;
+                }
+                let tid = slot.thread;
+                let lt = self.topo.loc(tid).idx as usize;
+                // FIFO server: if the thread is (or will be) busy, or has
+                // queued work, append; a resume marker fires at the end of
+                // the current work.
+                let busy_until = d.threads[lt].busy_until;
+                if busy_until > time || !d.pending[lt].is_empty() {
+                    d.pending[lt].push_back((dst, ev));
+                    // Queue-depth high-water mark (per-thread backlog; a
+                    // compare+store, cheap enough to keep always-on).
+                    let depth = d.pending[lt].len() as u64;
+                    let st = &mut d.threads[lt].stats;
+                    st.max_queue = st.max_queue.max(depth);
+                    if !d.resume_scheduled[lt] {
+                        d.resume_scheduled[lt] = true;
+                        let at = busy_until.max(time);
+                        let origin = d.next_origin();
+                        d.heap.push(HeapEv {
+                            time: at,
+                            origin,
+                            kind: HeapKind::ThreadResume(lt as u32),
+                        });
+                    }
+                } else {
+                    self.execute(di, lt, dst, ev, time);
+                }
+            }
+            HeapKind::FlushBatch { src, dst, epoch } => {
+                // Stale unless the batch is still open under this epoch.
+                let d = &mut self.domains[di];
+                let live = d
+                    .batches
+                    .get(&(src, dst))
+                    .map(|b| b.epoch == epoch)
+                    .unwrap_or(false);
+                if live {
+                    let b = d.batches.remove(&(src, dst)).unwrap();
+                    d.batch_stats.flush_timer += 1;
+                    // The horizon IS the delivery instant (`time ==
+                    // flush_at >= ready_at`), like interrupt moderation.
+                    self.deliver_batch(di, src, dst, b.msgs, time);
+                }
+            }
+            HeapKind::ThreadResume(lt) => {
+                let lt = lt as usize;
+                self.domains[di].resume_scheduled[lt] = false;
+                // Pop queued work until we find a live destination.
+                while let Some((dst, ev)) = self.domains[di].pending[lt].pop_front() {
+                    let alive = self.domains[di]
+                        .procs
+                        .get(&dst)
+                        .map(|s| s.alive)
+                        .unwrap_or(false);
+                    if !alive {
+                        continue; // messages to dead processes vanish
+                    }
+                    self.execute(di, lt, dst, ev, time);
+                    break;
+                }
+                // More work queued: chain the next marker.
+                let d = &mut self.domains[di];
+                if !d.pending[lt].is_empty() && !d.resume_scheduled[lt] {
+                    d.resume_scheduled[lt] = true;
+                    let at = d.threads[lt].busy_until.max(time);
+                    let origin = d.next_origin();
+                    d.heap.push(HeapEv {
+                        time: at,
+                        origin,
+                        kind: HeapKind::ThreadResume(lt as u32),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Deliver a closed batch at `at` (>= the current dispatch instant).
+    /// Single-message batches degrade to a plain `Message` so receivers
+    /// and traces can't tell a lone coalesced message from an unbatched
+    /// one. Batched links are machine-local, so delivery is a local push.
+    fn deliver_batch(&mut self, di: usize, src: ProcId, dst: ProcId, msgs: Vec<M>, at: Time) {
+        let d = &mut self.domains[di];
+        if msgs.len() == 1 {
+            let msg = msgs.into_iter().next().unwrap();
+            d.push(at, dst, Event::Message { from: src, msg });
+        } else {
+            d.batch_stats.batched_msgs += msgs.len() as u64;
+            d.batch_stats.batch_deliveries += 1;
+            d.push(at, dst, Event::Batch { from: src, msgs });
+        }
+    }
+
+    /// Route one `send()` through the per-link coalescer. `at` is the
+    /// message's natural delivery instant (sender completion + channel
+    /// latency); the batch may delay it up to the `batch_ns` horizon.
+    /// `now` is the current dispatch instant (deliveries never precede it).
+    fn enqueue_batched(
+        &mut self,
+        di: usize,
+        src: ProcId,
+        dst: ProcId,
+        msg: M,
+        at: Time,
+        now: Time,
+    ) {
+        let key = (src, dst);
+        let batch_max = self.batch_max;
+        let d = &mut self.domains[di];
+        match d.batches.get_mut(&key) {
+            Some(b) if at <= b.flush_at => {
+                b.msgs.push(msg);
+                b.ready_at = b.ready_at.max(at);
+                if b.msgs.len() >= batch_max {
+                    // Depth flush: deliver now-complete batch at its
+                    // ready time; the scheduled FlushBatch goes stale.
+                    let b = d.batches.remove(&key).unwrap();
+                    d.batch_stats.flush_depth += 1;
+                    let at = b.ready_at.max(now);
+                    self.deliver_batch(di, src, dst, b.msgs, at);
+                }
+            }
+            Some(_) => {
+                // The new message lands past the horizon: close the old
+                // batch (its flush event goes stale) and open a new one.
+                let old = d.batches.remove(&key).unwrap();
+                d.batch_stats.flush_close += 1;
+                let old_at = old.ready_at.max(now);
+                self.deliver_batch(di, src, dst, old.msgs, old_at);
+                self.open_batch(di, key, msg, at);
+            }
+            None => self.open_batch(di, key, msg, at),
+        }
+    }
+
+    fn open_batch(&mut self, di: usize, key: (ProcId, ProcId), msg: M, at: Time) {
+        let d = &mut self.domains[di];
+        d.batch_epoch += 1;
+        let epoch = d.batch_epoch;
+        let flush_at = at + self.batch_ns;
+        d.batches.insert(
+            key,
+            LinkBatch {
+                msgs: vec![msg],
+                flush_at,
+                ready_at: at,
+                epoch,
+            },
+        );
+        let origin = d.next_origin();
+        d.heap.push(HeapEv {
+            time: flush_at,
+            origin,
+            kind: HeapKind::FlushBatch {
+                src: key.0,
+                dst: key.1,
+                epoch,
+            },
+        });
+    }
+
+    /// Run one handler on a free local thread at `time`
+    /// (>= thread.busy_until).
+    fn execute(&mut self, di: usize, lt: usize, dst: ProcId, ev: Event<M>, time: Time) {
+        let d = &mut self.domains[di];
+        // Tracing hook: name the span before the event is consumed. Guarded
+        // so the disabled path pays one bool read, no format.
+        let span_name = if self.tracing {
+            let pname = d.procs.get(&dst).map(|s| s.name.as_str()).unwrap_or("?");
+            Some(format!("{pname} [{}]", ev.label()))
+        } else {
+            None
+        };
+        let mut proc = match d.procs.get_mut(&dst) {
+            Some(slot) if slot.alive => match slot.proc.take() {
+                Some(p) => p,
+                None => return,
+            },
+            _ => return,
+        };
+
+        // --- CPU-time accounting: wake the thread, find the start instant.
+        let start = {
+            let th = &mut d.threads[lt];
+            let woken = th.wake_for(time);
+            woken.max(th.busy_until)
+        };
+        let kind = d.threads[lt].kind;
+        let freq = d.threads[lt].freq;
+        // SMT contention: slowdown scales with the sibling thread's recent
+        // utilization — two saturated siblings each run at SMT_CAPACITY/2
+        // of a dedicated core's speed. Siblings share a core, so the
+        // lookup is domain-local by construction.
+        let smt_slow = match d.threads[lt].sibling {
+            Some(sib) if kind == ThreadKind::Cpu => {
+                let sl = self.topo.loc(sib).idx as usize;
+                let s = &d.threads[sl];
+                let u = if s.busy_until > start || !d.pending[sl].is_empty() {
+                    1.0
+                } else {
+                    s.recent_util(start)
+                };
+                1.0 + (2.0 / calibration::SMT_CAPACITY - 1.0) * u
+            }
+            _ => 1.0,
+        };
+
+        let mut ctx = Ctx {
+            dom: d,
+            topo: self.topo,
+            batching: self.batch_ns.as_nanos() > 0,
+            sender_kind: kind,
+            self_id: dst,
+            start,
+            charged: proc.dispatch_cost(),
+            charged_ns: 0,
+            outputs: Vec::new(),
+            die: None,
+            woken_threads: Vec::new(),
+            last_send_dst: None,
+        };
+        match ev {
+            Event::Batch { from, msgs } => proc.on_batch(&mut ctx, from, msgs),
+            ev => proc.on_event(&mut ctx, ev),
+        }
+        let Ctx {
+            charged,
+            charged_ns,
+            outputs,
+            die,
+            ..
+        } = ctx;
+
+        // --- Completion time.
+        let work = match kind {
+            ThreadKind::Cpu => {
+                let base = freq.cycles_to_time(charged);
+                Time((base.as_nanos() as f64 * smt_slow) as u64 + charged_ns)
+            }
+            ThreadKind::Device => Time(charged_ns + freq.cycles_to_time(charged).as_nanos()),
+        };
+        let end = start + work;
+        let d = &mut self.domains[di];
+        {
+            let th = &mut d.threads[lt];
+            th.stats.smt_slow_sum += smt_slow;
+            th.record_busy(start, end);
+        }
+        if let Some(name) = span_name {
+            neat_obs::trace::complete(
+                d.thread_ids[lt].0 as u64,
+                name,
+                "dispatch",
+                start.as_nanos(),
+                end.as_nanos(),
+            );
+        }
+
+        // --- Apply outputs at completion time.
+        let src_dom = d.dom;
+        for out in outputs {
+            match out {
+                Output::Send {
+                    dst: to,
+                    msg,
+                    extra_delay,
+                } => {
+                    let at = end + calibration::CHANNEL_LATENCY + extra_delay;
+                    let to_dom = domain_of_pid(to);
+                    if to_dom == src_dom {
+                        // Only latency-free local sends coalesce; anything
+                        // with explicit wire/propagation delay keeps its
+                        // own event.
+                        if self.batch_ns.as_nanos() > 0 && extra_delay.as_nanos() == 0 {
+                            self.enqueue_batched(di, dst, to, msg, at, time);
+                        } else {
+                            let origin = self.domains[di].next_origin();
+                            self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
+                        }
+                    } else {
+                        // Cross-machine: the topology promised at least
+                        // `link_latency` of wire delay — the conservative
+                        // lookahead the parallel executor relies on.
+                        assert!(
+                            extra_delay >= self.link_latency,
+                            "cross-machine send {dst:?}->{to:?} carries {}ns extra delay, \
+                             below the declared link latency of {}ns",
+                            extra_delay.as_nanos(),
+                            self.link_latency.as_nanos()
+                        );
+                        let origin = self.domains[di].next_origin();
+                        self.route(to_dom, at, origin, to, Event::Message { from: dst, msg });
+                    }
+                }
+                Output::Timer { delay, token } => {
+                    self.domains[di].push(end + delay, dst, Event::Timer { token });
+                }
+                Output::Spawn {
+                    pid,
+                    thread,
+                    proc,
+                    delay,
+                } => {
+                    // Ctx::spawn asserted thread is on this machine.
+                    let d = &mut self.domains[di];
+                    let name = proc.name();
+                    d.spawns += 1;
+                    d.procs.insert(
+                        pid,
+                        ProcSlot {
+                            proc: Some(proc),
+                            thread,
+                            name,
+                            alive: true,
+                        },
+                    );
+                    d.push(end + delay, pid, Event::Start);
+                }
+                Output::Kill { pid, crash } => {
+                    let mode = if crash { DieMode::Crash } else { DieMode::Exit };
+                    self.reap(pid, mode, end);
+                }
+            }
+        }
+
+        // --- Self-termination or put the process back.
+        match die {
+            Some(mode) => {
+                // Put the (now doomed) process back so reap can drop it.
+                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
+                    slot.proc = Some(proc);
+                }
+                self.reap(dst, mode, end);
+            }
+            None => {
+                if let Some(slot) = self.domains[di].procs.get_mut(&dst) {
+                    slot.proc = Some(proc);
+                }
+            }
+        }
+    }
+
+    fn reap(&mut self, pid: ProcId, mode: DieMode, at: Time) {
+        let dom = domain_of_pid(pid);
+        let Some(p) = self.pos(dom) else {
+            panic!(
+                "kill of {pid:?} crosses a shard boundary; process management \
+                 is machine-local under run_sharded"
+            );
+        };
+        let d = &mut self.domains[p];
+        let (name, thread) = match d.procs.get_mut(&pid) {
+            Some(slot) if slot.alive => {
+                slot.alive = false;
+                slot.proc = None; // all state dropped — stateless recovery
+                (slot.name.clone(), slot.thread)
+            }
+            _ => return,
+        };
+        match mode {
+            DieMode::Crash => d.crashes += 1,
+            DieMode::Exit => d.exits += 1,
+        }
+        if self.tracing {
+            let what = match mode {
+                DieMode::Crash => "crash",
+                DieMode::Exit => "exit",
+            };
+            neat_obs::trace::instant(
+                thread.0 as u64,
+                format!("{what}: {name}"),
+                "lifecycle",
+                at.as_nanos(),
+            );
+        }
+        if mode == DieMode::Crash {
+            if let Some((monitor, hook)) = self.crash_monitor {
+                let msg = hook(pid, &name);
+                let monitor = *monitor;
+                // Crash detection latency: the kernel notices the fault and
+                // notifies the monitor (one exception + IPC round).
+                let origin = self.domains[p].next_origin();
+                self.route(
+                    domain_of_pid(monitor),
+                    at + calibration::CRASH_NOTIFY_LATENCY,
+                    origin,
+                    monitor,
+                    Event::Message {
+                        from: ProcId(0),
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -30,6 +30,12 @@ impl Assembler {
         self.buffered
     }
 
+    /// Resize the capacity (`SockOpt::RecvBuf` tracks the receive buffer).
+    /// Clamped to what is already buffered; held runs are never dropped.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(self.buffered);
+    }
+
     pub fn is_empty(&self) -> bool {
         self.runs.is_empty()
     }

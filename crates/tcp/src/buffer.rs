@@ -155,6 +155,18 @@ impl RecvBuffer {
         self.cap - self.data.len()
     }
 
+    /// Configured capacity (advertised-window ceiling).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Resize the capacity (`SockOpt::RecvBuf`). Clamped to the bytes
+    /// already buffered so the window can shrink to zero but never
+    /// underflow; buffered data is never dropped.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(self.data.len());
+    }
+
     /// Allocated heap bytes (capacity, not configured cap).
     pub fn heap_bytes(&self) -> usize {
         self.data.capacity()

@@ -16,18 +16,28 @@
 //! * retransmission with RFC 6298 RTT estimation, exponential backoff and
 //!   Karn's rule; fast retransmit on three duplicate ACKs;
 //! * out-of-order reassembly; delayed ACKs; Nagle's algorithm;
-//! * congestion control: Reno and CUBIC, selectable per stack;
+//! * congestion control behind an event-driven API: Reno, CUBIC (with
+//!   RFC 8312 fast convergence), a BBR-style model-based controller, and
+//!   a DCTCP-style proportional controller — selectable per stack or per
+//!   socket via [`SockOpt::CongestionAlgo`];
+//! * per-socket options ([`SockOpt`]): congestion algorithm, initial
+//!   cwnd, receive-buffer size;
 //! * zero-window probing; SYN backlog + accept queues on listeners;
 //! * ephemeral port allocation, RST generation and handling.
+//!
+//! The socket itself is a thin coordinator over four owned-state
+//! components (see [`components`]): connection management, reliability,
+//! flow control, and congestion control.
 
 pub mod assembler;
 pub mod budget;
 pub mod buffer;
-pub mod congestion;
+pub mod components;
 pub mod demux;
 pub mod rto;
 pub mod socket;
 pub mod stack;
+pub mod tcb;
 pub mod types;
 pub mod wheel;
 
@@ -35,9 +45,14 @@ pub mod wheel;
 mod proptests;
 
 pub use budget::ConnBudget;
+pub use components::{AckEvent, CcDecision, CongestionControl};
 pub use demux::DemuxTable;
 pub use rto::RttSnapshot;
-pub use socket::{TcbImage, TcpSocket};
+pub use socket::TcpSocket;
 pub use stack::TcpStack;
-pub use types::{CongestionAlgo, Readiness, SockEvent, SocketId, TcpConfig, TcpError, TcpState};
+pub use tcb::TcbImage;
+pub use types::{
+    CongestionAlgo, Readiness, SockEvent, SockOpt, SockOptKind, SocketId, TcpConfig, TcpError,
+    TcpState,
+};
 pub use wheel::TimerWheel;

@@ -4,9 +4,11 @@
 //! `tests/protocol_properties.rs`.
 
 use crate::buffer::{RecvBuffer, SendBuffer};
-use crate::congestion::{CongestionControl, Cubic, Reno};
+use crate::components::congestion_control::{make, AckEvent, Cubic, Reno};
+use crate::components::CongestionControl;
 use crate::demux::DemuxTable;
 use crate::rto::RttEstimator;
+use crate::types::CongestionAlgo;
 use crate::types::SocketId;
 use crate::wheel::TimerWheel;
 use neat_net::{FlowKey, SeqNum};
@@ -14,6 +16,16 @@ use neat_util::check::{check, vec_of, Config};
 use neat_util::{prop_assert, prop_assert_eq};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// Plain data-ACK event for driving controllers in properties.
+fn cc_ack(bytes: usize, now_ns: u64) -> AckEvent {
+    AckEvent {
+        newly_acked: bytes,
+        rtt_sample: None,
+        now_ns,
+        in_flight: 0,
+    }
+}
 
 /// SendBuffer: pushes + acks never lose or duplicate bytes; peek at
 /// any in-range position returns exactly the pushed bytes.
@@ -100,10 +112,10 @@ fn reno_invariants() {
             for is_loss in acks {
                 let before = r.cwnd();
                 if is_loss {
-                    r.on_fast_retransmit(0);
+                    r.on_loss(0);
                     prop_assert!(r.cwnd() <= before.max(2 * mss as usize));
                 } else {
-                    r.on_ack(mss as usize, 0);
+                    r.on_ack(&cc_ack(mss as usize, 0));
                     prop_assert!(r.cwnd() >= before);
                     prop_assert!(r.cwnd() <= before + mss as usize);
                 }
@@ -130,16 +142,16 @@ fn cubic_invariants() {
                 now += 1_000_000;
                 match e % 8 {
                     0 => {
-                        c.on_fast_retransmit(now);
+                        c.on_loss(now);
                         prop_assert!(c.cwnd() >= 2 * mss as usize);
                     }
                     1 => {
-                        c.on_timeout(now);
+                        c.on_rto(now);
                         prop_assert_eq!(c.cwnd(), mss as usize);
                     }
                     _ => {
                         let before = c.cwnd();
-                        c.on_ack(mss as usize, now);
+                        c.on_ack(&cc_ack(mss as usize, now));
                         prop_assert!(c.cwnd() >= before);
                     }
                 }
@@ -467,8 +479,15 @@ fn demux_matches_hashmap_model() {
 #[test]
 fn tcb_image_encode_decode_round_trips() {
     use crate::rto::RttSnapshot;
-    use crate::socket::TcbImage;
+    use crate::tcb::TcbImage;
     use crate::types::TcpState;
+    const ALGOS: [CongestionAlgo; 5] = [
+        CongestionAlgo::Reno,
+        CongestionAlgo::Cubic,
+        CongestionAlgo::None,
+        CongestionAlgo::Bbr,
+        CongestionAlgo::Dctcp,
+    ];
     const STATES: [TcpState; 11] = [
         TcpState::Closed,
         TcpState::Listen,
@@ -487,7 +506,7 @@ fn tcb_image_encode_decode_round_trips() {
         Config::default().cases(256),
         |rng| {
             (
-                vec_of(rng, 40..41, |r| r.gen::<u64>()), // scalar field pool
+                vec_of(rng, 41..42, |r| r.gen::<u64>()), // scalar field pool
                 vec_of(rng, 0..600, |r| r.gen::<u8>()),  // send stream bytes
                 vec_of(rng, 0..600, |r| r.gen::<u8>()),  // recv stream bytes
             )
@@ -545,12 +564,181 @@ fn tcb_image_encode_decode_round_trips() {
                 tx_segments: w(37),
                 rx_segments: w(38),
                 retransmits: w(39),
+                cc_algo: ALGOS[w(40) as usize % ALGOS.len()],
             };
             let wire = img.encode();
             let got = TcbImage::decode(&wire);
             prop_assert_eq!(got.as_ref(), Some(&img));
             for cut in [0, 1, wire.len() / 2, wire.len() - 1] {
                 prop_assert_eq!(TcbImage::decode(&wire[..cut]), None);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Reliability's retransmit queue vs a naive model: random push /
+/// transmit-advance / cumulative-ack streams leave exactly the model's
+/// unacked-byte suffix retransmittable, and the unsent tail
+/// (`len_from(snd_nxt)`) matches the model's untransmitted remainder.
+#[test]
+fn retransmit_queue_matches_naive_model() {
+    check(
+        "retransmit_queue_matches_naive_model",
+        Config::default().cases(256),
+        |rng| {
+            (
+                vec_of(rng, 1..60, |r| {
+                    (r.gen_range(0u8..3), r.gen_range(1usize..400))
+                }),
+                rng.gen::<u32>(),
+            )
+        },
+        |(ops, base)| {
+            let mut buf = SendBuffer::new(SeqNum(base), 8192);
+            let mut snd_nxt = SeqNum(base); // next byte to transmit
+                                            // Model: the whole unacked stream, plus how much of it has
+                                            // been handed to the wire at least once.
+            let mut model: Vec<u8> = Vec::new();
+            let mut transmitted = 0usize;
+            let mut next_byte = 0u8;
+            for (op, n) in ops {
+                match op {
+                    0 => {
+                        // App push (capacity-limited).
+                        let data: Vec<u8> = (0..n)
+                            .map(|_| {
+                                next_byte = next_byte.wrapping_add(1);
+                                next_byte
+                            })
+                            .collect();
+                        let pushed = buf.push(&data);
+                        model.extend_from_slice(&data[..pushed]);
+                    }
+                    1 => {
+                        // Transmit: advance snd_nxt over untransmitted bytes
+                        // (what transmit_new_data does segment by segment).
+                        let k = n.min(model.len() - transmitted);
+                        snd_nxt += k as u32;
+                        transmitted += k;
+                    }
+                    _ => {
+                        // Cumulative ACK of the oldest k unacked bytes; the
+                        // socket never sees an ACK beyond snd_nxt.
+                        let k = n.min(transmitted);
+                        let freed = buf.ack_to(buf.base() + k as u32);
+                        prop_assert_eq!(freed, k);
+                        model.drain(..k);
+                        transmitted -= k;
+                    }
+                }
+                // Retransmittable region == every transmitted-unacked byte.
+                prop_assert_eq!(buf.len_from(buf.base()), model.len());
+                let rtx = buf.peek(buf.base(), transmitted);
+                prop_assert_eq!(&rtx, &model[..transmitted]);
+                // Unsent tail == untransmitted remainder.
+                prop_assert_eq!(buf.len_from(snd_nxt), model.len() - transmitted);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Flow control: the advertised window never exceeds the configured
+/// buffer capacity, never underflows, and always equals cap - buffered —
+/// across random writes, reads, and `SockOpt::RecvBuf` resizes.
+#[test]
+fn flow_window_never_exceeds_buffer() {
+    check(
+        "flow_window_never_exceeds_buffer",
+        Config::default().cases(256),
+        |rng| {
+            vec_of(rng, 1..60, |r| {
+                (r.gen_range(0u8..4), r.gen_range(1usize..600))
+            })
+        },
+        |ops| {
+            let mut rb = RecvBuffer::new(1024);
+            for (op, n) in ops {
+                match op {
+                    0 | 1 => {
+                        let data = vec![0xAB; n];
+                        rb.write(&data);
+                    }
+                    2 => {
+                        let mut out = vec![0u8; n];
+                        rb.read(&mut out);
+                    }
+                    _ => rb.set_cap(n), // resize, clamped to buffered bytes
+                }
+                prop_assert!(rb.window() <= rb.cap(), "window within cap");
+                prop_assert!(rb.len() <= rb.cap(), "buffered within cap");
+                prop_assert_eq!(rb.window(), rb.cap() - rb.len());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Every congestion controller, under arbitrary ack/loss/rto streams:
+/// loss keeps cwnd >= 2*MSS, RTO keeps cwnd >= 1 MSS, and ssthresh
+/// decreases monotonically across a run of consecutive loss events.
+#[test]
+fn all_controllers_keep_loss_floor_and_monotone_ssthresh() {
+    const ALGOS: [CongestionAlgo; 4] = [
+        CongestionAlgo::Reno,
+        CongestionAlgo::Cubic,
+        CongestionAlgo::Bbr,
+        CongestionAlgo::Dctcp,
+    ];
+    check(
+        "all_controllers_keep_loss_floor_and_monotone_ssthresh",
+        Config::default().cases(128),
+        |rng| {
+            (
+                rng.gen_range(0usize..ALGOS.len()),
+                vec_of(rng, 1..200, |r| r.gen::<u8>()),
+            )
+        },
+        |(which, events)| {
+            let mss = 1460usize;
+            let algo = ALGOS[which];
+            let mut cc = make(algo, mss as u16);
+            let mut now = 0u64;
+            let mut in_loss_run = false;
+            let mut last_ssthresh = usize::MAX;
+            for e in events {
+                now += 500_000;
+                match e % 8 {
+                    0 => {
+                        let d = cc.on_loss(now);
+                        prop_assert!(
+                            d.cwnd >= 2 * mss,
+                            "{:?}: post-loss cwnd {} < 2*MSS",
+                            algo,
+                            d.cwnd
+                        );
+                        if in_loss_run {
+                            prop_assert!(
+                                d.ssthresh <= last_ssthresh,
+                                "{:?}: ssthresh rose mid loss run",
+                                algo
+                            );
+                        }
+                        in_loss_run = true;
+                        last_ssthresh = d.ssthresh;
+                    }
+                    1 => {
+                        let d = cc.on_rto(now);
+                        prop_assert!(d.cwnd >= mss, "{:?}: post-RTO floor", algo);
+                        in_loss_run = false;
+                    }
+                    _ => {
+                        let d = cc.on_ack(&cc_ack(mss, now));
+                        prop_assert!(d.cwnd >= mss, "{:?}: cwnd below 1 MSS", algo);
+                        in_loss_run = false;
+                    }
+                }
             }
             Ok(())
         },

@@ -1,92 +1,56 @@
-//! The per-connection TCP state machine (RFC 793 + RFC 5681 + RFC 6298).
+//! The per-connection TCP coordinator (RFC 793 + RFC 5681 + RFC 6298).
 //!
 //! A [`TcpSocket`] is driven by three stimuli — inbound segments, timer
 //! expiry, and user calls — and produces outbound segments via
 //! [`TcpSocket::poll_transmit`] plus user-visible [`SockEvent`]s. It never
 //! touches anything outside itself: the owning stack does demultiplexing,
 //! port allocation, and wire I/O.
+//!
+//! The protocol logic itself lives in four owned-state components under
+//! [`crate::components`] — connection management, reliability, flow
+//! control, and congestion control. This file holds only the coordinator:
+//! the struct, its constructors, user-facing operations, and the routing
+//! that sequences component steps for each stimulus (see DESIGN.md's
+//! "TCP component map" for the ownership table).
 
-use crate::assembler::Assembler;
-use crate::buffer::{RecvBuffer, SendBuffer};
-use crate::congestion::{self, CongestionControl};
-use crate::rto::RttEstimator;
-use crate::types::{SockEvent, SocketId, TcpConfig, TcpError, TcpState};
-use neat_net::{SeqNum, TcpFlags, TcpHeader};
+use crate::components::{self, CongestionControl, ConnMgmt, FlowControl, Reliability};
+use crate::types::{
+    CongestionAlgo, SockEvent, SockOpt, SockOptKind, SocketId, TcpConfig, TcpError, TcpState,
+};
+use neat_net::{SeqNum, TcpHeader};
 use std::net::Ipv4Addr;
 
 /// The window-scale shift we advertise on SYN segments.
-const OUR_WSCALE: u8 = 7;
+pub(crate) const OUR_WSCALE: u8 = 7;
 
-/// Flat estimate for the boxed congestion-controller state (Reno/CUBIC
-/// are both a handful of words; the box allocation dominates).
+/// Flat estimate for the boxed congestion-controller state (every
+/// controller is a handful of words; the box allocation dominates).
 const CC_BOX_BYTES: usize = 64;
 
-/// One end of a TCP connection.
+/// One end of a TCP connection: a thin coordinator over the four
+/// components, owning only identity, configuration, and statistics.
 #[derive(Debug)]
 pub struct TcpSocket {
     pub id: SocketId,
-    state: TcpState,
-    cfg: TcpConfig,
+    pub(crate) cfg: TcpConfig,
 
     pub local_ip: Ipv4Addr,
     pub local_port: u16,
     pub remote_ip: Ipv4Addr,
     pub remote_port: u16,
 
-    // --- send sequence space (RFC 793 §3.2) ---
-    /// Oldest unacknowledged sequence number (== send_buf.base()).
-    snd_nxt: SeqNum,
-    /// Peer's advertised window in bytes (already scaled).
-    snd_wnd: usize,
-    /// Segment seq/ack used for the last window update (RFC 793 wl1/wl2).
-    snd_wl1: SeqNum,
-    snd_wl2: SeqNum,
-    iss: SeqNum,
-    send_buf: SendBuffer,
-    /// Effective MSS: min(ours, peer's option).
-    mss: u16,
-    /// Peer's window-scale shift (0 if not negotiated).
-    snd_wscale: u8,
-    /// Our advertised shift (0 until negotiated on SYN).
-    rcv_wscale: u8,
-    /// The SYN we sent has been transmitted at least once.
-    syn_sent: bool,
+    /// Effective MSS: min(ours, peer's option). Shared by every
+    /// component, so the coordinator owns it.
+    pub(crate) mss: u16,
 
-    // --- receive sequence space ---
-    rcv_nxt: SeqNum,
-    irs: SeqNum,
-    recv_buf: RecvBuffer,
-    asm: Assembler,
-    /// Peer FIN consumed (sequence-wise).
-    peer_fin_rcvd: bool,
-
-    // --- close handshake ---
-    /// User called close(): send FIN once the buffer drains.
-    close_requested: bool,
-    /// Sequence number our FIN occupies, once sent.
-    fin_seq: Option<SeqNum>,
-
-    // --- retransmission ---
-    rtx_deadline: Option<u64>,
-    /// Retransmit one segment from snd_una on next poll.
-    rtx_now: bool,
-    rtt: RttEstimator,
-    /// Outstanding RTT sample: (seq that must be acked, send time).
-    rtt_sample: Option<(SeqNum, u64)>,
-    retries: u32,
-    dup_acks: u32,
-    cc: Box<dyn CongestionControl>,
-
-    // --- ACK generation ---
-    /// Segments received since the last ACK we sent.
-    ack_pending: u32,
-    ack_deadline: Option<u64>,
-    ack_now: bool,
-
-    // --- other timers ---
-    time_wait_deadline: Option<u64>,
-    probe_deadline: Option<u64>,
-    keepalive_deadline: Option<u64>,
+    /// Connection management: the RFC 793 state machine.
+    pub(crate) cm: ConnMgmt,
+    /// Reliability: retransmit queue, RTO, dup-ack tracking.
+    pub(crate) rel: Reliability,
+    /// Flow control: receive path, windows, ACK generation.
+    pub(crate) fc: FlowControl,
+    /// Congestion control: the event-driven controller.
+    pub(crate) cc: Box<dyn CongestionControl>,
 
     /// Queued user-visible events, drained by the stack.
     pub events: Vec<SockEvent>,
@@ -104,45 +68,19 @@ pub struct TcpSocket {
 }
 
 impl TcpSocket {
-    fn new(id: SocketId, cfg: &TcpConfig, iss: SeqNum) -> TcpSocket {
+    pub(crate) fn new(id: SocketId, cfg: &TcpConfig, iss: SeqNum) -> TcpSocket {
         TcpSocket {
             id,
-            state: TcpState::Closed,
             cfg: cfg.clone(),
             local_ip: Ipv4Addr::UNSPECIFIED,
             local_port: 0,
             remote_ip: Ipv4Addr::UNSPECIFIED,
             remote_port: 0,
-            snd_nxt: iss,
-            snd_wnd: 0,
-            snd_wl1: SeqNum(0),
-            snd_wl2: SeqNum(0),
-            iss,
-            send_buf: SendBuffer::new(iss + 1, cfg.send_buf),
             mss: cfg.mss,
-            snd_wscale: 0,
-            rcv_wscale: 0,
-            syn_sent: false,
-            rcv_nxt: SeqNum(0),
-            irs: SeqNum(0),
-            recv_buf: RecvBuffer::new(cfg.recv_buf),
-            asm: Assembler::new(cfg.recv_buf),
-            peer_fin_rcvd: false,
-            close_requested: false,
-            fin_seq: None,
-            rtx_deadline: None,
-            rtx_now: false,
-            rtt: RttEstimator::new(cfg.initial_rto_ns),
-            rtt_sample: None,
-            retries: 0,
-            dup_acks: 0,
-            cc: congestion::make(cfg.congestion, cfg.mss),
-            ack_pending: 0,
-            ack_deadline: None,
-            ack_now: false,
-            time_wait_deadline: None,
-            probe_deadline: None,
-            keepalive_deadline: None,
+            cm: ConnMgmt::new(iss),
+            rel: Reliability::new(iss, cfg),
+            fc: FlowControl::new(cfg),
+            cc: components::make(cfg.congestion, cfg.mss),
             events: Vec::new(),
             error: None,
             tx_segments: 0,
@@ -158,9 +96,9 @@ impl TcpSocket {
     /// `size_of::<TcpSocket>()`).
     pub fn mem_bytes(&self) -> usize {
         std::mem::size_of::<TcpSocket>()
-            + self.send_buf.heap_bytes()
-            + self.recv_buf.heap_bytes()
-            + self.asm.heap_bytes()
+            + self.rel.send_buf.heap_bytes()
+            + self.fc.recv_buf.heap_bytes()
+            + self.fc.asm.heap_bytes()
             + self.events.capacity() * std::mem::size_of::<SockEvent>()
             + CC_BOX_BYTES
     }
@@ -185,7 +123,7 @@ impl TcpSocket {
         s.local_port = local.1;
         s.remote_ip = remote.0;
         s.remote_port = remote.1;
-        s.state = TcpState::SynSent;
+        s.cm.state = TcpState::SynSent;
         s.arm_rtx(now);
         s
     }
@@ -206,119 +144,20 @@ impl TcpSocket {
         s.local_port = local.1;
         s.remote_ip = remote.0;
         s.remote_port = remote.1;
-        s.state = TcpState::SynReceived;
-        s.irs = syn.seq;
-        s.rcv_nxt = syn.seq + 1;
+        s.cm.state = TcpState::SynReceived;
+        s.cm.irs = syn.seq;
+        s.fc.rcv_nxt = syn.seq + 1;
         if let Some(peer_mss) = syn.mss {
             s.mss = s.mss.min(peer_mss);
         }
         if let Some(ws) = syn.window_scale {
-            s.snd_wscale = ws;
-            s.rcv_wscale = OUR_WSCALE;
+            s.fc.snd_wscale = ws;
+            s.fc.rcv_wscale = OUR_WSCALE;
         }
-        s.snd_wnd = (syn.window as usize) << s.snd_wscale;
-        s.snd_wl1 = syn.seq;
-        s.snd_wl2 = SeqNum(0);
+        s.fc.snd_wnd = (syn.window as usize) << s.fc.snd_wscale;
+        s.fc.snd_wl1 = syn.seq;
+        s.fc.snd_wl2 = SeqNum(0);
         s.arm_rtx(now);
-        s
-    }
-
-    // ------------------------------------------------------------------
-    // Checkpoint / restore (flow replication, §3.6 extension)
-    // ------------------------------------------------------------------
-
-    /// Capture the transferable TCB: everything a peer replica needs to
-    /// resume this connection. The congestion controller, the out-of-order
-    /// assembler, and the outstanding RTT sample are deliberately *not*
-    /// part of the image — cc restarts from slow-start parameters, ooo
-    /// segments are refilled by peer retransmission, and Karn's rule says
-    /// a sample that spans a migration must be discarded anyway.
-    pub fn snapshot(&self) -> TcbImage {
-        TcbImage {
-            state: self.state,
-            local_ip: self.local_ip,
-            local_port: self.local_port,
-            remote_ip: self.remote_ip,
-            remote_port: self.remote_port,
-            iss: self.iss,
-            irs: self.irs,
-            snd_nxt: self.snd_nxt,
-            snd_wnd: self.snd_wnd as u64,
-            snd_wl1: self.snd_wl1,
-            snd_wl2: self.snd_wl2,
-            mss: self.mss,
-            snd_wscale: self.snd_wscale,
-            rcv_wscale: self.rcv_wscale,
-            syn_sent: self.syn_sent,
-            send_base: self.send_buf.base(),
-            send_data: self.send_buf.contents(),
-            send_cap: (self.send_buf.room() + self.send_buf.len()) as u64,
-            rcv_nxt: self.rcv_nxt,
-            recv_data: self.recv_buf.contents(),
-            recv_cap: (self.recv_buf.window() + self.recv_buf.len()) as u64,
-            peer_fin_rcvd: self.peer_fin_rcvd,
-            close_requested: self.close_requested,
-            fin_seq: self.fin_seq,
-            rtx_deadline: self.rtx_deadline,
-            rtx_now: self.rtx_now,
-            retries: self.retries,
-            dup_acks: self.dup_acks,
-            rtt: self.rtt.snapshot(),
-            ack_pending: self.ack_pending,
-            ack_deadline: self.ack_deadline,
-            ack_now: self.ack_now,
-            time_wait_deadline: self.time_wait_deadline,
-            probe_deadline: self.probe_deadline,
-            keepalive_deadline: self.keepalive_deadline,
-            tx_segments: self.tx_segments,
-            rx_segments: self.rx_segments,
-            retransmits: self.retransmits,
-        }
-    }
-
-    /// Rebuild a socket from a checkpoint under a (possibly new) id. The
-    /// deadlines in the image are absolute simulation times, so a deadline
-    /// that expired while the flow was in transit fires on the next timer
-    /// tick — which is exactly the retransmission that re-synchronizes the
-    /// peer after the migration gap.
-    pub fn restore(id: SocketId, cfg: &TcpConfig, img: &TcbImage) -> TcpSocket {
-        let mut s = TcpSocket::new(id, cfg, img.iss);
-        s.state = img.state;
-        s.local_ip = img.local_ip;
-        s.local_port = img.local_port;
-        s.remote_ip = img.remote_ip;
-        s.remote_port = img.remote_port;
-        s.irs = img.irs;
-        s.snd_nxt = img.snd_nxt;
-        s.snd_wnd = img.snd_wnd as usize;
-        s.snd_wl1 = img.snd_wl1;
-        s.snd_wl2 = img.snd_wl2;
-        s.mss = img.mss;
-        s.snd_wscale = img.snd_wscale;
-        s.rcv_wscale = img.rcv_wscale;
-        s.syn_sent = img.syn_sent;
-        s.send_buf =
-            SendBuffer::from_parts(img.send_base, img.send_data.clone(), img.send_cap as usize);
-        s.rcv_nxt = img.rcv_nxt;
-        s.recv_buf = RecvBuffer::from_parts(img.recv_data.clone(), img.recv_cap as usize);
-        s.peer_fin_rcvd = img.peer_fin_rcvd;
-        s.close_requested = img.close_requested;
-        s.fin_seq = img.fin_seq;
-        s.rtx_deadline = img.rtx_deadline;
-        s.rtx_now = img.rtx_now;
-        s.retries = img.retries;
-        s.dup_acks = img.dup_acks;
-        s.rtt = RttEstimator::restore(&img.rtt);
-        s.cc = congestion::make(cfg.congestion, img.mss);
-        s.ack_pending = img.ack_pending;
-        s.ack_deadline = img.ack_deadline;
-        s.ack_now = img.ack_now;
-        s.time_wait_deadline = img.time_wait_deadline;
-        s.probe_deadline = img.probe_deadline;
-        s.keepalive_deadline = img.keepalive_deadline;
-        s.tx_segments = img.tx_segments;
-        s.rx_segments = img.rx_segments;
-        s.retransmits = img.retransmits;
         s
     }
 
@@ -327,32 +166,37 @@ impl TcpSocket {
     // ------------------------------------------------------------------
 
     pub fn state(&self) -> TcpState {
-        self.state
+        self.cm.state
     }
 
     pub fn snd_una(&self) -> SeqNum {
-        self.send_buf.base()
+        self.rel.send_buf.base()
     }
 
     pub fn bytes_in_flight(&self) -> usize {
-        (self.snd_nxt - self.snd_una()).max(0) as usize
+        (self.rel.snd_nxt - self.snd_una()).max(0) as usize
     }
 
     pub fn recv_available(&self) -> usize {
-        self.recv_buf.len()
+        self.fc.recv_buf.len()
     }
 
     pub fn send_room(&self) -> usize {
-        self.send_buf.room()
+        self.rel.send_buf.room()
     }
 
     /// Peer closed and all data has been drained — EOF for the app.
     pub fn at_eof(&self) -> bool {
-        self.peer_fin_rcvd && self.recv_buf.is_empty()
+        self.cm.peer_fin_rcvd && self.fc.recv_buf.is_empty()
     }
 
     pub fn effective_mss(&self) -> u16 {
         self.mss
+    }
+
+    /// The congestion-control algorithm currently driving this flow.
+    pub fn cc_algo(&self) -> CongestionAlgo {
+        self.cc.algo()
     }
 
     // ------------------------------------------------------------------
@@ -361,10 +205,10 @@ impl TcpSocket {
 
     /// Enqueue user data; returns bytes accepted.
     pub fn send(&mut self, data: &[u8]) -> Result<usize, TcpError> {
-        if !self.state.can_send() || self.close_requested {
+        if !self.cm.state.can_send() || self.cm.close_requested {
             return Err(TcpError::BadState);
         }
-        let n = self.send_buf.push(data);
+        let n = self.rel.send_buf.push(data);
         if n == 0 {
             return Err(TcpError::WouldBlock);
         }
@@ -376,153 +220,103 @@ impl TcpSocket {
         if let Some(e) = self.error {
             return Err(e);
         }
-        let n = self.recv_buf.read(buf);
+        let n = self.fc.recv_buf.read(buf);
         if n == 0 && !self.at_eof() {
             return Err(TcpError::WouldBlock);
         }
         // Window may have reopened substantially: let the peer know soon.
-        if n > 0 && self.recv_buf.window() >= self.mss as usize * 2 {
-            self.ack_pending = self.ack_pending.max(1);
+        if n > 0 && self.fc.recv_buf.window() >= self.mss as usize * 2 {
+            self.fc.ack_pending = self.fc.ack_pending.max(1);
         }
         Ok(n)
     }
 
-    /// Graceful close: FIN after pending data drains.
-    pub fn close(&mut self, _now: u64) {
-        match self.state {
-            TcpState::Established | TcpState::SynReceived => {
-                self.close_requested = true;
-                self.state = TcpState::FinWait1;
+    /// Apply a per-socket option (the stack's `set_opt` routes here).
+    pub fn set_opt(&mut self, opt: SockOpt) {
+        match opt {
+            SockOpt::CongestionAlgo(algo) => {
+                // Switching algorithms restarts from slow-start parameters;
+                // re-selecting the current one is a no-op so tuning via
+                // `InitialCwnd` survives redundant sets.
+                if self.cc.algo() != algo {
+                    self.cc = components::make(algo, self.mss);
+                }
             }
-            TcpState::CloseWait => {
-                self.close_requested = true;
-                self.state = TcpState::LastAck;
+            SockOpt::InitialCwnd(segs) => {
+                self.cc.set_cwnd(segs as usize * self.mss as usize);
             }
-            TcpState::SynSent | TcpState::Listen => {
-                self.state = TcpState::Closed;
-                self.events.push(SockEvent::Closed(self.id));
+            SockOpt::RecvBuf(cap) => {
+                self.fc.recv_buf.set_cap(cap);
+                self.fc.asm.set_cap(cap);
             }
-            _ => {}
         }
     }
 
-    /// Abort: RST to the peer, everything dropped.
-    pub fn abort(&mut self) {
-        if !matches!(self.state, TcpState::Closed | TcpState::TimeWait) {
-            self.ack_now = true; // force poll_transmit to run once for RST
-        }
-        self.enter_closed(TcpError::Reset, true);
-    }
-
-    fn enter_closed(&mut self, err: TcpError, rst: bool) {
-        if self.state == TcpState::Closed {
-            return;
-        }
-        self.state = TcpState::Closed;
-        self.error = Some(err);
-        self.rtx_deadline = None;
-        self.ack_deadline = None;
-        self.probe_deadline = None;
-        self.keepalive_deadline = None;
-        self.events.push(if rst {
-            SockEvent::Aborted(self.id)
-        } else {
-            SockEvent::Closed(self.id)
-        });
+    /// Read back the current value of an option kind.
+    pub fn get_opt(&self, kind: SockOptKind) -> Option<SockOpt> {
+        Some(match kind {
+            SockOptKind::CongestionAlgo => SockOpt::CongestionAlgo(self.cc.algo()),
+            SockOptKind::InitialCwnd => {
+                SockOpt::InitialCwnd((self.cc.cwnd() / self.mss.max(1) as usize) as u32)
+            }
+            SockOptKind::RecvBuf => SockOpt::RecvBuf(self.fc.recv_buf.cap()),
+        })
     }
 
     // ------------------------------------------------------------------
     // Timers
     // ------------------------------------------------------------------
 
-    fn arm_rtx(&mut self, now: u64) {
-        self.rtx_deadline = Some(now + self.rtt.rto());
-    }
-
     /// Earliest instant this socket needs a timer callback.
     pub fn next_timeout(&self) -> Option<u64> {
         [
-            self.rtx_deadline,
-            self.ack_deadline,
-            self.time_wait_deadline,
-            self.probe_deadline,
-            self.keepalive_deadline,
+            self.rel.rtx_deadline,
+            self.fc.ack_deadline,
+            self.cm.time_wait_deadline,
+            self.fc.probe_deadline,
+            self.cm.keepalive_deadline,
         ]
         .into_iter()
         .flatten()
         .min()
     }
 
-    /// Process timer expirations at `now`.
+    /// Process timer expirations at `now`, routing each deadline to the
+    /// component that owns it.
     pub fn on_timer(&mut self, now: u64) {
-        if let Some(d) = self.time_wait_deadline {
+        if let Some(d) = self.cm.time_wait_deadline {
             if now >= d {
-                self.time_wait_deadline = None;
-                self.state = TcpState::Closed;
+                self.cm.time_wait_deadline = None;
+                self.cm.state = TcpState::Closed;
                 self.events.push(SockEvent::Closed(self.id));
                 return;
             }
         }
-        if let Some(d) = self.rtx_deadline {
+        if let Some(d) = self.rel.rtx_deadline {
             if now >= d {
                 self.handle_rto(now);
             }
         }
-        if let Some(d) = self.ack_deadline {
+        if let Some(d) = self.fc.ack_deadline {
             if now >= d {
-                self.ack_deadline = None;
-                if self.ack_pending > 0 {
-                    self.ack_now = true;
+                self.fc.ack_deadline = None;
+                if self.fc.ack_pending > 0 {
+                    self.fc.ack_now = true;
                 }
             }
         }
-        if let Some(d) = self.probe_deadline {
+        if let Some(d) = self.fc.probe_deadline {
             if now >= d {
                 // Zero-window probe: retransmit one byte at snd_una.
-                self.probe_deadline = Some(now + self.rtt.rto().max(1_000_000));
-                self.rtx_now = true;
+                self.fc.probe_deadline = Some(now + self.rel.rtt.rto().max(1_000_000));
+                self.rel.rtx_now = true;
             }
         }
-        if let Some(d) = self.keepalive_deadline {
-            if now >= d && self.state == TcpState::Established {
-                self.keepalive_deadline = Some(now + self.cfg.keepalive_ns);
-                self.ack_now = true; // keepalive = duplicate ACK probe
+        if let Some(d) = self.cm.keepalive_deadline {
+            if now >= d && self.cm.state == TcpState::Established {
+                self.cm.keepalive_deadline = Some(now + self.cfg.keepalive_ns);
+                self.fc.ack_now = true; // keepalive = duplicate ACK probe
             }
-        }
-    }
-
-    fn handle_rto(&mut self, now: u64) {
-        // Anything outstanding? (data, SYN, or FIN)
-        let outstanding = self.bytes_in_flight() > 0
-            || matches!(self.state, TcpState::SynSent | TcpState::SynReceived)
-            || (self.fin_seq.is_some() && !self.fin_acked());
-        if !outstanding {
-            self.rtx_deadline = None;
-            return;
-        }
-        self.retries += 1;
-        if self.retries > self.cfg.max_retries {
-            self.enter_closed(TcpError::TimedOut, true);
-            return;
-        }
-        self.retransmits += 1;
-        neat_obs::counter_add("tcp.rto_retransmits", 1);
-        self.rtt.backoff();
-        self.rtt_sample = None; // Karn: no sampling across retransmits
-        self.cc.on_timeout(now);
-        self.rtx_now = true;
-        match self.state {
-            TcpState::SynSent => self.syn_sent = false, // resend SYN
-            TcpState::SynReceived => {}                 // resend SYN-ACK below
-            _ => {}
-        }
-        self.arm_rtx(now);
-    }
-
-    fn fin_acked(&self) -> bool {
-        match self.fin_seq {
-            Some(f) => self.snd_una() > f,
-            None => false,
         }
     }
 
@@ -533,94 +327,31 @@ impl TcpSocket {
     /// Handle one inbound segment addressed to this connection.
     pub fn on_segment(&mut self, h: &TcpHeader, payload: &[u8], now: u64) {
         self.rx_segments += 1;
-        match self.state {
+        match self.cm.state {
             TcpState::Closed => {}
             TcpState::SynSent => self.on_segment_syn_sent(h, now),
             _ => self.on_segment_synchronized(h, payload, now),
         }
     }
 
-    fn on_segment_syn_sent(&mut self, h: &TcpHeader, now: u64) {
-        if h.flags.ack && h.ack != self.iss + 1 {
-            // Unacceptable ACK; the stack sends the RST for us if needed.
-            if !h.flags.rst {
-                self.ack_now = true;
-            }
-            return;
-        }
-        if h.flags.rst {
-            if h.flags.ack {
-                self.enter_closed(TcpError::Reset, false);
-            }
-            return;
-        }
-        if !h.flags.syn {
-            return;
-        }
-        self.irs = h.seq;
-        self.rcv_nxt = h.seq + 1;
-        if let Some(m) = h.mss {
-            self.mss = self.mss.min(m);
-        }
-        if let Some(ws) = h.window_scale {
-            self.snd_wscale = ws;
-            self.rcv_wscale = OUR_WSCALE;
-        }
-        self.snd_wnd = (h.window as usize) << self.snd_wscale;
-        self.snd_wl1 = h.seq;
-        self.snd_wl2 = h.ack;
-        if h.flags.ack {
-            // SYN-ACK: connection established.
-            self.send_buf.ack_to(h.ack);
-            self.snd_nxt = h.ack;
-            self.sample_rtt(h.ack, now);
-            self.state = TcpState::Established;
-            self.retries = 0;
-            self.rtx_deadline = None;
-            self.ack_now = true;
-            if self.cfg.keepalive_ns > 0 {
-                self.keepalive_deadline = Some(now + self.cfg.keepalive_ns);
-            }
-            self.events.push(SockEvent::Connected(self.id));
-        } else {
-            // Simultaneous open.
-            self.state = TcpState::SynReceived;
-            self.syn_sent = false; // re-emit as SYN-ACK
-            self.arm_rtx(now);
-        }
-    }
-
-    fn seq_acceptable(&self, h: &TcpHeader, seg_len: u32) -> bool {
-        let wnd = self.recv_window_bytes() as u32;
-        let seq = h.seq;
-        if seg_len == 0 {
-            if wnd == 0 {
-                seq == self.rcv_nxt
-            } else {
-                seq - self.rcv_nxt >= -(wnd as i32) && (seq - self.rcv_nxt) < wnd as i32
-            }
-        } else {
-            if wnd == 0 {
-                return false;
-            }
-            (seq - self.rcv_nxt) < wnd as i32 && (seq + seg_len - self.rcv_nxt) > 0
-        }
-    }
-
+    /// RFC 793 segment-arrival steps in a synchronized state, each routed
+    /// to its owning component: acceptability and windows to flow
+    /// control, ACKs to reliability, RST/SYN/FIN to connection
+    /// management.
     fn on_segment_synchronized(&mut self, h: &TcpHeader, payload: &[u8], now: u64) {
         let seg_len = h.seq_len(payload.len());
 
-        // RFC 793 step 1: sequence acceptability.
+        // Step 1: sequence acceptability (flow control).
         if !self.seq_acceptable(h, seg_len) {
             if !h.flags.rst {
-                self.ack_now = true; // re-ACK to resync the peer
+                self.fc.ack_now = true; // re-ACK to resync the peer
             }
             return;
         }
 
-        // Step 2: RST.
+        // Step 2: RST (connection management).
         if h.flags.rst {
-            match self.state {
+            match self.cm.state {
                 TcpState::SynReceived => self.enter_closed(TcpError::Reset, true),
                 TcpState::TimeWait | TcpState::LastAck | TcpState::Closing => {
                     self.enter_closed(TcpError::Reset, false)
@@ -631,200 +362,31 @@ impl TcpSocket {
         }
 
         // Step 4: SYN in window is an error.
-        if h.flags.syn && h.seq != self.irs {
+        if h.flags.syn && h.seq != self.cm.irs {
             self.enter_closed(TcpError::Reset, true);
             return;
         }
 
-        // Step 5: ACK processing.
+        // Step 5: ACK processing — passive-open completion (connection
+        // management), then cumulative/duplicate ACKs (reliability).
         if !h.flags.ack {
             return;
         }
-        if self.state == TcpState::SynReceived {
-            if h.ack == self.iss + 1 {
-                self.state = TcpState::Established;
-                self.retries = 0;
-                self.rtx_deadline = None;
-                self.snd_wnd = (h.window as usize) << self.snd_wscale;
-                self.snd_wl1 = h.seq;
-                self.snd_wl2 = h.ack;
-                if self.cfg.keepalive_ns > 0 {
-                    self.keepalive_deadline = Some(now + self.cfg.keepalive_ns);
-                }
-                self.sample_rtt(h.ack, now);
-                self.events.push(SockEvent::Connected(self.id));
-            } else {
-                // Unacceptable ACK in SYN-RECEIVED: ignore (stack RSTs).
-                return;
-            }
+        if self.cm.state == TcpState::SynReceived && !self.establish_syn_received(h, now) {
+            return;
+        }
+        if !self.process_ack(h, payload, now) {
+            return;
         }
 
-        let una_before = self.snd_una();
-        let snd_end = self.fin_seq.map(|f| f + 1).unwrap_or(self.send_buf.end());
-        if h.ack - una_before > 0 && h.ack - snd_end <= 0 {
-            // New data acknowledged.
-            let acked = self.send_buf.ack_to(h.ack);
-            // FIN consumes one sequence number beyond the buffer.
-            if let Some(f) = self.fin_seq {
-                if h.ack - f > 0 {
-                    // our FIN is acked (buffer ack_to already handled bytes)
-                }
-            }
-            if self.snd_nxt - h.ack < 0 {
-                self.snd_nxt = h.ack;
-            }
-            self.retries = 0;
-            self.dup_acks = 0;
-            self.sample_rtt(h.ack, now);
-            self.cc.on_ack(acked.max(1), now);
-            if acked > 0 && self.send_buf.room() > 0 {
-                self.events.push(SockEvent::Writable(self.id));
-            }
-            // Restart or stop the retransmission timer.
-            let outstanding =
-                self.bytes_in_flight() > 0 || (self.fin_seq.is_some() && !self.fin_acked_at(h.ack));
-            if outstanding {
-                self.arm_rtx(now);
-            } else {
-                self.rtx_deadline = None;
-            }
-            // Close-handshake progress.
-            if self.fin_acked_at(h.ack) {
-                match self.state {
-                    TcpState::FinWait1 => self.state = TcpState::FinWait2,
-                    TcpState::Closing => self.enter_time_wait(now),
-                    TcpState::LastAck => {
-                        self.enter_closed_graceful();
-                        return;
-                    }
-                    _ => {}
-                }
-            }
-        } else if h.ack == una_before {
-            // Potential duplicate ACK (RFC 5681: no data, no window change,
-            // outstanding data exists).
-            let window_changed = ((h.window as usize) << self.snd_wscale) != self.snd_wnd;
-            if payload.is_empty() && !window_changed && self.bytes_in_flight() > 0 {
-                self.dup_acks += 1;
-                if self.dup_acks == 3 {
-                    self.cc.on_fast_retransmit(now);
-                    self.rtx_now = true;
-                    self.retransmits += 1;
-                    neat_obs::counter_add("tcp.fast_retransmits", 1);
-                    self.rtt_sample = None;
-                }
-            }
-        }
+        // Step 6: window update (flow control).
+        self.process_window_update(h, now);
 
-        // Window update (RFC 793: wl1/wl2 guard against stale segments).
-        if h.seq - self.snd_wl1 > 0 || (h.seq == self.snd_wl1 && h.ack - self.snd_wl2 >= 0) {
-            let new_wnd = (h.window as usize) << self.snd_wscale;
-            let was_zero = self.snd_wnd == 0;
-            self.snd_wnd = new_wnd;
-            self.snd_wl1 = h.seq;
-            self.snd_wl2 = h.ack;
-            if was_zero && new_wnd > 0 {
-                self.probe_deadline = None;
-            } else if new_wnd == 0 && self.send_buf.len_from(self.snd_nxt) > 0 {
-                self.probe_deadline = Some(now + self.rtt.rto());
-            }
-        }
+        // Step 7: payload (flow control).
+        self.process_payload(h, payload, now);
 
-        // Step 7: payload.
-        if !payload.is_empty() && self.state.can_recv() {
-            let inserted = self.asm.insert(h.seq, payload, self.rcv_nxt);
-            if inserted {
-                let mut delivered = false;
-                while let Some(run) = self.asm.take_contiguous(self.rcv_nxt) {
-                    let n = self.recv_buf.write(&run);
-                    self.rcv_nxt += n as u32;
-                    delivered = delivered || n > 0;
-                    if n < run.len() {
-                        // Receive buffer full: drop the tail; the shrunken
-                        // advertised window makes the peer resend later.
-                        break;
-                    }
-                }
-                if delivered {
-                    self.events.push(SockEvent::Readable(self.id));
-                }
-            }
-            // ACK policy: every second segment, else delayed.
-            self.ack_pending += 1;
-            if h.seq != self.rcv_nxt && !self.asm.is_empty() {
-                // Out-of-order: ACK immediately (fast-retransmit support).
-                self.ack_now = true;
-            } else if self.ack_pending >= 2 || self.cfg.delayed_ack_ns == 0 {
-                self.ack_now = true;
-            } else if self.ack_deadline.is_none() {
-                self.ack_deadline = Some(now + self.cfg.delayed_ack_ns);
-            }
-        }
-
-        // Step 8: FIN.
-        if h.flags.fin {
-            let fin_seq = h.seq + payload.len() as u32;
-            if fin_seq == self.rcv_nxt && !self.peer_fin_rcvd && self.asm.is_empty() {
-                self.peer_fin_rcvd = true;
-                self.rcv_nxt += 1;
-                self.ack_now = true;
-                self.events.push(SockEvent::PeerClosed(self.id));
-                match self.state {
-                    TcpState::Established => self.state = TcpState::CloseWait,
-                    TcpState::FinWait1 => {
-                        if self.fin_acked() {
-                            self.enter_time_wait(now);
-                        } else {
-                            self.state = TcpState::Closing;
-                        }
-                    }
-                    TcpState::FinWait2 => self.enter_time_wait(now),
-                    _ => {}
-                }
-            } else if fin_seq - self.rcv_nxt > 0 {
-                // FIN beyond a gap: ACK what we have, peer will retransmit.
-                self.ack_now = true;
-            }
-        }
-    }
-
-    fn fin_acked_at(&self, ack: SeqNum) -> bool {
-        match self.fin_seq {
-            Some(f) => ack - f > 0,
-            None => false,
-        }
-    }
-
-    fn enter_time_wait(&mut self, now: u64) {
-        self.state = TcpState::TimeWait;
-        self.rtx_deadline = None;
-        self.time_wait_deadline = Some(now + self.cfg.time_wait_ns);
-        self.events.push(SockEvent::Closed(self.id));
-    }
-
-    fn enter_closed_graceful(&mut self) {
-        self.state = TcpState::Closed;
-        self.rtx_deadline = None;
-        self.events.push(SockEvent::Closed(self.id));
-    }
-
-    fn sample_rtt(&mut self, ack: SeqNum, now: u64) {
-        if let Some((seq, sent)) = self.rtt_sample {
-            if ack - seq >= 0 {
-                self.rtt.sample(now.saturating_sub(sent));
-                self.rtt_sample = None;
-            }
-        }
-    }
-
-    fn recv_window_bytes(&self) -> usize {
-        self.recv_buf.window()
-    }
-
-    /// The window field value (scaled) for outgoing segments.
-    fn window_field(&self) -> u16 {
-        let w = self.recv_window_bytes() >> self.rcv_wscale;
-        w.min(u16::MAX as usize) as u16
+        // Step 8: FIN (connection management).
+        self.process_fin(h, payload, now);
     }
 
     // ------------------------------------------------------------------
@@ -832,84 +394,17 @@ impl TcpSocket {
     // ------------------------------------------------------------------
 
     /// Produce the next segment to transmit, if any. Call repeatedly until
-    /// `None`. Payload is returned separately from the header.
+    /// `None`. Payload is returned separately from the header. Each state
+    /// routes to the component that owns the segment type.
     pub fn poll_transmit(&mut self, now: u64) -> Option<(TcpHeader, Vec<u8>)> {
-        match self.state {
-            TcpState::Closed => {
-                // Emit one RST if an abort requested it.
-                if self.ack_now && self.error == Some(TcpError::Reset) {
-                    self.ack_now = false;
-                    let h = TcpHeader::new(
-                        self.local_port,
-                        self.remote_port,
-                        self.snd_nxt,
-                        self.rcv_nxt,
-                        TcpFlags {
-                            rst: true,
-                            ack: true,
-                            ..Default::default()
-                        },
-                    );
-                    self.tx_segments += 1;
-                    return Some((h, Vec::new()));
-                }
-                None
-            }
-            TcpState::SynSent => {
-                if !self.syn_sent {
-                    self.syn_sent = true;
-                    let mut h = TcpHeader::new(
-                        self.local_port,
-                        self.remote_port,
-                        self.iss,
-                        SeqNum(0),
-                        TcpFlags::SYN,
-                    );
-                    h.mss = Some(self.cfg.mss);
-                    h.window_scale = Some(OUR_WSCALE);
-                    h.window = self.recv_window_bytes().min(u16::MAX as usize) as u16;
-                    self.snd_nxt = self.iss + 1;
-                    if self.rtt_sample.is_none() {
-                        self.rtt_sample = Some((self.iss + 1, now));
-                    }
-                    self.tx_segments += 1;
-                    return Some((h, Vec::new()));
-                }
-                None
-            }
-            TcpState::SynReceived => {
-                if !self.syn_sent {
-                    self.syn_sent = true;
-                    let mut h = TcpHeader::new(
-                        self.local_port,
-                        self.remote_port,
-                        self.iss,
-                        self.rcv_nxt,
-                        TcpFlags::syn_ack(),
-                    );
-                    h.mss = Some(self.cfg.mss);
-                    if self.rcv_wscale > 0 {
-                        h.window_scale = Some(OUR_WSCALE);
-                    }
-                    h.window = self.recv_window_bytes().min(u16::MAX as usize) as u16;
-                    self.snd_nxt = self.iss + 1;
-                    if self.rtt_sample.is_none() {
-                        self.rtt_sample = Some((self.iss + 1, now));
-                    }
-                    self.tx_segments += 1;
-                    return Some((h, Vec::new()));
-                }
-                if self.rtx_now {
-                    self.rtx_now = false;
-                    self.syn_sent = false;
-                    return self.poll_transmit(now);
-                }
-                None
-            }
+        match self.cm.state {
+            TcpState::Closed => self.transmit_rst(),
+            TcpState::SynSent => self.transmit_syn(now),
+            TcpState::SynReceived => self.transmit_syn_ack(now),
             TcpState::TimeWait => {
-                if self.ack_now {
-                    self.ack_now = false;
-                    self.ack_pending = 0;
+                if self.fc.ack_now {
+                    self.fc.ack_now = false;
+                    self.fc.ack_pending = 0;
                     return Some((self.bare_ack(), Vec::new()));
                 }
                 None
@@ -918,906 +413,23 @@ impl TcpSocket {
         }
     }
 
-    fn bare_ack(&mut self) -> TcpHeader {
-        let mut h = TcpHeader::new(
-            self.local_port,
-            self.remote_port,
-            self.snd_nxt,
-            self.rcv_nxt,
-            TcpFlags::ack(),
-        );
-        h.window = self.window_field();
-        self.tx_segments += 1;
-        h
-    }
-
+    /// Synchronized-state transmit priority: retransmission, then new
+    /// data (reliability), then FIN (connection management), then a pure
+    /// ACK (flow control).
     fn poll_transmit_data(&mut self, now: u64) -> Option<(TcpHeader, Vec<u8>)> {
-        // 1. Retransmission (RTO, fast retransmit, or zero-window probe).
-        if self.rtx_now {
-            self.rtx_now = false;
-            let una = self.snd_una();
-            let avail = self.send_buf.len_from(una);
-            if avail > 0 {
-                let len = avail.min(self.mss as usize).max(1);
-                let data = self.send_buf.peek(una, len);
-                let mut h = TcpHeader::new(
-                    self.local_port,
-                    self.remote_port,
-                    una,
-                    self.rcv_nxt,
-                    TcpFlags::psh_ack(),
-                );
-                h.window = self.window_field();
-                self.ack_pending = 0;
-                self.ack_deadline = None;
-                self.ack_now = false;
-                self.tx_segments += 1;
-                return Some((h, data));
-            } else if self.fin_seq.is_some() && !self.fin_acked() {
-                // Retransmit the FIN.
-                let mut h = TcpHeader::new(
-                    self.local_port,
-                    self.remote_port,
-                    self.fin_seq.unwrap(),
-                    self.rcv_nxt,
-                    TcpFlags::fin_ack(),
-                );
-                h.window = self.window_field();
-                self.tx_segments += 1;
-                return Some((h, Vec::new()));
-            }
+        if let Some(seg) = self.rtx_transmit() {
+            return Some(seg);
         }
-
-        // 2. New data within the usable window.
-        let window = self.snd_wnd.min(self.cc.cwnd());
-        let in_flight = self.bytes_in_flight();
-        let usable = window.saturating_sub(in_flight);
-        let pending = self.send_buf.len_from(self.snd_nxt);
-        if pending > 0 && usable > 0 && self.fin_seq.is_none() {
-            // GSO: hand the NIC a super-segment; it splits to MSS frames.
-            let burst = self.cfg.gso_burst.max(self.mss as usize).min(61_440);
-            let len = pending.min(usable).min(burst);
-            // Nagle: hold sub-MSS segments while data is in flight.
-            let nagle_blocks = self.cfg.nagle && in_flight > 0 && len < self.mss as usize;
-            if !nagle_blocks && len > 0 {
-                let data = self.send_buf.peek(self.snd_nxt, len);
-                let mut h = TcpHeader::new(
-                    self.local_port,
-                    self.remote_port,
-                    self.snd_nxt,
-                    self.rcv_nxt,
-                    TcpFlags::psh_ack(),
-                );
-                h.window = self.window_field();
-                if self.rtt_sample.is_none() {
-                    self.rtt_sample = Some((self.snd_nxt + len as u32, now));
-                }
-                self.snd_nxt += len as u32;
-                if self.rtx_deadline.is_none() {
-                    self.arm_rtx(now);
-                }
-                self.ack_pending = 0;
-                self.ack_deadline = None;
-                self.ack_now = false;
-                self.tx_segments += 1;
-                return Some((h, data));
-            }
+        if let Some(seg) = self.transmit_new_data(now) {
+            return Some(seg);
         }
-
-        // 3. FIN once the stream is fully sent.
-        let all_sent = self.send_buf.len_from(self.snd_nxt) == 0;
-        let want_fin = matches!(
-            self.state,
-            TcpState::FinWait1 | TcpState::LastAck | TcpState::Closing
-        );
-        if want_fin && all_sent && self.fin_seq.is_none() {
-            self.fin_seq = Some(self.snd_nxt);
-            let mut h = TcpHeader::new(
-                self.local_port,
-                self.remote_port,
-                self.snd_nxt,
-                self.rcv_nxt,
-                TcpFlags::fin_ack(),
-            );
-            h.window = self.window_field();
-            self.snd_nxt += 1;
-            if self.rtx_deadline.is_none() {
-                self.arm_rtx(now);
-            }
-            self.ack_pending = 0;
-            self.ack_deadline = None;
-            self.ack_now = false;
-            self.tx_segments += 1;
-            return Some((h, Vec::new()));
+        if let Some(seg) = self.transmit_fin(now) {
+            return Some(seg);
         }
-
-        // 4. Pure ACK.
-        if self.ack_now || (self.ack_pending > 0 && self.ack_deadline.is_none()) {
-            self.ack_now = false;
-            self.ack_pending = 0;
-            self.ack_deadline = None;
-            return Some((self.bare_ack(), Vec::new()));
-        }
-        None
-    }
-}
-
-/// A serializable TCB checkpoint: the per-connection state one replica
-/// ships to its buddy so a restarted (or rebalanced) replica can resume
-/// the flow. `snapshot → restore → snapshot` is exactly the identity on
-/// this image space (property-tested), so a flow survives any number of
-/// hops unchanged.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TcbImage {
-    pub state: TcpState,
-    pub local_ip: Ipv4Addr,
-    pub local_port: u16,
-    pub remote_ip: Ipv4Addr,
-    pub remote_port: u16,
-    pub iss: SeqNum,
-    pub irs: SeqNum,
-    pub snd_nxt: SeqNum,
-    pub snd_wnd: u64,
-    pub snd_wl1: SeqNum,
-    pub snd_wl2: SeqNum,
-    pub mss: u16,
-    pub snd_wscale: u8,
-    pub rcv_wscale: u8,
-    pub syn_sent: bool,
-    pub send_base: SeqNum,
-    pub send_data: Vec<u8>,
-    pub send_cap: u64,
-    pub rcv_nxt: SeqNum,
-    pub recv_data: Vec<u8>,
-    pub recv_cap: u64,
-    pub peer_fin_rcvd: bool,
-    pub close_requested: bool,
-    pub fin_seq: Option<SeqNum>,
-    pub rtx_deadline: Option<u64>,
-    pub rtx_now: bool,
-    pub retries: u32,
-    pub dup_acks: u32,
-    pub rtt: crate::rto::RttSnapshot,
-    pub ack_pending: u32,
-    pub ack_deadline: Option<u64>,
-    pub ack_now: bool,
-    pub time_wait_deadline: Option<u64>,
-    pub probe_deadline: Option<u64>,
-    pub keepalive_deadline: Option<u64>,
-    pub tx_segments: u64,
-    pub rx_segments: u64,
-    pub retransmits: u64,
-}
-
-/// Wire format version tag — the first byte of every encoded image.
-const TCB_IMAGE_V1: u8 = 1;
-
-impl TcbImage {
-    /// Does this state carry resumable stream state worth replicating?
-    /// Handshake-in-progress and torn-down flows are recreated (or
-    /// forgotten) by the normal protocol machinery instead.
-    pub fn replicable(state: TcpState) -> bool {
-        matches!(
-            state,
-            TcpState::Established
-                | TcpState::FinWait1
-                | TcpState::FinWait2
-                | TcpState::Closing
-                | TcpState::CloseWait
-                | TcpState::LastAck
-        )
-    }
-
-    /// Serialize to the little-endian byte format that travels on the
-    /// replication channel.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = Vec::with_capacity(160 + self.send_data.len() + self.recv_data.len());
-        w.push(TCB_IMAGE_V1);
-        w.push(state_code(self.state));
-        w.extend(self.local_ip.octets());
-        w.extend(self.local_port.to_le_bytes());
-        w.extend(self.remote_ip.octets());
-        w.extend(self.remote_port.to_le_bytes());
-        for seq in [
-            self.iss,
-            self.irs,
-            self.snd_nxt,
-            self.snd_wl1,
-            self.snd_wl2,
-            self.send_base,
-            self.rcv_nxt,
-        ] {
-            w.extend(seq.0.to_le_bytes());
-        }
-        w.extend(self.snd_wnd.to_le_bytes());
-        w.extend(self.mss.to_le_bytes());
-        w.push(self.snd_wscale);
-        w.push(self.rcv_wscale);
-        put_bool(&mut w, self.syn_sent);
-        put_bytes(&mut w, &self.send_data);
-        w.extend(self.send_cap.to_le_bytes());
-        put_bytes(&mut w, &self.recv_data);
-        w.extend(self.recv_cap.to_le_bytes());
-        put_bool(&mut w, self.peer_fin_rcvd);
-        put_bool(&mut w, self.close_requested);
-        put_opt_u64(&mut w, self.fin_seq.map(|s| s.0 as u64));
-        put_opt_u64(&mut w, self.rtx_deadline);
-        put_bool(&mut w, self.rtx_now);
-        w.extend(self.retries.to_le_bytes());
-        w.extend(self.dup_acks.to_le_bytes());
-        put_opt_u64(&mut w, self.rtt.srtt_bits);
-        w.extend(self.rtt.rttvar_bits.to_le_bytes());
-        w.extend(self.rtt.rto_ns.to_le_bytes());
-        w.extend(self.rtt.base_rto_ns.to_le_bytes());
-        w.extend(self.rtt.backoffs.to_le_bytes());
-        w.extend(self.ack_pending.to_le_bytes());
-        put_opt_u64(&mut w, self.ack_deadline);
-        put_bool(&mut w, self.ack_now);
-        put_opt_u64(&mut w, self.time_wait_deadline);
-        put_opt_u64(&mut w, self.probe_deadline);
-        put_opt_u64(&mut w, self.keepalive_deadline);
-        w.extend(self.tx_segments.to_le_bytes());
-        w.extend(self.rx_segments.to_le_bytes());
-        w.extend(self.retransmits.to_le_bytes());
-        w
-    }
-
-    /// Parse an encoded image; `None` on truncation, bad version, or an
-    /// unknown state code (a corrupt checkpoint must never install).
-    pub fn decode(bytes: &[u8]) -> Option<TcbImage> {
-        let mut r = Reader { b: bytes, at: 0 };
-        if r.u8()? != TCB_IMAGE_V1 {
-            return None;
-        }
-        let state = state_from_code(r.u8()?)?;
-        let local_ip = Ipv4Addr::from(r.arr4()?);
-        let local_port = r.u16()?;
-        let remote_ip = Ipv4Addr::from(r.arr4()?);
-        let remote_port = r.u16()?;
-        let iss = SeqNum(r.u32()?);
-        let irs = SeqNum(r.u32()?);
-        let snd_nxt = SeqNum(r.u32()?);
-        let snd_wl1 = SeqNum(r.u32()?);
-        let snd_wl2 = SeqNum(r.u32()?);
-        let send_base = SeqNum(r.u32()?);
-        let rcv_nxt = SeqNum(r.u32()?);
-        let snd_wnd = r.u64()?;
-        let mss = r.u16()?;
-        let snd_wscale = r.u8()?;
-        let rcv_wscale = r.u8()?;
-        let syn_sent = r.boolean()?;
-        let send_data = r.bytes()?;
-        let send_cap = r.u64()?;
-        let recv_data = r.bytes()?;
-        let recv_cap = r.u64()?;
-        let peer_fin_rcvd = r.boolean()?;
-        let close_requested = r.boolean()?;
-        let fin_seq = r.opt_u64()?.map(|v| SeqNum(v as u32));
-        let rtx_deadline = r.opt_u64()?;
-        let rtx_now = r.boolean()?;
-        let retries = r.u32()?;
-        let dup_acks = r.u32()?;
-        let rtt = crate::rto::RttSnapshot {
-            srtt_bits: r.opt_u64()?,
-            rttvar_bits: r.u64()?,
-            rto_ns: r.u64()?,
-            base_rto_ns: r.u64()?,
-            backoffs: r.u32()?,
-        };
-        let ack_pending = r.u32()?;
-        let ack_deadline = r.opt_u64()?;
-        let ack_now = r.boolean()?;
-        let time_wait_deadline = r.opt_u64()?;
-        let probe_deadline = r.opt_u64()?;
-        let keepalive_deadline = r.opt_u64()?;
-        let tx_segments = r.u64()?;
-        let rx_segments = r.u64()?;
-        let retransmits = r.u64()?;
-        Some(TcbImage {
-            state,
-            local_ip,
-            local_port,
-            remote_ip,
-            remote_port,
-            iss,
-            irs,
-            snd_nxt,
-            snd_wnd,
-            snd_wl1,
-            snd_wl2,
-            mss,
-            snd_wscale,
-            rcv_wscale,
-            syn_sent,
-            send_base,
-            send_data,
-            send_cap,
-            rcv_nxt,
-            recv_data,
-            recv_cap,
-            peer_fin_rcvd,
-            close_requested,
-            fin_seq,
-            rtx_deadline,
-            rtx_now,
-            retries,
-            dup_acks,
-            rtt,
-            ack_pending,
-            ack_deadline,
-            ack_now,
-            time_wait_deadline,
-            probe_deadline,
-            keepalive_deadline,
-            tx_segments,
-            rx_segments,
-            retransmits,
-        })
-    }
-
-    /// Heap footprint of the image (replication-store accounting).
-    pub fn heap_bytes(&self) -> usize {
-        self.send_data.capacity() + self.recv_data.capacity()
-    }
-}
-
-fn state_code(s: TcpState) -> u8 {
-    match s {
-        TcpState::Closed => 0,
-        TcpState::Listen => 1,
-        TcpState::SynSent => 2,
-        TcpState::SynReceived => 3,
-        TcpState::Established => 4,
-        TcpState::FinWait1 => 5,
-        TcpState::FinWait2 => 6,
-        TcpState::Closing => 7,
-        TcpState::TimeWait => 8,
-        TcpState::CloseWait => 9,
-        TcpState::LastAck => 10,
-    }
-}
-
-fn state_from_code(c: u8) -> Option<TcpState> {
-    Some(match c {
-        0 => TcpState::Closed,
-        1 => TcpState::Listen,
-        2 => TcpState::SynSent,
-        3 => TcpState::SynReceived,
-        4 => TcpState::Established,
-        5 => TcpState::FinWait1,
-        6 => TcpState::FinWait2,
-        7 => TcpState::Closing,
-        8 => TcpState::TimeWait,
-        9 => TcpState::CloseWait,
-        10 => TcpState::LastAck,
-        _ => return None,
-    })
-}
-
-fn put_bool(w: &mut Vec<u8>, v: bool) {
-    w.push(v as u8);
-}
-
-fn put_bytes(w: &mut Vec<u8>, v: &[u8]) {
-    w.extend((v.len() as u32).to_le_bytes());
-    w.extend(v);
-}
-
-fn put_opt_u64(w: &mut Vec<u8>, v: Option<u64>) {
-    match v {
-        Some(x) => {
-            w.push(1);
-            w.extend(x.to_le_bytes());
-        }
-        None => w.push(0),
-    }
-}
-
-/// Bounds-checked little-endian reader over an encoded image.
-struct Reader<'a> {
-    b: &'a [u8],
-    at: usize,
-}
-
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Option<&[u8]> {
-        let end = self.at.checked_add(n)?;
-        if end > self.b.len() {
-            return None;
-        }
-        let s = &self.b[self.at..end];
-        self.at = end;
-        Some(s)
-    }
-
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-
-    fn boolean(&mut self) -> Option<bool> {
-        match self.u8()? {
-            0 => Some(false),
-            1 => Some(true),
-            _ => None,
-        }
-    }
-
-    fn u16(&mut self) -> Option<u16> {
-        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn arr4(&mut self) -> Option<[u8; 4]> {
-        self.take(4)?.try_into().ok()
-    }
-
-    fn bytes(&mut self) -> Option<Vec<u8>> {
-        let n = self.u32()? as usize;
-        Some(self.take(n)?.to_vec())
-    }
-
-    fn opt_u64(&mut self) -> Option<Option<u64>> {
-        match self.u8()? {
-            0 => Some(None),
-            1 => Some(Some(self.u64()?)),
-            _ => None,
-        }
+        self.transmit_pure_ack()
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-
-    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
-    const SERVER_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
-
-    fn cfg() -> TcpConfig {
-        TcpConfig {
-            initial_rto_ns: 50_000_000,
-            ..TcpConfig::default()
-        }
-    }
-
-    fn client(now: u64) -> TcpSocket {
-        TcpSocket::connect(
-            SocketId(1),
-            &cfg(),
-            (CLIENT_IP, 40000),
-            (SERVER_IP, 80),
-            SeqNum(1_000),
-            now,
-        )
-    }
-
-    /// Shuttle segments between two sockets until both are quiescent.
-    /// Returns the number of segments exchanged.
-    fn pump(a: &mut TcpSocket, b: &mut TcpSocket, now: u64) -> usize {
-        let mut n = 0;
-        loop {
-            let mut progressed = false;
-            while let Some((h, payload)) = a.poll_transmit(now) {
-                // Real emit+parse so checksums and options are exercised.
-                let bytes = h.emit(&payload, a.local_ip, b.local_ip);
-                let (g, range) = TcpHeader::parse(&bytes, a.local_ip, b.local_ip).unwrap();
-                b.on_segment(&g, &bytes[range], now);
-                n += 1;
-                progressed = true;
-            }
-            while let Some((h, payload)) = b.poll_transmit(now) {
-                let bytes = h.emit(&payload, b.local_ip, a.local_ip);
-                let (g, range) = TcpHeader::parse(&bytes, b.local_ip, a.local_ip).unwrap();
-                a.on_segment(&g, &bytes[range], now);
-                n += 1;
-                progressed = true;
-            }
-            if !progressed {
-                return n;
-            }
-        }
-    }
-
-    /// Build an established client/server pair via a real 3-way handshake.
-    fn established() -> (TcpSocket, TcpSocket) {
-        let now = 0;
-        let mut c = client(now);
-        let (syn, _) = c.poll_transmit(now).expect("SYN");
-        assert!(syn.flags.syn && !syn.flags.ack);
-        let mut s = TcpSocket::accept_from_syn(
-            SocketId(2),
-            &cfg(),
-            (SERVER_IP, 80),
-            (CLIENT_IP, 40000),
-            &syn,
-            SeqNum(5_000),
-            now,
-        );
-        pump(&mut c, &mut s, now);
-        assert_eq!(c.state(), TcpState::Established);
-        assert_eq!(s.state(), TcpState::Established);
-        assert!(c
-            .events
-            .iter()
-            .any(|e| matches!(e, SockEvent::Connected(_))));
-        assert!(s
-            .events
-            .iter()
-            .any(|e| matches!(e, SockEvent::Connected(_))));
-        c.events.clear();
-        s.events.clear();
-        (c, s)
-    }
-
-    #[test]
-    fn three_way_handshake() {
-        let (c, s) = established();
-        assert_eq!(c.effective_mss(), 1460);
-        assert_eq!(s.effective_mss(), 1460);
-        assert_eq!(c.bytes_in_flight(), 0);
-        assert_eq!(s.bytes_in_flight(), 0);
-    }
-
-    #[test]
-    fn data_transfer_both_directions() {
-        let (mut c, mut s) = established();
-        c.send(b"GET / HTTP/1.1\r\n\r\n").unwrap();
-        pump(&mut c, &mut s, 1_000_000);
-        let mut buf = [0u8; 64];
-        let n = s.recv(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"GET / HTTP/1.1\r\n\r\n");
-        s.send(b"HTTP/1.1 200 OK\r\n\r\nhi").unwrap();
-        pump(&mut c, &mut s, 2_000_000);
-        let n = c.recv(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"HTTP/1.1 200 OK\r\n\r\nhi");
-    }
-
-    #[test]
-    fn large_transfer_respects_mss_and_window() {
-        let (mut c, mut s) = established();
-        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 251) as u8).collect();
-        let mut sent = 0;
-        let mut received = Vec::new();
-        let mut now = 0u64;
-        while received.len() < data.len() {
-            now += 1_000_000;
-            if sent < data.len() {
-                if let Ok(n) = c.send(&data[sent..]) {
-                    sent += n;
-                }
-            }
-            // Drive timers for delayed ACKs.
-            c.on_timer(now);
-            s.on_timer(now);
-            pump(&mut c, &mut s, now);
-            let mut buf = [0u8; 4096];
-            while let Ok(n) = s.recv(&mut buf) {
-                if n == 0 {
-                    break;
-                }
-                received.extend_from_slice(&buf[..n]);
-            }
-            assert!(now < 10_000_000_000, "transfer did not complete");
-        }
-        assert_eq!(received, data);
-    }
-
-    #[test]
-    fn graceful_close_four_way() {
-        let (mut c, mut s) = established();
-        let now = 5_000_000;
-        c.close(now);
-        assert_eq!(c.state(), TcpState::FinWait1);
-        pump(&mut c, &mut s, now);
-        assert_eq!(s.state(), TcpState::CloseWait);
-        assert!(s
-            .events
-            .iter()
-            .any(|e| matches!(e, SockEvent::PeerClosed(_))));
-        s.close(now);
-        pump(&mut c, &mut s, now);
-        assert_eq!(c.state(), TcpState::TimeWait);
-        assert_eq!(s.state(), TcpState::Closed);
-        // TIME_WAIT expires.
-        c.on_timer(now + 10_000_000_001);
-        assert_eq!(c.state(), TcpState::Closed);
-    }
-
-    #[test]
-    fn simultaneous_close() {
-        let (mut c, mut s) = established();
-        let now = 5_000_000;
-        c.close(now);
-        s.close(now);
-        // Both FINs cross. Exchange everything.
-        pump(&mut c, &mut s, now);
-        // Both should end in TIME_WAIT (simultaneous close -> CLOSING ->
-        // TIME_WAIT on both sides).
-        assert_eq!(c.state(), TcpState::TimeWait);
-        assert_eq!(s.state(), TcpState::TimeWait);
-    }
-
-    #[test]
-    fn retransmission_on_loss() {
-        let (mut c, mut s) = established();
-        c.send(b"important data").unwrap();
-        // Drop the data segment (do not deliver).
-        let (h, payload) = c.poll_transmit(0).expect("data segment");
-        assert!(!payload.is_empty());
-        let _ = h;
-        assert!(c.poll_transmit(0).is_none());
-        // RTO fires.
-        let rto_at = c.next_timeout().expect("rtx armed");
-        c.on_timer(rto_at);
-        pump(&mut c, &mut s, rto_at);
-        let mut buf = [0u8; 64];
-        let n = s.recv(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"important data");
-        assert!(c.retransmits >= 1);
-    }
-
-    #[test]
-    fn fast_retransmit_on_dup_acks() {
-        let (mut c, mut s) = established();
-        // Send 5 MSS of data; drop the first segment, deliver the rest.
-        let data = vec![7u8; 5 * 1460];
-        c.send(&data).unwrap();
-        let now = 1_000_000;
-        let mut segs = Vec::new();
-        while let Some((h, p)) = c.poll_transmit(now) {
-            segs.push((h, p));
-        }
-        assert!(
-            segs.len() >= 3,
-            "initial cwnd allows >=3 segments, got {}",
-            segs.len()
-        );
-        // Deliver all but the first; each generates a dup ACK.
-        for (h, p) in segs.iter().skip(1) {
-            let bytes = h.emit(p, CLIENT_IP, SERVER_IP);
-            let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-            s.on_segment(&g, &bytes[r], now);
-        }
-        // Collect the server's ACKs (all for the missing first segment).
-        let mut acks = Vec::new();
-        while let Some((h, p)) = s.poll_transmit(now) {
-            acks.push((h, p));
-        }
-        for (h, p) in &acks {
-            let bytes = h.emit(p, SERVER_IP, CLIENT_IP);
-            let (g, r) = TcpHeader::parse(&bytes, SERVER_IP, CLIENT_IP).unwrap();
-            c.on_segment(&g, &bytes[r], now);
-        }
-        if c.dup_acks >= 3 {
-            // Fast retransmit kicks in without waiting for the RTO.
-            let (h, p) = c.poll_transmit(now).expect("fast retransmit");
-            assert_eq!(h.seq, c.snd_una());
-            assert!(!p.is_empty());
-        } else {
-            // Fewer than 3 dupacks (small initial cwnd): RTO still recovers.
-            let rto_at = c.next_timeout().unwrap();
-            c.on_timer(rto_at);
-            assert!(c.poll_transmit(rto_at).is_some());
-        }
-    }
-
-    #[test]
-    fn zero_window_blocks_sender() {
-        let mut config = cfg();
-        config.recv_buf = 2048; // tiny receive buffer
-        let now = 0;
-        let mut c = client(now);
-        let (syn, _) = c.poll_transmit(now).unwrap();
-        let mut s = TcpSocket::accept_from_syn(
-            SocketId(2),
-            &config,
-            (SERVER_IP, 80),
-            (CLIENT_IP, 40000),
-            &syn,
-            SeqNum(9_000),
-            now,
-        );
-        pump(&mut c, &mut s, now);
-        // Fill the server's receive buffer without the app reading.
-        let data = vec![3u8; 8192];
-        let mut pushed = 0;
-        while pushed < data.len() {
-            match c.send(&data[pushed..]) {
-                Ok(n) => pushed += n,
-                Err(_) => break,
-            }
-            pump(&mut c, &mut s, now);
-        }
-        assert!(s.recv_available() <= 2048);
-        assert!(
-            c.bytes_in_flight() == 0 || !c.send_buf.is_empty(),
-            "sender must hold back data beyond the advertised window"
-        );
-        // Application reads, window reopens, transfer resumes.
-        let mut total = 0;
-        let mut buf = [0u8; 1024];
-        let mut now = now;
-        for _ in 0..200 {
-            now += 2_000_000;
-            while let Ok(n) = s.recv(&mut buf) {
-                if n == 0 {
-                    break;
-                }
-                total += n;
-            }
-            c.on_timer(now);
-            s.on_timer(now);
-            pump(&mut c, &mut s, now);
-            if total >= pushed {
-                break;
-            }
-        }
-        assert_eq!(total, pushed, "all accepted bytes eventually delivered");
-    }
-
-    #[test]
-    fn rst_aborts_connection() {
-        let (mut c, mut s) = established();
-        c.abort();
-        assert_eq!(c.state(), TcpState::Closed);
-        let (h, p) = c.poll_transmit(0).expect("RST emitted");
-        assert!(h.flags.rst);
-        let bytes = h.emit(&p, CLIENT_IP, SERVER_IP);
-        let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-        s.on_segment(&g, &bytes[r], 0);
-        assert_eq!(s.state(), TcpState::Closed);
-        assert!(s.events.iter().any(|e| matches!(e, SockEvent::Aborted(_))));
-        assert_eq!(s.error, Some(TcpError::Reset));
-    }
-
-    #[test]
-    fn retry_limit_times_out() {
-        let mut config = cfg();
-        config.max_retries = 3;
-        let now = 0;
-        let mut c = TcpSocket::connect(
-            SocketId(1),
-            &config,
-            (CLIENT_IP, 40000),
-            (SERVER_IP, 80),
-            SeqNum(100),
-            now,
-        );
-        let _ = c.poll_transmit(now); // SYN into the void
-        for _ in 0..10 {
-            match c.next_timeout() {
-                Some(d) => {
-                    let t = d;
-                    c.on_timer(t);
-                    let _ = c.poll_transmit(t);
-                }
-                None => break,
-            }
-            if c.state() == TcpState::Closed {
-                break;
-            }
-        }
-        assert_eq!(c.state(), TcpState::Closed);
-        assert_eq!(c.error, Some(TcpError::TimedOut));
-    }
-
-    #[test]
-    fn eof_semantics_after_peer_close() {
-        let (mut c, mut s) = established();
-        c.send(b"last words").unwrap();
-        c.close(0);
-        pump(&mut c, &mut s, 0);
-        let mut buf = [0u8; 64];
-        let n = s.recv(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"last words");
-        // Next read returns 0 (EOF), not WouldBlock.
-        assert_eq!(s.recv(&mut buf).unwrap(), 0);
-        assert!(s.at_eof());
-    }
-
-    #[test]
-    fn delayed_ack_single_segment() {
-        let (mut c, mut s) = established();
-        c.send(b"ping").unwrap();
-        let now = 1_000_000;
-        let (h, p) = c.poll_transmit(now).unwrap();
-        let bytes = h.emit(&p, CLIENT_IP, SERVER_IP);
-        let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-        s.on_segment(&g, &bytes[r], now);
-        // One segment: ACK should be delayed, not immediate.
-        assert!(
-            s.poll_transmit(now).is_none(),
-            "single segment should not trigger an immediate ACK"
-        );
-        let deadline = s.next_timeout().expect("delayed-ack timer armed");
-        s.on_timer(deadline);
-        let (ack, _) = s.poll_transmit(deadline).expect("delayed ACK fires");
-        assert!(ack.flags.ack && !ack.flags.syn);
-    }
-
-    #[test]
-    fn nagle_coalesces_small_writes() {
-        let (mut c, mut s) = established();
-        let now = 0;
-        c.send(b"a").unwrap();
-        let first = c.poll_transmit(now);
-        assert!(first.is_some(), "first small write goes out immediately");
-        // More small writes while the first byte is unacked: held back.
-        c.send(b"b").unwrap();
-        c.send(b"c").unwrap();
-        assert!(
-            c.poll_transmit(now).is_none(),
-            "Nagle must hold small segments while data is in flight"
-        );
-        // Deliver + ACK the first segment; the rest coalesce into one.
-        let (h, p) = first.unwrap();
-        let bytes = h.emit(&p, CLIENT_IP, SERVER_IP);
-        let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-        s.on_segment(&g, &bytes[r], now);
-        // Fire the server's delayed-ACK timer so the ACK releases Nagle.
-        let ack_at = s.next_timeout().expect("delayed ack armed");
-        s.on_timer(ack_at);
-        pump(&mut c, &mut s, ack_at);
-        let mut buf = [0u8; 8];
-        let mut got = Vec::new();
-        while let Ok(n) = s.recv(&mut buf) {
-            if n == 0 {
-                break;
-            }
-            got.extend_from_slice(&buf[..n]);
-        }
-        assert_eq!(got, b"abc");
-    }
-
-    #[test]
-    fn out_of_order_delivery_reassembles() {
-        let (mut c, mut s) = established();
-        let now = 0;
-        let data = vec![9u8; 3 * 1460];
-        c.send(&data).unwrap();
-        let mut segs = Vec::new();
-        while let Some(seg) = c.poll_transmit(now) {
-            segs.push(seg);
-        }
-        assert!(segs.len() >= 2);
-        // Deliver in reverse order.
-        for (h, p) in segs.iter().rev() {
-            let bytes = h.emit(p, CLIENT_IP, SERVER_IP);
-            let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-            s.on_segment(&g, &bytes[r], now);
-        }
-        let mut buf = vec![0u8; 8192];
-        let mut got = Vec::new();
-        while let Ok(n) = s.recv(&mut buf) {
-            if n == 0 {
-                break;
-            }
-            got.extend_from_slice(&buf[..n]);
-        }
-        assert_eq!(got.len(), segs.iter().map(|(_, p)| p.len()).sum::<usize>());
-        assert!(got.iter().all(|&b| b == 9));
-    }
-
-    #[test]
-    fn duplicate_segments_ignored() {
-        let (mut c, mut s) = established();
-        let now = 0;
-        c.send(b"once only").unwrap();
-        let (h, p) = c.poll_transmit(now).unwrap();
-        let bytes = h.emit(&p, CLIENT_IP, SERVER_IP);
-        let (g, r) = TcpHeader::parse(&bytes, CLIENT_IP, SERVER_IP).unwrap();
-        s.on_segment(&g, &bytes[r.clone()], now);
-        s.on_segment(&g, &bytes[r.clone()], now); // duplicate
-        s.on_segment(&g, &bytes[r], now); // triplicate
-        let mut buf = [0u8; 64];
-        let n = s.recv(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"once only");
-        assert_eq!(s.recv(&mut buf), Err(TcpError::WouldBlock));
-    }
-}
+#[path = "socket_tests.rs"]
+mod tests;

@@ -58,6 +58,45 @@ pub enum CongestionAlgo {
     /// No congestion control (cwnd pinned wide open) — useful to isolate
     /// flow-control behaviour in tests.
     None,
+    /// BBR-style model-based controller: paces to a bandwidth-delay
+    /// product estimated from delivery-rate and min-RTT filters.
+    Bbr,
+    /// DCTCP-style controller: scales the window cut by the observed
+    /// congestion fraction (loss events proxy for ECN marks — the sim
+    /// wire format carries no ECN bits).
+    Dctcp,
+}
+
+/// A per-socket transport tuning knob, settable after `connect`/`accept`
+/// instead of baking one global [`TcpConfig`] into the whole stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SockOpt {
+    /// Switch the congestion controller for this connection.
+    CongestionAlgo(CongestionAlgo),
+    /// Override the initial congestion window, in segments (RFC 6928
+    /// style: e.g. 10 for IW10).
+    InitialCwnd(u32),
+    /// Resize the receive buffer (and with it the advertised window
+    /// ceiling), in bytes.
+    RecvBuf(usize),
+}
+
+/// The discriminant of a [`SockOpt`], for `get_opt` queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockOptKind {
+    CongestionAlgo,
+    InitialCwnd,
+    RecvBuf,
+}
+
+impl SockOpt {
+    pub fn kind(&self) -> SockOptKind {
+        match self {
+            SockOpt::CongestionAlgo(_) => SockOptKind::CongestionAlgo,
+            SockOpt::InitialCwnd(_) => SockOptKind::InitialCwnd,
+            SockOpt::RecvBuf(_) => SockOptKind::RecvBuf,
+        }
+    }
 }
 
 /// Per-stack tunables (the control-plane settings of §4: e.g. the

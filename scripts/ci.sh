@@ -53,7 +53,26 @@ ensure_release_build() {
     fi
 }
 
+# Module-size guard: no deployed source file may grow past 1000 lines —
+# the socket-monolith decomposition stays decomposed. Out-of-line test
+# modules (`*_tests.rs`, `proptests.rs`) are exempt: they are not
+# deployed code (fault.rs's component weighing cuts them off too).
+module_size_guard() {
+    oversized=$(find crates -path '*/src/*' -name '*.rs' \
+        ! -name '*_tests.rs' ! -name 'proptests.rs' \
+        -exec awk 'END { if (NR > 1000) print FILENAME ": " NR " lines" }' {} \;)
+    if [ -n "$oversized" ]; then
+        echo "MODULE SIZE FAILURE: source files over 1000 lines (split them" >&2
+        echo "into owned-state components; move tests to *_tests.rs):" >&2
+        echo "$oversized" >&2
+        exit 1
+    fi
+}
+
 if [ "$TIER1" = 1 ]; then
+    echo "==> [tier1] module-size guard (deployed sources <= 1000 lines)"
+    module_size_guard
+
     run cargo build --release --offline
 
     run cargo test -q --offline

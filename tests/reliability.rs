@@ -220,6 +220,57 @@ fn replicated_tcp_crash_is_transparent() {
     assert!(after.requests > 500, "service continued: {after:?}");
 }
 
+#[test]
+fn replicated_crash_is_transparent_under_every_congestion_controller() {
+    // The TcbImage carries the per-socket controller selection, so buddy
+    // failover must stay transparent whichever algorithm the sockets
+    // picked via `SockOpt::CongestionAlgo` — including the controllers
+    // that keep internal model state (BBR's bw filter, DCTCP's alpha),
+    // which is rebuilt fresh on the restored socket.
+    for algo in [
+        neat_tcp::CongestionAlgo::Cubic,
+        neat_tcp::CongestionAlgo::Bbr,
+        neat_tcp::CongestionAlgo::Dctcp,
+    ] {
+        let mut spec = TestbedSpec::amd(NeatConfig::multi(2).replicated(), 4);
+        spec.clients = 4;
+        spec.workload = Workload {
+            conns_per_client: 8,
+            requests_per_conn: 1_000,
+            ..Workload::default()
+        };
+        spec.sock_opts = vec![neat_tcp::SockOpt::CongestionAlgo(algo)];
+        let mut tb = Testbed::build(spec);
+        tb.sim.run_until(Time::from_millis(150));
+        let errs_before = tb.total_errors();
+
+        poison(&mut tb, 0, Role::Tcp);
+        let after = tb.measure(Time::from_millis(100), Time::from_millis(300));
+
+        let stats = tb.deployment.sup_stats.borrow().clone();
+        assert_eq!(stats.crashes_seen, 1, "{algo:?}");
+        assert_eq!(
+            stats.stateful_losses, 0,
+            "{algo:?}: replication preserves TCP state"
+        );
+        let lost: u64 = tb
+            .web_metrics
+            .iter()
+            .map(|m| m.borrow().conns_lost_to_crash)
+            .sum();
+        assert_eq!(lost, 0, "{algo:?}: no connection died with the replica");
+        assert_eq!(
+            tb.total_errors(),
+            errs_before,
+            "{algo:?}: clients saw no error from the crash"
+        );
+        assert!(
+            after.requests > 500,
+            "{algo:?}: service continued: {after:?}"
+        );
+    }
+}
+
 /// One fixed-seed replicated run with a TCP crash at 150 ms; returns the
 /// per-client received-byte-stream digests at 500 ms virtual time.
 fn crashed_run_digests() -> Vec<u64> {
